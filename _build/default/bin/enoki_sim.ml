@@ -1,0 +1,189 @@
+(* enoki_sim: command-line driver for the simulator.
+
+   Runs a (scheduler x workload) combination, optionally recording the
+   scheduler's message log, replaying a log, or live-upgrading mid-run.
+
+     enoki_sim run --sched wfq --workload pipe
+     enoki_sim run --sched shinjuku --workload rocksdb --load 60
+     enoki_sim record --sched wfq --workload pipe --out /tmp/wfq.rec
+     enoki_sim replay --sched wfq --log /tmp/wfq.rec
+     enoki_sim upgrade --sched wfq --workload schbench *)
+
+open Cmdliner
+
+type sched = Cfs | Fifo | Wfq | Shinjuku | Locality | Arachne | Ghost_sol | Ghost_fifo | Ghost_shinjuku
+
+let sched_conv =
+  Arg.enum
+    [
+      ("cfs", Cfs); ("fifo", Fifo); ("wfq", Wfq); ("shinjuku", Shinjuku);
+      ("locality", Locality); ("arachne", Arachne); ("ghost-sol", Ghost_sol);
+      ("ghost-fifo", Ghost_fifo); ("ghost-shinjuku", Ghost_shinjuku);
+    ]
+
+let kind_of_sched = function
+  | Cfs -> Workloads.Setup.Cfs
+  | Fifo -> Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched)
+  | Wfq -> Workloads.Setup.Enoki_sched (module Schedulers.Wfq)
+  | Shinjuku -> Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku)
+  | Locality -> Workloads.Setup.Enoki_sched (module Schedulers.Locality)
+  | Arachne -> Workloads.Setup.Enoki_sched (module Schedulers.Arachne)
+  | Ghost_sol -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol
+  | Ghost_fifo -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu
+  | Ghost_shinjuku -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku
+
+let module_of_sched = function
+  | Fifo -> Some (module Schedulers.Fifo_sched : Enoki.Sched_trait.S)
+  | Wfq -> Some (module Schedulers.Wfq)
+  | Shinjuku -> Some (module Schedulers.Shinjuku)
+  | Locality -> Some (module Schedulers.Locality)
+  | Arachne -> Some (module Schedulers.Arachne)
+  | Cfs | Ghost_sol | Ghost_fifo | Ghost_shinjuku -> None
+
+type workload = Pipe | Schbench | Rocksdb | Memcached
+
+let workload_conv =
+  Arg.enum
+    [ ("pipe", Pipe); ("schbench", Schbench); ("rocksdb", Rocksdb); ("memcached", Memcached) ]
+
+let sched_arg =
+  Arg.(value & opt sched_conv Wfq & info [ "sched"; "s" ] ~docv:"SCHED" ~doc:"Scheduler to run.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv Pipe
+    & info [ "workload"; "w" ] ~docv:"WORKLOAD" ~doc:"Workload to drive the machine with.")
+
+let load_arg =
+  Arg.(
+    value & opt float 40.0
+    & info [ "load" ] ~docv:"KREQS" ~doc:"Offered load in thousand requests/s (server workloads).")
+
+let cores_arg =
+  Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc:"Number of simulated cores (8 or 80).")
+
+let topology_of_cores = function
+  | 80 -> Kernsim.Topology.two_socket
+  | 8 -> Kernsim.Topology.one_socket
+  | n -> Kernsim.Topology.create ~cores:n ~cores_per_llc:n ~cores_per_node:n
+
+let print_summary (b : Workloads.Setup.built) =
+  let mets = Kernsim.Machine.metrics b.machine in
+  Printf.printf "schedules: %d, context switches: %d, migrations: %d\n"
+    (Kernsim.Metrics.schedules mets)
+    (Kernsim.Metrics.context_switches mets)
+    (Kernsim.Metrics.migrations mets);
+  match b.enoki with
+  | Some e ->
+    Printf.printf "enoki: %d scheduler invocations, %d Schedulable violations\n"
+      (Enoki.Enoki_c.calls e) (Enoki.Enoki_c.violations e)
+  | None -> ()
+
+let run_workload (b : Workloads.Setup.built) workload ~load =
+  match workload with
+  | Pipe ->
+    let r = Workloads.Pipe_bench.run b () in
+    Printf.printf "sched pipe: %.2f us/wakeup over %d wakeups (completed: %b)\n" r.us_per_wakeup
+      r.wakeups r.completed
+  | Schbench ->
+    let r = Workloads.Schbench.run b Workloads.Schbench.default_params in
+    Printf.printf "schbench: wakeup latency p50 %s, p99 %s (%d samples)\n"
+      (Kernsim.Time.to_string r.p50) (Kernsim.Time.to_string r.p99) r.samples
+  | Rocksdb ->
+    let r = Workloads.Rocksdb.run b (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch:false) in
+    Printf.printf "rocksdb @ %.0fk req/s: achieved %.1fk, p50 %.1f us, p99 %.1f us\n"
+      r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
+  | Memcached ->
+    let r =
+      Workloads.Memcached.run b
+        (Workloads.Memcached.default_params ~mode:Workloads.Memcached.Cfs ~load_kreqs:load)
+    in
+    Printf.printf "memcached @ %.0fk req/s: achieved %.1fk, p50 %.1f us, p99 %.1f us\n"
+      r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
+
+let run_cmd =
+  let run sched workload load cores =
+    let b = Workloads.Setup.build ~topology:(topology_of_cores cores) (kind_of_sched sched) in
+    run_workload b workload ~load;
+    print_summary b
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload under a scheduler and print its metrics.")
+    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg)
+
+let out_arg =
+  Arg.(
+    value & opt string "enoki.rec"
+    & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Where to save the record log.")
+
+let record_cmd =
+  let run sched workload load cores out =
+    match module_of_sched sched with
+    | None -> prerr_endline "record requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
+    | Some m ->
+      let record = Enoki.Record.create () in
+      let b =
+        Workloads.Setup.build ~record ~topology:(topology_of_cores cores)
+          (Workloads.Setup.Enoki_sched m)
+      in
+      run_workload b workload ~load;
+      Enoki.Record.save record ~path:out;
+      Printf.printf "recorded %d lines to %s (%d dropped by the ring)\n"
+        (Enoki.Record.length record) out (Enoki.Record.dropped record)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a workload with the record tap on and save the scheduler message log.")
+    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ out_arg)
+
+let log_arg =
+  Arg.(
+    required & opt (some string) None
+    & info [ "log"; "l" ] ~docv:"PATH" ~doc:"Record log to replay.")
+
+let replay_cmd =
+  let run sched log =
+    match module_of_sched sched with
+    | None -> prerr_endline "replay requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
+    | Some m ->
+      let contents = Enoki.Record.load_file ~path:log in
+      let report = Enoki.Replay.run m ~log:contents in
+      Format.printf "%a@." Enoki.Replay.pp_report report;
+      List.iteri
+        (fun i (seq, msg) ->
+          if i < 10 then Printf.printf "  mismatch at line %d: %s\n" seq msg)
+        report.mismatches
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded message log against the same scheduler code at userspace and \
+          validate its replies.")
+    Term.(const run $ sched_arg $ log_arg)
+
+let upgrade_cmd =
+  let run sched workload load cores =
+    match module_of_sched sched with
+    | None -> prerr_endline "upgrade requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
+    | Some m ->
+      let b =
+        Workloads.Setup.build ~topology:(topology_of_cores cores) (Workloads.Setup.Enoki_sched m)
+      in
+      let e = Option.get b.enoki in
+      Kernsim.Machine.at b.machine ~delay:(Kernsim.Time.ms 100) (fun () ->
+          match Enoki.Enoki_c.upgrade e m with
+          | Ok s ->
+            Printf.printf "live upgrade at t=100ms: pause %s, %d tasks carried\n"
+              (Kernsim.Time.to_string s.Enoki.Upgrade.pause)
+              s.Enoki.Upgrade.tasks_carried
+          | Error exn -> Printf.printf "upgrade failed: %s\n" (Printexc.to_string exn));
+      run_workload b workload ~load;
+      print_summary b
+  in
+  Cmd.v
+    (Cmd.info "upgrade" ~doc:"Run a workload and live-upgrade the scheduler 100ms in.")
+    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg)
+
+let () =
+  let doc = "Enoki scheduler-framework simulator" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "enoki_sim" ~doc) [ run_cmd; record_cmd; replay_cmd; upgrade_cmd ]))

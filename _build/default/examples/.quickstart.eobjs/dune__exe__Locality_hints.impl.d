@@ -1,0 +1,1 @@
+examples/locality_hints.ml: Enoki Kernsim List Printf Schedulers

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Enoki Format Kernsim List Option Printf Schedulers

@@ -1,0 +1,1 @@
+examples/record_replay.ml: Enoki Filename Format Kernsim List Printf Schedulers Sys

@@ -1,0 +1,1 @@
+examples/two_level.ml: Array Enoki Kernsim List Printf Schedulers String

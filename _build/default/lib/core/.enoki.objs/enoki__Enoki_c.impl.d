@@ -1,0 +1,1 @@
+lib/core/enoki_c.ml: Ctx Ds Fun Hashtbl Int Kernsim Lib_enoki List Lock Message Option Record Sched_trait Schedulable Upgrade

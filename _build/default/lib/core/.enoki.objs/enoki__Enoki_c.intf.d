@@ -1,0 +1,1 @@
+lib/core/enoki_c.mli: Kernsim Message Record Sched_trait Upgrade

@@ -1,0 +1,1 @@
+lib/core/hint_codec.mli: Kernsim

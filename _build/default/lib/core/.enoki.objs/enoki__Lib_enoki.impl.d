@@ -1,0 +1,1 @@
+lib/core/lib_enoki.ml: Message Sched_trait

@@ -1,0 +1,1 @@
+lib/core/lib_enoki.mli: Message Sched_trait

@@ -1,0 +1,1 @@
+lib/core/message.ml: Format Hint_codec Kernsim List Printf Schedulable String

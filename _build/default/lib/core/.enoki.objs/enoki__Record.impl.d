@@ -1,0 +1,1 @@
+lib/core/record.ml: Buffer Ds Fun List Lock Message Printf

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Ctx Format Fun Hashtbl Int Lib_enoki List Lock Message Mutex Printf Sched_trait Str_split String Thread Unix

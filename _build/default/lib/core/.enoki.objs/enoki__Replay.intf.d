@@ -1,0 +1,1 @@
+lib/core/replay.mli: Format Lock Message Sched_trait

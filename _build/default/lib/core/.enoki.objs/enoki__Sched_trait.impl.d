@@ -1,0 +1,1 @@
+lib/core/sched_trait.ml: Ctx Kernsim Schedulable Upgrade

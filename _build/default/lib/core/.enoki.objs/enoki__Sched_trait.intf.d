@@ -1,0 +1,1 @@
+lib/core/sched_trait.mli: Ctx Kernsim Schedulable Upgrade

@@ -1,0 +1,1 @@
+lib/core/schedulable.mli: Format

@@ -1,0 +1,1 @@
+lib/core/str_split.mli:

@@ -1,0 +1,24 @@
+type ns = Kernsim.Time.ns
+
+type t = {
+  nr_cpus : int;
+  policy : int;
+  now : unit -> ns;
+  set_timer : cpu:int -> ns -> unit;
+  cancel_timer : cpu:int -> unit;
+  resched : cpu:int -> unit;
+  send_user : pid:int -> Kernsim.Task.hint -> unit;
+  log : string -> unit;
+}
+
+let inert ?(nr_cpus = 8) ?(policy = 0) () =
+  {
+    nr_cpus;
+    policy;
+    now = (fun () -> 0);
+    set_timer = (fun ~cpu:_ _ -> ());
+    cancel_timer = (fun ~cpu:_ -> ());
+    resched = (fun ~cpu:_ -> ());
+    send_user = (fun ~pid:_ _ -> ());
+    log = (fun _ -> ());
+  }

@@ -1,0 +1,26 @@
+(** The capability context libEnoki hands a scheduler at creation.
+
+    Mirrors the safe kernel interfaces the paper's libEnoki exposes: timers
+    (Shinjuku arms a 10 us preemption timer through this), the clock, the
+    kernel-to-user reverse queue, and logging.  Everything else — run-queue
+    manipulation, task state — stays on the Enoki-C side of the boundary. *)
+
+type ns = Kernsim.Time.ns
+
+type t = {
+  nr_cpus : int;
+  policy : int;  (** the policy id user tasks name to attach to this scheduler *)
+  now : unit -> ns;
+  set_timer : cpu:int -> ns -> unit;  (** one-shot; fires [task_tick] on [cpu] *)
+  cancel_timer : cpu:int -> unit;
+  resched : cpu:int -> unit;
+      (** ask the kernel to re-run [pick_next_task] on [cpu] soon (sets the
+          need-resched flag; safe — policy still only changes via picks) *)
+  send_user : pid:int -> Kernsim.Task.hint -> unit;
+      (** push onto the kernel-to-user reverse queue for [pid] *)
+  log : string -> unit;
+}
+
+(** A context whose effects are inert; replay and unit tests construct
+    schedulers against this (timers cannot fire at userspace). *)
+val inert : ?nr_cpus:int -> ?policy:int -> unit -> t

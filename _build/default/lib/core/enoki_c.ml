@@ -1,0 +1,324 @@
+module Ops = Kernsim.Sched_class
+
+type t = {
+  modul : (module Sched_trait.S); (* version registered at load time *)
+  policy : int;
+  mutable packed : Sched_trait.packed option;
+  mutable ops : Ops.kernel_ops option;
+  gens : (int, int) Hashtbl.t; (* pid -> latest Schedulable generation *)
+  hint_ring : (int * Kernsim.Task.hint) Ds.Ring_buffer.t;
+  record : Record.t option;
+  mutable calls : int;
+  mutable violations : int;
+  violation_kinds : (string, int) Hashtbl.t;
+  mutable current_tid : int;
+  mutable upgrades : Upgrade.stats list;
+  mutable readers : int; (* quiescing read-write lock: in-flight calls *)
+}
+
+let create ?(policy = 0) ?record ?(hint_capacity = 1024) modul =
+  {
+    modul;
+    policy;
+    packed = None;
+    ops = None;
+    gens = Hashtbl.create 64;
+    hint_ring = Ds.Ring_buffer.create ~capacity:hint_capacity;
+    record;
+    calls = 0;
+    violations = 0;
+    violation_kinds = Hashtbl.create 8;
+    current_tid = 0;
+    upgrades = [];
+    readers = 0;
+  }
+
+let ops_exn t =
+  match t.ops with
+  | Some ops -> ops
+  | None -> invalid_arg "Enoki_c: scheduler module not loaded into a machine yet"
+
+let packed_exn t =
+  match t.packed with
+  | Some p -> p
+  | None -> invalid_arg "Enoki_c: scheduler module not loaded into a machine yet"
+
+let scheduler_name t =
+  match t.packed with
+  | Some (Sched_trait.Packed ((module S), _)) -> S.name
+  | None ->
+    let (module S : Sched_trait.S) = t.modul in
+    S.name
+
+let calls t = t.calls
+
+let violations t = t.violations
+
+let count_violation t kind =
+  t.violations <- t.violations + 1;
+  Hashtbl.replace t.violation_kinds kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.violation_kinds kind))
+
+let violation_breakdown t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.violation_kinds []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let hints_dropped t = Ds.Ring_buffer.dropped t.hint_ring
+
+let upgrades t = t.upgrades
+
+(* ---------- capabilities ---------- *)
+
+let mint t ~pid ~cpu =
+  let gen = (match Hashtbl.find_opt t.gens pid with Some g -> g | None -> 0) + 1 in
+  Hashtbl.replace t.gens pid gen;
+  Schedulable.Private.create ~pid ~cpu ~gen
+
+(* Any kernel state transition supersedes outstanding tokens. *)
+let invalidate t ~pid =
+  match Hashtbl.find_opt t.gens pid with
+  | Some g -> Hashtbl.replace t.gens pid (g + 1)
+  | None -> Hashtbl.replace t.gens pid 1
+
+let token_valid t token ~cpu =
+  Schedulable.is_live token
+  && Schedulable.cpu token = cpu
+  && Hashtbl.find_opt t.gens (Schedulable.pid token) = Some (Schedulable.generation token)
+
+(* ---------- dispatch ---------- *)
+
+(* The synchronous call path: read-lock, translate, invoke the processing
+   function, record.  Overheads are charged to the calling cpu's context,
+   modelling the 100-150 ns per invocation the paper measures. *)
+let dispatch t ~cpu call =
+  let ops = ops_exn t in
+  ops.charge ~cpu ops.costs.enoki_call;
+  t.calls <- t.calls + 1;
+  t.current_tid <- cpu;
+  t.readers <- t.readers + 1;
+  let reply =
+    Fun.protect
+      (fun () -> Lib_enoki.process (packed_exn t) call)
+      ~finally:(fun () -> t.readers <- t.readers - 1)
+  in
+  (match t.record with
+  | Some r ->
+    ops.charge ~cpu ops.costs.record_msg;
+    Record.tap_call r ~tid:cpu call reply
+  | None -> ());
+  reply
+
+let dispatch_raw t ~tid call = dispatch t ~cpu:tid call
+
+let unit_reply = function
+  | Message.R_unit -> ()
+  | r -> invalid_arg ("Enoki_c: expected unit reply, got " ^ Message.encode_reply r)
+
+(* ---------- scheduler-class hooks ---------- *)
+
+let select_task_rq t (task : Kernsim.Task.t) ~waker_cpu =
+  let allowed =
+    match task.affinity with
+    | Some cpus -> cpus
+    | None -> List.init (ops_exn t).nr_cpus Fun.id
+  in
+  match dispatch t ~cpu:waker_cpu (Select_task_rq { pid = task.pid; waker_cpu; allowed }) with
+  | R_int cpu when cpu >= 0 && cpu < (ops_exn t).nr_cpus && Kernsim.Task.allowed_cpu task cpu
+    -> cpu
+  | R_int _ ->
+    (* scheduler chose a cpu the task may not use; fall back *)
+    count_violation t "bad_select_cpu";
+    (match task.affinity with Some (c :: _) -> c | Some [] | None -> waker_cpu)
+  | r -> invalid_arg ("Enoki_c: bad select_task_rq reply " ^ Message.encode_reply r)
+
+let task_new t (task : Kernsim.Task.t) ~cpu =
+  let sched = mint t ~pid:task.pid ~cpu in
+  unit_reply
+    (dispatch t ~cpu
+       (Task_new { pid = task.pid; runtime = task.sum_exec; prio = task.nice; sched }))
+
+let task_wakeup t (task : Kernsim.Task.t) ~cpu ~waker_cpu =
+  let sched = mint t ~pid:task.pid ~cpu in
+  unit_reply
+    (dispatch t ~cpu:waker_cpu
+       (Task_wakeup { pid = task.pid; runtime = task.sum_exec; waker_cpu; sched }))
+
+let task_blocked t (task : Kernsim.Task.t) ~cpu =
+  invalidate t ~pid:task.pid;
+  unit_reply
+    (dispatch t ~cpu (Task_blocked { pid = task.pid; runtime = task.sum_exec; cpu }))
+
+let task_yield t (task : Kernsim.Task.t) ~cpu =
+  let sched = mint t ~pid:task.pid ~cpu in
+  unit_reply
+    (dispatch t ~cpu (Task_yield { pid = task.pid; runtime = task.sum_exec; cpu; sched }))
+
+let task_preempt t (task : Kernsim.Task.t) ~cpu =
+  let sched = mint t ~pid:task.pid ~cpu in
+  unit_reply
+    (dispatch t ~cpu (Task_preempt { pid = task.pid; runtime = task.sum_exec; cpu; sched }))
+
+let task_dead t (task : Kernsim.Task.t) ~cpu =
+  invalidate t ~pid:task.pid;
+  Hashtbl.remove t.gens task.pid;
+  unit_reply (dispatch t ~cpu (Task_dead { pid = task.pid }))
+
+let task_departed t (task : Kernsim.Task.t) ~cpu =
+  (match dispatch t ~cpu (Task_departed { pid = task.pid; cpu }) with
+  | R_sched_opt tok ->
+    (* the scheduler returns whatever token it held; consume it *)
+    Option.iter Schedulable.Private.consume tok
+  | r -> invalid_arg ("Enoki_c: bad task_departed reply " ^ Message.encode_reply r));
+  invalidate t ~pid:task.pid;
+  Hashtbl.remove t.gens task.pid
+
+let task_tick t ~cpu ~queued = unit_reply (dispatch t ~cpu (Task_tick { cpu; queued }))
+
+let pick_next_task t ~cpu =
+  match dispatch t ~cpu (Pick_next_task { cpu; curr = None; curr_runtime = 0 }) with
+  | R_sched_opt None -> None
+  | R_sched_opt (Some token) ->
+    if token_valid t token ~cpu then begin
+      let pid = Schedulable.pid token in
+      Schedulable.Private.consume token;
+      invalidate t ~pid;
+      Some pid
+    end
+    else begin
+      (* wrong core or stale token: hand ownership back via pnt_err, the
+         recoverable path the Schedulable design exists for *)
+      let err =
+        if not (Schedulable.is_live token) then "consumed"
+        else if Schedulable.cpu token <> cpu then "wrong_cpu"
+        else "stale_generation"
+      in
+      count_violation t err;
+      unit_reply
+        (dispatch t ~cpu
+           (Pnt_err { cpu; pid = Schedulable.pid token; err; sched = Some token }));
+      None
+    end
+  | r -> invalid_arg ("Enoki_c: bad pick_next_task reply " ^ Message.encode_reply r)
+
+let balance t ~cpu =
+  match dispatch t ~cpu (Balance { cpu }) with
+  | R_pid_opt p -> p
+  | r -> invalid_arg ("Enoki_c: bad balance reply " ^ Message.encode_reply r)
+
+let balance_err t (task : Kernsim.Task.t) ~cpu =
+  unit_reply (dispatch t ~cpu (Balance_err { cpu; pid = task.pid; sched = None }))
+
+let migrate_task_rq t (task : Kernsim.Task.t) ~from_cpu ~to_cpu =
+  let sched = mint t ~pid:task.pid ~cpu:to_cpu in
+  match dispatch t ~cpu:to_cpu (Migrate_task_rq { pid = task.pid; from_cpu; sched }) with
+  | R_sched_opt old ->
+    (* the scheduler returns the superseded token; consume whatever it gave *)
+    Option.iter Schedulable.Private.consume old
+  | r -> invalid_arg ("Enoki_c: bad migrate reply " ^ Message.encode_reply r)
+
+let task_prio_changed t (task : Kernsim.Task.t) =
+  unit_reply
+    (dispatch t ~cpu:task.cpu (Task_prio_changed { pid = task.pid; prio = task.nice }))
+
+let task_affinity_changed t (task : Kernsim.Task.t) =
+  let allowed =
+    match task.affinity with
+    | Some cpus -> cpus
+    | None -> List.init (ops_exn t).nr_cpus Fun.id
+  in
+  unit_reply (dispatch t ~cpu:task.cpu (Task_affinity_changed { pid = task.pid; allowed }))
+
+(* User hints go through the shared ring, then Enoki-C synchronously drains
+   it into parse_hint calls (the enter_queue protocol of §3.3). *)
+let deliver_hint t (task : Kernsim.Task.t) hint =
+  if Ds.Ring_buffer.push t.hint_ring (task.pid, hint) then
+    List.iter
+      (fun (pid, hint) -> unit_reply (dispatch t ~cpu:task.cpu (Parse_hint { pid; hint })))
+      (Ds.Ring_buffer.drain t.hint_ring)
+
+(* ---------- registration ---------- *)
+
+let make_ctx t (ops : Ops.kernel_ops) : Ctx.t =
+  {
+    nr_cpus = ops.nr_cpus;
+    policy = t.policy;
+    now = ops.now;
+    set_timer = (fun ~cpu d -> ops.set_timer ~cpu d);
+    cancel_timer = (fun ~cpu -> ops.cancel_timer ~cpu);
+    resched = (fun ~cpu -> ops.resched_cpu cpu);
+    send_user = (fun ~pid hint -> ops.send_user ~pid hint);
+    log = (fun _ -> ());
+  }
+
+let rec arm_record_drain t (ops : Ops.kernel_ops) r =
+  ops.defer ~delay:(Kernsim.Time.us 100) (fun () ->
+      Record.drain r;
+      arm_record_drain t ops r)
+
+let factory t : Kernsim.Sched_class.factory =
+ fun ops ->
+  if t.ops <> None then invalid_arg "Enoki_c: scheduler already registered";
+  t.ops <- Some ops;
+  (* module load: construct the scheduler against the safe context *)
+  Lock.reset_ids ();
+  (match t.record with
+  | Some r ->
+    Lock.set_record_mode ~sink:(Record.tap_lock r) ~tid:(fun () -> t.current_tid);
+    arm_record_drain t ops r
+  | None -> ());
+  let (module S : Sched_trait.S) = t.modul in
+  let st = S.create (make_ctx t ops) in
+  t.packed <- Some (Sched_trait.Packed ((module S), st));
+  {
+    Kernsim.Sched_class.name = "enoki:" ^ S.name;
+    select_task_rq = (fun task ~waker_cpu -> select_task_rq t task ~waker_cpu);
+    task_new = (fun task ~cpu -> task_new t task ~cpu);
+    task_wakeup = (fun task ~cpu ~waker_cpu -> task_wakeup t task ~cpu ~waker_cpu);
+    task_blocked = (fun task ~cpu -> task_blocked t task ~cpu);
+    task_yield = (fun task ~cpu -> task_yield t task ~cpu);
+    task_preempt = (fun task ~cpu -> task_preempt t task ~cpu);
+    task_dead = (fun task ~cpu -> task_dead t task ~cpu);
+    task_departed = (fun task ~cpu -> task_departed t task ~cpu);
+    task_tick = (fun ~cpu ~queued -> task_tick t ~cpu ~queued);
+    pick_next_task = (fun ~cpu -> pick_next_task t ~cpu);
+    balance = (fun ~cpu -> balance t ~cpu);
+    balance_err = (fun task ~cpu -> balance_err t task ~cpu);
+    migrate_task_rq = (fun task ~from_cpu ~to_cpu -> migrate_task_rq t task ~from_cpu ~to_cpu);
+    task_prio_changed = (fun task -> task_prio_changed t task);
+    task_affinity_changed = (fun task -> task_affinity_changed t task);
+    deliver_hint = (fun task hint -> deliver_hint t task hint);
+  }
+
+(* ---------- live upgrade (§3.2) ---------- *)
+
+let upgrade t (module New : Sched_trait.S) =
+  match t.ops with
+  | None -> Error (Invalid_argument "Enoki_c: not registered")
+  | Some ops -> (
+    let (Sched_trait.Packed ((module Old), old_st)) = packed_exn t in
+    (* acquire the per-scheduler lock in write mode: in the simulator all
+       calls are instantaneous, so quiescing is immediate *)
+    assert (t.readers = 0);
+    let tasks_carried = Hashtbl.length t.gens in
+    match
+      (* prepare in the old version, init in the new one, swap the pointer *)
+      let transfer = Old.reregister_prepare old_st in
+      let new_st = New.reregister_init (make_ctx t ops) transfer in
+      (transfer, new_st)
+    with
+    | transfer, new_st ->
+      t.packed <- Some (Sched_trait.Packed ((module New), new_st));
+      (* the write lock was held while both reregister calls ran; model
+         that blackout by delaying every cpu's next dispatch *)
+      let pause =
+        ops.costs.upgrade_base
+        + (ops.costs.upgrade_per_cpu * ops.nr_cpus)
+        + (ops.costs.upgrade_per_task * tasks_carried)
+      in
+      for cpu = 0 to ops.nr_cpus - 1 do
+        ops.charge ~cpu pause
+      done;
+      let stats = { Upgrade.pause; transferred = Option.is_some transfer; tasks_carried } in
+      t.upgrades <- stats :: t.upgrades;
+      Ok stats
+    | exception (Upgrade.Incompatible _ as e) -> Error e)

@@ -1,0 +1,55 @@
+(** Enoki-C: the in-kernel half of the framework.
+
+    Sits between the core scheduling code ({!Kernsim.Machine}) and a loaded
+    scheduler module.  It translates every scheduler-class hook into a
+    {!Message}, mints and validates {!Schedulable} capabilities, tracks task
+    runtimes on the scheduler's behalf, manages the user/kernel hint rings,
+    charges the framework's per-invocation overhead in simulated time, taps
+    the record subsystem, and implements live upgrade behind a quiescing
+    read-write lock (§3, §3.2).
+
+    Usage: [let h = Enoki_c.create (module My_sched) in
+            Machine.create ~classes:[ Enoki_c.factory h ] ... ] *)
+
+type t
+
+(** [create (module S)] prepares a registration.  The scheduler itself is
+    constructed when the machine instantiates the factory (module load
+    time).  [policy] is the id user tasks use to attach (defaults to the
+    class's position, 0).  [hint_capacity] bounds the user-to-kernel hint
+    ring.  [record] enables the record tap. *)
+val create :
+  ?policy:int -> ?record:Record.t -> ?hint_capacity:int -> (module Sched_trait.S) -> t
+
+(** The scheduler-class factory to hand to {!Kernsim.Machine.create}. *)
+val factory : t -> Kernsim.Sched_class.factory
+
+(** Live-upgrade to a new scheduler version: quiesce (write-lock), call the
+    old module's [reregister_prepare], the new one's [reregister_init] with
+    the transferred state, swap the dispatch pointer, release.  Returns
+    [Error] (old scheduler still registered) if the new version rejects the
+    state shape. *)
+val upgrade : t -> (module Sched_trait.S) -> (Upgrade.stats, exn) result
+
+(** Name of the currently registered scheduler version. *)
+val scheduler_name : t -> string
+
+(** Total scheduler invocations dispatched. *)
+val calls : t -> int
+
+(** Schedulable validation failures routed through [pnt_err]. *)
+val violations : t -> int
+
+(** Violations by kind ("wrong_cpu", "stale_generation", "consumed",
+    "bad_select_cpu"), most frequent first. *)
+val violation_breakdown : t -> (string * int) list
+
+(** Hints dropped because the user-to-kernel ring was full. *)
+val hints_dropped : t -> int
+
+(** Upgrades performed, most recent first. *)
+val upgrades : t -> Upgrade.stats list
+
+(** Send a call directly to the registered scheduler (tests and the replay
+    validator use this; the kernel path goes through the factory). *)
+val dispatch_raw : t -> tid:int -> Message.call -> Message.reply

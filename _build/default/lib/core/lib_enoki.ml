@@ -1,0 +1,47 @@
+let process (Sched_trait.Packed ((module S), st)) (call : Message.call) : Message.reply =
+  match call with
+  | Get_policy -> R_int (S.get_policy st)
+  | Pick_next_task { cpu; curr; curr_runtime } ->
+    R_sched_opt (S.pick_next_task st ~cpu ~curr ~curr_runtime)
+  | Pnt_err { cpu; pid; err; sched } ->
+    S.pnt_err st ~cpu ~pid ~err ~sched;
+    R_unit
+  | Task_dead { pid } ->
+    S.task_dead st ~pid;
+    R_unit
+  | Task_blocked { pid; runtime; cpu } ->
+    S.task_blocked st ~pid ~runtime ~cpu;
+    R_unit
+  | Task_wakeup { pid; runtime; waker_cpu; sched } ->
+    S.task_wakeup st ~pid ~runtime ~waker_cpu ~sched;
+    R_unit
+  | Task_new { pid; runtime; prio; sched } ->
+    S.task_new st ~pid ~runtime ~prio ~sched;
+    R_unit
+  | Task_preempt { pid; runtime; cpu; sched } ->
+    S.task_preempt st ~pid ~runtime ~cpu ~sched;
+    R_unit
+  | Task_yield { pid; runtime; cpu; sched } ->
+    S.task_yield st ~pid ~runtime ~cpu ~sched;
+    R_unit
+  | Task_departed { pid; cpu } -> R_sched_opt (S.task_departed st ~pid ~cpu)
+  | Task_affinity_changed { pid; allowed } ->
+    S.task_affinity_changed st ~pid ~allowed;
+    R_unit
+  | Task_prio_changed { pid; prio } ->
+    S.task_prio_changed st ~pid ~prio;
+    R_unit
+  | Task_tick { cpu; queued } ->
+    S.task_tick st ~cpu ~queued;
+    R_unit
+  | Select_task_rq { pid; waker_cpu; allowed } ->
+    R_int (S.select_task_rq st ~pid ~waker_cpu ~allowed)
+  | Migrate_task_rq { pid; sched; from_cpu = _ } ->
+    R_sched_opt (S.migrate_task_rq st ~pid ~sched)
+  | Balance { cpu } -> R_pid_opt (S.balance st ~cpu)
+  | Balance_err { cpu; pid; sched } ->
+    S.balance_err st ~cpu ~pid ~sched;
+    R_unit
+  | Parse_hint { pid; hint } ->
+    S.parse_hint st ~pid ~hint;
+    R_unit

@@ -1,0 +1,82 @@
+type op = Create | Acquire | Release
+
+type event = { lock_id : int; op : op; tid : int }
+
+type t = {
+  lock_id : int;
+  lock_name : string;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable expected : int list; (* replay: tids in acquisition order *)
+  mutable expected_loaded : bool;
+}
+
+type mode =
+  | Passthrough
+  | Record of { sink : event -> unit; tid : unit -> int }
+  | Replay of { order : int -> int list; tid : unit -> int }
+
+let mode = ref Passthrough
+
+let next_id = ref 0
+
+let reset_ids () = next_id := 0
+
+let create ?(name = "lock") () =
+  let lock_id = !next_id in
+  incr next_id;
+  let t =
+    {
+      lock_id;
+      lock_name = name;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      expected = [];
+      expected_loaded = false;
+    }
+  in
+  (match !mode with
+  | Record { sink; tid } -> sink { lock_id; op = Create; tid = tid () }
+  | Passthrough | Replay _ -> ());
+  t
+
+let id t = t.lock_id
+
+let name t = t.lock_name
+
+let with_lock t f =
+  match !mode with
+  | Passthrough -> f ()
+  | Record { sink; tid } ->
+    let tid = tid () in
+    sink { lock_id = t.lock_id; op = Acquire; tid };
+    Fun.protect f ~finally:(fun () -> sink { lock_id = t.lock_id; op = Release; tid })
+  | Replay { order; tid } ->
+    let my_tid = tid () in
+    Mutex.lock t.mutex;
+    if not t.expected_loaded then begin
+      t.expected <- order t.lock_id;
+      t.expected_loaded <- true
+    end;
+    (* wait for this thread's turn per the recorded acquisition order *)
+    let rec wait () =
+      match t.expected with
+      | next :: _ when next = my_tid -> ()
+      | [] -> () (* more acquisitions than recorded: admit freely *)
+      | _ :: _ ->
+        Condition.wait t.cond t.mutex;
+        wait ()
+    in
+    wait ();
+    (match t.expected with _ :: rest -> t.expected <- rest | [] -> ());
+    let finally () =
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    in
+    Fun.protect f ~finally
+
+let set_record_mode ~sink ~tid = mode := Record { sink; tid }
+
+let set_replay_mode ~order ~tid = mode := Replay { order; tid }
+
+let set_passthrough_mode () = mode := Passthrough

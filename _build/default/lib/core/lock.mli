@@ -1,0 +1,52 @@
+(** Recordable locks for scheduler modules (§3.4).
+
+    Enoki's record/replay hinges on one observation: because schedulers are
+    safe Rust (here: OCaml), the only nondeterminism left is timing (which
+    the kernel supplies in messages, so it is recorded) and the order of
+    lock acquisitions.  LibEnoki therefore shims the kernel lock API to log
+    create/acquire/release events; replay re-runs the same scheduler code on
+    real OS threads, with each lock admitting threads in the recorded
+    order.
+
+    Scheduler modules must guard all shared state with these locks (as the
+    paper's schedulers guard theirs with the kernel spinlock wrappers).
+
+    Modes are process-global: the simulator runs in [Passthrough] (or
+    [Record]); the replay harness switches to [Replay]. *)
+
+type t
+
+type op = Create | Acquire | Release
+
+type event = { lock_id : int; op : op; tid : int }
+
+(** [create ()] allocates a lock.  Ids are assigned in creation order,
+    which is how replay pairs locks with their recorded history (the paper
+    assumes locks are created in the same order during replay). *)
+val create : ?name:string -> unit -> t
+
+val id : t -> int
+
+val name : t -> string
+
+(** [with_lock l f] runs [f] holding [l].
+    - Passthrough: runs [f] directly (the simulator is single-threaded).
+    - Record: logs acquire/release events around [f].
+    - Replay: blocks the calling OS thread until it is this thread's turn
+      per the recorded acquisition order, then runs [f] under a real
+      mutex. *)
+val with_lock : t -> (unit -> 'a) -> 'a
+
+(** Reset the id counter (call before constructing the scheduler whose lock
+    history you are about to record or replay). *)
+val reset_ids : unit -> unit
+
+(** Enter record mode: [sink] receives every lock event; [tid] supplies the
+    logical kernel-thread id of the current context. *)
+val set_record_mode : sink:(event -> unit) -> tid:(unit -> int) -> unit
+
+(** Enter replay mode: [order] lists, per lock id, the tids in acquisition
+    order; [tid] maps the calling OS thread to its logical tid. *)
+val set_replay_mode : order:(int -> int list) -> tid:(unit -> int) -> unit
+
+val set_passthrough_mode : unit -> unit

@@ -1,0 +1,167 @@
+type ns = Kernsim.Time.ns
+
+type call =
+  | Get_policy
+  | Pick_next_task of { cpu : int; curr : Schedulable.t option; curr_runtime : ns }
+  | Pnt_err of { cpu : int; pid : int; err : string; sched : Schedulable.t option }
+  | Task_dead of { pid : int }
+  | Task_blocked of { pid : int; runtime : ns; cpu : int }
+  | Task_wakeup of { pid : int; runtime : ns; waker_cpu : int; sched : Schedulable.t }
+  | Task_new of { pid : int; runtime : ns; prio : int; sched : Schedulable.t }
+  | Task_preempt of { pid : int; runtime : ns; cpu : int; sched : Schedulable.t }
+  | Task_yield of { pid : int; runtime : ns; cpu : int; sched : Schedulable.t }
+  | Task_departed of { pid : int; cpu : int }
+  | Task_affinity_changed of { pid : int; allowed : int list }
+  | Task_prio_changed of { pid : int; prio : int }
+  | Task_tick of { cpu : int; queued : bool }
+  | Select_task_rq of { pid : int; waker_cpu : int; allowed : int list }
+  | Migrate_task_rq of { pid : int; from_cpu : int; sched : Schedulable.t }
+  | Balance of { cpu : int }
+  | Balance_err of { cpu : int; pid : int; sched : Schedulable.t option }
+  | Parse_hint of { pid : int; hint : Kernsim.Task.hint }
+
+type reply =
+  | R_unit
+  | R_int of int
+  | R_pid_opt of int option
+  | R_sched_opt of Schedulable.t option
+
+(* sched tokens travel as pid.cpu.gen triples; "-" is None *)
+let enc_sched s =
+  Printf.sprintf "%d.%d.%d" (Schedulable.pid s) (Schedulable.cpu s) (Schedulable.generation s)
+
+let enc_sched_opt = function None -> "-" | Some s -> enc_sched s
+
+let dec_sched s =
+  match String.split_on_char '.' s with
+  | [ pid; cpu; gen ] ->
+    Schedulable.Private.create ~pid:(int_of_string pid) ~cpu:(int_of_string cpu)
+      ~gen:(int_of_string gen)
+  | _ -> failwith ("Message: bad sched " ^ s)
+
+let dec_sched_opt s = if s = "-" then None else Some (dec_sched s)
+
+let enc_ints l = match l with [] -> "-" | l -> String.concat "," (List.map string_of_int l)
+
+let dec_ints s =
+  if s = "-" then [] else List.map int_of_string (String.split_on_char ',' s)
+
+let call_name = function
+  | Get_policy -> "get_policy"
+  | Pick_next_task _ -> "pick_next_task"
+  | Pnt_err _ -> "pnt_err"
+  | Task_dead _ -> "task_dead"
+  | Task_blocked _ -> "task_blocked"
+  | Task_wakeup _ -> "task_wakeup"
+  | Task_new _ -> "task_new"
+  | Task_preempt _ -> "task_preempt"
+  | Task_yield _ -> "task_yield"
+  | Task_departed _ -> "task_departed"
+  | Task_affinity_changed _ -> "task_affinity_changed"
+  | Task_prio_changed _ -> "task_prio_changed"
+  | Task_tick _ -> "task_tick"
+  | Select_task_rq _ -> "select_task_rq"
+  | Migrate_task_rq _ -> "migrate_task_rq"
+  | Balance _ -> "balance"
+  | Balance_err _ -> "balance_err"
+  | Parse_hint _ -> "parse_hint"
+
+(* [err] strings are constrained to identifier-ish text by the framework;
+   escape anything else defensively. *)
+let enc_str s =
+  String.map (fun c -> if c = ' ' || c = '\n' || c = '\t' then '_' else c) s
+
+let encode_call c =
+  match c with
+  | Get_policy -> "get_policy"
+  | Pick_next_task { cpu; curr; curr_runtime } ->
+    Printf.sprintf "pick_next_task %d %s %d" cpu (enc_sched_opt curr) curr_runtime
+  | Pnt_err { cpu; pid; err; sched } ->
+    Printf.sprintf "pnt_err %d %d %s %s" cpu pid (enc_str err) (enc_sched_opt sched)
+  | Task_dead { pid } -> Printf.sprintf "task_dead %d" pid
+  | Task_blocked { pid; runtime; cpu } -> Printf.sprintf "task_blocked %d %d %d" pid runtime cpu
+  | Task_wakeup { pid; runtime; waker_cpu; sched } ->
+    Printf.sprintf "task_wakeup %d %d %d %s" pid runtime waker_cpu (enc_sched sched)
+  | Task_new { pid; runtime; prio; sched } ->
+    Printf.sprintf "task_new %d %d %d %s" pid runtime prio (enc_sched sched)
+  | Task_preempt { pid; runtime; cpu; sched } ->
+    Printf.sprintf "task_preempt %d %d %d %s" pid runtime cpu (enc_sched sched)
+  | Task_yield { pid; runtime; cpu; sched } ->
+    Printf.sprintf "task_yield %d %d %d %s" pid runtime cpu (enc_sched sched)
+  | Task_departed { pid; cpu } -> Printf.sprintf "task_departed %d %d" pid cpu
+  | Task_affinity_changed { pid; allowed } ->
+    Printf.sprintf "task_affinity_changed %d %s" pid (enc_ints allowed)
+  | Task_prio_changed { pid; prio } -> Printf.sprintf "task_prio_changed %d %d" pid prio
+  | Task_tick { cpu; queued } -> Printf.sprintf "task_tick %d %b" cpu queued
+  | Select_task_rq { pid; waker_cpu; allowed } ->
+    Printf.sprintf "select_task_rq %d %d %s" pid waker_cpu (enc_ints allowed)
+  | Migrate_task_rq { pid; from_cpu; sched } ->
+    Printf.sprintf "migrate_task_rq %d %d %s" pid from_cpu (enc_sched sched)
+  | Balance { cpu } -> Printf.sprintf "balance %d" cpu
+  | Balance_err { cpu; pid; sched } ->
+    Printf.sprintf "balance_err %d %d %s" cpu pid (enc_sched_opt sched)
+  | Parse_hint { pid; hint } -> Printf.sprintf "parse_hint %d %s" pid (Hint_codec.encode hint)
+
+let decode_call line =
+  let int = int_of_string in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "get_policy" ] -> Get_policy
+  | [ "pick_next_task"; cpu; curr; rt ] ->
+    Pick_next_task { cpu = int cpu; curr = dec_sched_opt curr; curr_runtime = int rt }
+  | [ "pnt_err"; cpu; pid; err; sched ] ->
+    Pnt_err { cpu = int cpu; pid = int pid; err; sched = dec_sched_opt sched }
+  | [ "task_dead"; pid ] -> Task_dead { pid = int pid }
+  | [ "task_blocked"; pid; rt; cpu ] ->
+    Task_blocked { pid = int pid; runtime = int rt; cpu = int cpu }
+  | [ "task_wakeup"; pid; rt; waker; sched ] ->
+    Task_wakeup { pid = int pid; runtime = int rt; waker_cpu = int waker; sched = dec_sched sched }
+  | [ "task_new"; pid; rt; prio; sched ] ->
+    Task_new { pid = int pid; runtime = int rt; prio = int prio; sched = dec_sched sched }
+  | [ "task_preempt"; pid; rt; cpu; sched ] ->
+    Task_preempt { pid = int pid; runtime = int rt; cpu = int cpu; sched = dec_sched sched }
+  | [ "task_yield"; pid; rt; cpu; sched ] ->
+    Task_yield { pid = int pid; runtime = int rt; cpu = int cpu; sched = dec_sched sched }
+  | [ "task_departed"; pid; cpu ] -> Task_departed { pid = int pid; cpu = int cpu }
+  | [ "task_affinity_changed"; pid; allowed ] ->
+    Task_affinity_changed { pid = int pid; allowed = dec_ints allowed }
+  | [ "task_prio_changed"; pid; prio ] -> Task_prio_changed { pid = int pid; prio = int prio }
+  | [ "task_tick"; cpu; queued ] -> Task_tick { cpu = int cpu; queued = bool_of_string queued }
+  | [ "select_task_rq"; pid; waker; allowed ] ->
+    Select_task_rq { pid = int pid; waker_cpu = int waker; allowed = dec_ints allowed }
+  | [ "migrate_task_rq"; pid; from_cpu; sched ] ->
+    Migrate_task_rq { pid = int pid; from_cpu = int from_cpu; sched = dec_sched sched }
+  | [ "balance"; cpu ] -> Balance { cpu = int cpu }
+  | [ "balance_err"; cpu; pid; sched ] ->
+    Balance_err { cpu = int cpu; pid = int pid; sched = dec_sched_opt sched }
+  | [ "parse_hint"; pid; hint ] -> Parse_hint { pid = int pid; hint = Hint_codec.decode hint }
+  | _ -> failwith ("Message: cannot decode call: " ^ line)
+
+let encode_reply = function
+  | R_unit -> "unit"
+  | R_int i -> Printf.sprintf "int %d" i
+  | R_pid_opt None -> "pid -"
+  | R_pid_opt (Some p) -> Printf.sprintf "pid %d" p
+  | R_sched_opt s -> Printf.sprintf "sched %s" (enc_sched_opt s)
+
+let decode_reply s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "unit" ] -> R_unit
+  | [ "int"; i ] -> R_int (int_of_string i)
+  | [ "pid"; "-" ] -> R_pid_opt None
+  | [ "pid"; p ] -> R_pid_opt (Some (int_of_string p))
+  | [ "sched"; sd ] -> R_sched_opt (dec_sched_opt sd)
+  | _ -> failwith ("Message: cannot decode reply: " ^ s)
+
+let reply_matches a b =
+  match (a, b) with
+  | R_unit, R_unit -> true
+  | R_int x, R_int y -> x = y
+  | R_pid_opt x, R_pid_opt y -> x = y
+  | R_sched_opt None, R_sched_opt None -> true
+  | R_sched_opt (Some x), R_sched_opt (Some y) ->
+    Schedulable.pid x = Schedulable.pid y && Schedulable.cpu x = Schedulable.cpu y
+  | _ -> false
+
+let pp_call fmt c = Format.pp_print_string fmt (encode_call c)
+
+let pp_reply fmt r = Format.pp_print_string fmt (encode_reply r)

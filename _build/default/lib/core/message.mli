@@ -1,0 +1,58 @@
+(** Messages across the Enoki-C / libEnoki boundary.
+
+    Enoki-C translates every call from the core scheduler code into a
+    per-function message (§3): plain data plus Schedulable capabilities —
+    never kernel pointers.  The processing function in libEnoki
+    ({!Lib_enoki}) parses each message and invokes the scheduler.  The
+    record subsystem serialises the same messages, one per line, so replay
+    can feed the identical call stream to the identical scheduler code at
+    userspace. *)
+
+type ns = Kernsim.Time.ns
+
+type call =
+  | Get_policy
+  | Pick_next_task of { cpu : int; curr : Schedulable.t option; curr_runtime : ns }
+  | Pnt_err of { cpu : int; pid : int; err : string; sched : Schedulable.t option }
+  | Task_dead of { pid : int }
+  | Task_blocked of { pid : int; runtime : ns; cpu : int }
+  | Task_wakeup of { pid : int; runtime : ns; waker_cpu : int; sched : Schedulable.t }
+  | Task_new of { pid : int; runtime : ns; prio : int; sched : Schedulable.t }
+  | Task_preempt of { pid : int; runtime : ns; cpu : int; sched : Schedulable.t }
+  | Task_yield of { pid : int; runtime : ns; cpu : int; sched : Schedulable.t }
+  | Task_departed of { pid : int; cpu : int }
+  | Task_affinity_changed of { pid : int; allowed : int list }
+  | Task_prio_changed of { pid : int; prio : int }
+  | Task_tick of { cpu : int; queued : bool }
+  | Select_task_rq of { pid : int; waker_cpu : int; allowed : int list }
+  | Migrate_task_rq of { pid : int; from_cpu : int; sched : Schedulable.t }
+  | Balance of { cpu : int }
+  | Balance_err of { cpu : int; pid : int; sched : Schedulable.t option }
+  | Parse_hint of { pid : int; hint : Kernsim.Task.hint }
+
+type reply =
+  | R_unit
+  | R_int of int
+  | R_pid_opt of int option
+  | R_sched_opt of Schedulable.t option
+
+(** Single-line, space-free-field wire form. *)
+val encode_call : call -> string
+
+(** Inverse of {!encode_call}; Schedulable fields are re-minted from their
+    recorded pid/cpu/generation.  Raises [Failure] on malformed input. *)
+val decode_call : string -> call
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> reply
+
+(** Replies are compared structurally during replay validation;
+    Schedulables match on (pid, cpu). *)
+val reply_matches : reply -> reply -> bool
+
+val call_name : call -> string
+
+val pp_call : Format.formatter -> call -> unit
+
+val pp_reply : Format.formatter -> reply -> unit

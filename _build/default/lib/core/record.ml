@@ -1,0 +1,48 @@
+type t = {
+  ring : string Ds.Ring_buffer.t;
+  log : Buffer.t;
+  mutable lines : int;
+}
+
+let create ?(capacity = 65536) () =
+  { ring = Ds.Ring_buffer.create ~capacity; log = Buffer.create 4096; lines = 0 }
+
+let tap_call t ~tid call reply =
+  let line =
+    Printf.sprintf "C %d %s => %s" tid (Message.encode_call call) (Message.encode_reply reply)
+  in
+  ignore (Ds.Ring_buffer.push t.ring line)
+
+let op_name = function Lock.Create -> "create" | Lock.Acquire -> "acquire" | Lock.Release -> "release"
+
+let tap_lock t (ev : Lock.event) =
+  let line = Printf.sprintf "L %d %s %d" ev.tid (op_name ev.op) ev.lock_id in
+  ignore (Ds.Ring_buffer.push t.ring line)
+
+let drain t =
+  List.iter
+    (fun line ->
+      Buffer.add_string t.log line;
+      Buffer.add_char t.log '\n';
+      t.lines <- t.lines + 1)
+    (Ds.Ring_buffer.drain t.ring)
+
+let dropped t = Ds.Ring_buffer.dropped t.ring
+
+let length t = t.lines
+
+let contents t =
+  drain t;
+  Buffer.contents t.log
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    (fun () -> output_string oc (contents t))
+    ~finally:(fun () -> close_out oc)
+
+let load_file ~path =
+  let ic = open_in path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in ic)

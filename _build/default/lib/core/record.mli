@@ -1,0 +1,38 @@
+(** The record half of Enoki's record-and-replay (§3.4).
+
+    Messages cannot be written to a file from scheduler context (the kernel
+    may hold interrupts off), so libEnoki pushes encoded lines onto a ring
+    buffer shared with a userspace record task, which drains them
+    asynchronously.  If the ring overruns, events are dropped and counted.
+
+    The log is line-oriented:
+    - [C <tid> <call> => <reply>] — one scheduler invocation;
+    - [L <tid> <create|acquire|release> <lock_id>] — one lock event. *)
+
+type t
+
+(** [create ()] uses the default ring capacity (65536 lines). *)
+val create : ?capacity:int -> unit -> t
+
+(** Push one invocation record from kernel context. *)
+val tap_call : t -> tid:int -> Message.call -> Message.reply -> unit
+
+(** Push one lock event from kernel context. *)
+val tap_lock : t -> Lock.event -> unit
+
+(** One step of the userspace record task: move everything queued in the
+    ring into the log. *)
+val drain : t -> unit
+
+(** Lines pushed but lost to ring overrun. *)
+val dropped : t -> int
+
+(** Number of log lines written so far (after {!drain}). *)
+val length : t -> int
+
+(** The full log (drains first). *)
+val contents : t -> string
+
+val save : t -> path:string -> unit
+
+val load_file : path:string -> string

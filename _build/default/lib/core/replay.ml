@@ -1,0 +1,138 @@
+type entry =
+  | Call of { seq : int; tid : int; call : Message.call; reply : Message.reply }
+  | Lock_event of { seq : int; tid : int; op : Lock.op; lock_id : int }
+
+type report = {
+  total_calls : int;
+  threads : int;
+  mismatches : (int * string) list;
+  wall_seconds : float;
+}
+
+let parse_line seq line =
+  match String.index_opt line ' ' with
+  | Some 1 when line.[0] = 'C' -> (
+    let body = String.sub line 2 (String.length line - 2) in
+    match String.index_opt body ' ' with
+    | None -> failwith ("Replay: bad call line: " ^ line)
+    | Some i -> (
+      let tid = int_of_string (String.sub body 0 i) in
+      let rest = String.sub body (i + 1) (String.length body - i - 1) in
+      match Str_split.split_arrow rest with
+      | Some (c, r) ->
+        Call { seq; tid; call = Message.decode_call c; reply = Message.decode_reply r }
+      | None -> failwith ("Replay: bad call line: " ^ line)))
+  | Some 1 when line.[0] = 'L' -> (
+    match String.split_on_char ' ' line with
+    | [ "L"; tid; op; lock_id ] ->
+      let op =
+        match op with
+        | "create" -> Lock.Create
+        | "acquire" -> Lock.Acquire
+        | "release" -> Lock.Release
+        | _ -> failwith ("Replay: bad lock op: " ^ op)
+      in
+      Lock_event { seq; tid = int_of_string tid; op; lock_id = int_of_string lock_id }
+    | _ -> failwith ("Replay: bad lock line: " ^ line))
+  | _ -> failwith ("Replay: unrecognised line: " ^ line)
+
+let parse log =
+  let lines = String.split_on_char '\n' log in
+  let rec go seq acc = function
+    | [] -> List.rev acc
+    | "" :: rest -> go (seq + 1) acc rest
+    | line :: rest -> go (seq + 1) (parse_line seq line :: acc) rest
+  in
+  go 1 [] lines
+
+let run (module S : Sched_trait.S) ~log =
+  let entries = parse log in
+  (* per-lock acquisition order, and per-thread call streams *)
+  let lock_order : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let calls_by_tid : (int, (int * Message.call * Message.reply) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Lock_event { tid; op = Lock.Acquire; lock_id; _ } ->
+        let r =
+          match Hashtbl.find_opt lock_order lock_id with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add lock_order lock_id r;
+            r
+        in
+        r := tid :: !r
+      | Lock_event _ -> ()
+      | Call { seq; tid; call; reply } ->
+        let r =
+          match Hashtbl.find_opt calls_by_tid tid with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add calls_by_tid tid r;
+            r
+        in
+        r := (seq, call, reply) :: !r)
+    entries;
+  let order lock_id =
+    match Hashtbl.find_opt lock_order lock_id with Some r -> List.rev !r | None -> []
+  in
+  (* map OS threads to recorded kernel-thread ids *)
+  let tid_table : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let tid_mutex = Mutex.create () in
+  let my_tid () =
+    Mutex.lock tid_mutex;
+    let tid = try Hashtbl.find tid_table (Thread.id (Thread.self ())) with Not_found -> -1 in
+    Mutex.unlock tid_mutex;
+    tid
+  in
+  Lock.reset_ids ();
+  Lock.set_replay_mode ~order ~tid:my_tid;
+  let started = Unix.gettimeofday () in
+  let result =
+    Fun.protect ~finally:Lock.set_passthrough_mode (fun () ->
+        (* identical scheduler code, now constructed at userspace *)
+        let st = S.create (Ctx.inert ()) in
+        let packed = Sched_trait.Packed ((module S), st) in
+        let mismatches = ref [] in
+        let mm_mutex = Mutex.create () in
+        let total = ref 0 in
+        let run_thread (tid, calls) () =
+          Mutex.lock tid_mutex;
+          Hashtbl.replace tid_table (Thread.id (Thread.self ())) tid;
+          Mutex.unlock tid_mutex;
+          List.iter
+            (fun (seq, call, expected) ->
+              let got = Lib_enoki.process packed call in
+              if not (Message.reply_matches expected got) then begin
+                Mutex.lock mm_mutex;
+                mismatches :=
+                  ( seq,
+                    Printf.sprintf "%s: recorded %s, replayed %s" (Message.call_name call)
+                      (Message.encode_reply expected) (Message.encode_reply got) )
+                  :: !mismatches;
+                Mutex.unlock mm_mutex
+              end)
+            calls
+        in
+        let streams =
+          Hashtbl.fold (fun tid r acc -> (tid, List.rev !r) :: acc) calls_by_tid []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        List.iter (fun (_, calls) -> total := !total + List.length calls) streams;
+        let threads = List.map (fun s -> Thread.create (run_thread s) ()) streams in
+        List.iter Thread.join threads;
+        (!total, List.length streams, List.sort compare !mismatches))
+  in
+  let total_calls, threads, mismatches = result in
+  { total_calls; threads; mismatches; wall_seconds = Unix.gettimeofday () -. started }
+
+let pp_report fmt r =
+  Format.fprintf fmt "replayed %d calls on %d threads in %.3fs: %s" r.total_calls r.threads
+    r.wall_seconds
+    (match r.mismatches with
+    | [] -> "all replies matched"
+    | ms -> Printf.sprintf "%d MISMATCHES" (List.length ms))

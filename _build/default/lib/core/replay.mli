@@ -1,0 +1,30 @@
+(** The replay half of record-and-replay (§3.4).
+
+    Replay consumes a record log and drives the {e same scheduler code} that
+    ran in the kernel, now at userspace, sending the recorded messages in
+    per-kernel-thread order: one real OS thread is created per recorded
+    kernel thread, and {!Lock} admits threads into each critical section in
+    the recorded acquisition order.  Responses are validated against the
+    recorded ones, flagging any divergence to the user. *)
+
+type entry =
+  | Call of { seq : int; tid : int; call : Message.call; reply : Message.reply }
+  | Lock_event of { seq : int; tid : int; op : Lock.op; lock_id : int }
+
+type report = {
+  total_calls : int;
+  threads : int;
+  mismatches : (int * string) list;
+      (** (log line, description) for every reply diverging from the
+          recording *)
+  wall_seconds : float;
+}
+
+(** Parse a record log (lines not matching the format raise [Failure]). *)
+val parse : string -> entry list
+
+(** [run (module S) ~log] replays the log against a fresh instance of [S]
+    built with an inert context. *)
+val run : (module Sched_trait.S) -> log:string -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,21 @@
+type t = { pid : int; cpu : int; gen : int; mutable live : bool }
+
+let pid t = t.pid
+
+let cpu t = t.cpu
+
+let generation t = t.gen
+
+let is_live t = t.live
+
+let describe t =
+  Printf.sprintf "sched(pid=%d cpu=%d gen=%d%s)" t.pid t.cpu t.gen
+    (if t.live then "" else " consumed")
+
+let pp fmt t = Format.pp_print_string fmt (describe t)
+
+module Private = struct
+  let create ~pid ~cpu ~gen = { pid; cpu; gen; live = true }
+
+  let consume t = t.live <- false
+end

@@ -1,0 +1,43 @@
+(** The [Schedulable] capability (§3.1 of the paper).
+
+    A Schedulable represents a task together with the core it may safely be
+    scheduled on.  The framework mints one at every task state transition
+    (new, wakeup, preempt, yield, migrate, and as the current task in
+    [pick_next_task]) and hands {e ownership} to the scheduler; the
+    scheduler returns it from [pick_next_task] as proof that running the
+    task on that core is safe.
+
+    Rust enforces the ownership discipline at compile time (the type is
+    neither [Copy] nor [Clone]).  OCaml has no affine types, so this module
+    enforces the same protocol dynamically: a token is {e consumed} when
+    returned to the framework, and any later use — or use on the wrong core,
+    or use of a token that a newer state transition superseded — fails
+    validation and is routed back through [pnt_err], exactly the
+    recoverable-error path the paper describes.  DESIGN.md discusses the
+    substitution. *)
+
+type t
+
+val pid : t -> int
+
+(** The core this token licenses the task to run on. *)
+val cpu : t -> int
+
+(** Generation stamp; a newer token for the same pid supersedes this one. *)
+val generation : t -> int
+
+(** False once the token has been returned to (and consumed by) Enoki. *)
+val is_live : t -> bool
+
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Framework-internal operations.  Scheduler modules must not call these;
+    doing so is the moral equivalent of [unsafe] in the paper's Rust. *)
+module Private : sig
+  val create : pid:int -> cpu:int -> gen:int -> t
+
+  (** Mark the token used; later validation of it fails. *)
+  val consume : t -> unit
+end

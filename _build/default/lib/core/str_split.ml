@@ -1,0 +1,10 @@
+let split_arrow s =
+  let n = String.length s in
+  let rec find i =
+    if i + 3 >= n then None
+    else if s.[i] = ' ' && s.[i + 1] = '=' && s.[i + 2] = '>' && s.[i + 3] = ' ' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 4) (n - i - 4))

@@ -1,0 +1,4 @@
+(** Tiny string helpers for the record-log format. *)
+
+(** Split ["lhs => rhs"] into [Some (lhs, rhs)]; [None] when no arrow. *)
+val split_arrow : string -> (string * string) option

@@ -1,0 +1,5 @@
+type transfer = ..
+
+exception Incompatible of string
+
+type stats = { pause : Kernsim.Time.ns; transferred : bool; tasks_carried : int }

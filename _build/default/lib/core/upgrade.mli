@@ -1,0 +1,23 @@
+(** State transfer across live upgrades (§3.2).
+
+    A scheduler's [reregister_prepare] exports its state as a [transfer]
+    value; the incoming version's [reregister_init] claims it.  The variant
+    is extensible and each scheduler defines its own constructor, mirroring
+    the paper's requirement that the state-passing data structure be
+    whatever the two versions agree on — and nothing else.  A new version
+    that does not recognise the old version's constructor must raise
+    {!Incompatible}, which aborts the upgrade and leaves the old scheduler
+    registered. *)
+
+type transfer = ..
+
+(** Raised by [reregister_init] when the exported state is not the shape it
+    expects (the paper's "must be the same data structure" rule). *)
+exception Incompatible of string
+
+(** Outcome of a live upgrade, as measured by {!Enoki_c.upgrade}. *)
+type stats = {
+  pause : Kernsim.Time.ns;  (** service blackout: time the write lock was held *)
+  transferred : bool;  (** whether the old scheduler exported state *)
+  tasks_carried : int;  (** tasks whose state crossed the upgrade *)
+}

@@ -1,0 +1,1 @@
+lib/ds/deque.mli:

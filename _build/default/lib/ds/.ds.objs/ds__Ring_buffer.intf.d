@@ -1,0 +1,1 @@
+lib/ds/ring_buffer.mli:

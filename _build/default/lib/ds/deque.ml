@@ -1,0 +1,116 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the front element *)
+  mutable len : int;
+}
+
+let create () = { buf = Array.make 8 None; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let index t i = (t.head + i) mod Array.length t.buf
+
+let grow t =
+  let cap = Array.length t.buf in
+  if t.len = cap then begin
+    let nbuf = Array.make (cap * 2) None in
+    for i = 0 to t.len - 1 do
+      nbuf.(i) <- t.buf.(index t i)
+    done;
+    t.buf <- nbuf;
+    t.head <- 0
+  end
+
+let push_back t x =
+  grow t;
+  t.buf.(index t t.len) <- Some x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  grow t;
+  t.head <- (t.head - 1 + Array.length t.buf) mod Array.length t.buf;
+  t.buf.(t.head) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- index t 1;
+    t.len <- t.len - 1;
+    x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let i = index t (t.len - 1) in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek_front t = if t.len = 0 then None else t.buf.(t.head)
+
+let peek_back t = if t.len = 0 then None else t.buf.(index t (t.len - 1))
+
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      match t.buf.(index t i) with
+      | Some x -> go (i - 1) (x :: acc)
+      | None -> go (i - 1) acc
+  in
+  go (t.len - 1) []
+
+let iter f t = List.iter f (to_list t)
+
+let exists f t = List.exists f (to_list t)
+
+let remove t ~eq x =
+  let items = to_list t in
+  if List.exists (eq x) items then begin
+    (* rebuild without the first matching element *)
+    let removed = ref false in
+    let kept =
+      List.filter
+        (fun y ->
+          if (not !removed) && eq x y then begin
+            removed := true;
+            false
+          end
+          else true)
+        items
+    in
+    Array.fill t.buf 0 (Array.length t.buf) None;
+    t.head <- 0;
+    t.len <- 0;
+    List.iter (push_back t) kept;
+    true
+  end
+  else false
+
+let remove_first t ~f =
+  let items = to_list t in
+  let rec split acc = function
+    | [] -> None
+    | x :: rest -> if f x then Some (x, List.rev_append acc rest) else split (x :: acc) rest
+  in
+  match split [] items with
+  | None -> None
+  | Some (x, kept) ->
+    Array.fill t.buf 0 (Array.length t.buf) None;
+    t.head <- 0;
+    t.len <- 0;
+    List.iter (push_back t) kept;
+    Some x
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0

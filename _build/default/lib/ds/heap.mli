@@ -1,0 +1,30 @@
+(** Mutable binary min-heaps.
+
+    Used for the simulator's event queue and timer wheel ({!Kernsim.Sim}).
+    The comparison is supplied at creation; ties are broken by insertion
+    order only if the caller encodes a sequence number into the element (the
+    simulator does, to keep runs deterministic). *)
+
+type 'a t
+
+(** [create ~compare] makes an empty heap ordered by [compare]. *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+(** Smallest element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> 'a option
+
+(** Remove every element for which [f] holds. O(n log n). *)
+val remove_if : 'a t -> ('a -> bool) -> unit
+
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

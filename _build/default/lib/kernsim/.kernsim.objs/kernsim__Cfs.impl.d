@@ -1,0 +1,1 @@
+lib/kernsim/cfs.ml: Array Ds Hashtbl Int List Printf Sched_class Task Time Topology

@@ -1,0 +1,1 @@
+lib/kernsim/cfs.mli: Sched_class Time

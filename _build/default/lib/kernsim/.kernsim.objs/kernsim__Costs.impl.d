@@ -1,0 +1,1 @@
+lib/kernsim/costs.ml: Time

@@ -1,0 +1,1 @@
+lib/kernsim/costs.mli: Time

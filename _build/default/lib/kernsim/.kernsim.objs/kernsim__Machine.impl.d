@@ -1,0 +1,1 @@
+lib/kernsim/machine.ml: Array Costs Ds Format Hashtbl List Metrics Printf Sched_class Sim Task Time Topology

@@ -1,0 +1,1 @@
+lib/kernsim/machine.mli: Costs Metrics Sched_class Task Time Topology

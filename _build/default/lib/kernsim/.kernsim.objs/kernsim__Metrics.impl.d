@@ -1,0 +1,1 @@
+lib/kernsim/metrics.ml: Array Hashtbl Stats

@@ -1,0 +1,1 @@
+lib/kernsim/metrics.mli: Stats Time

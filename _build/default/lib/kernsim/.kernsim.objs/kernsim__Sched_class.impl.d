@@ -1,0 +1,1 @@
+lib/kernsim/sched_class.ml: Costs Task Time Topology

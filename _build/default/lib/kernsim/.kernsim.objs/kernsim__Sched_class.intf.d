@@ -1,0 +1,1 @@
+lib/kernsim/sched_class.mli: Costs Task Time Topology

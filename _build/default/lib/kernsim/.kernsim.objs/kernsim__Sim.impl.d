@@ -1,0 +1,1 @@
+lib/kernsim/sim.ml: Ds Int Time

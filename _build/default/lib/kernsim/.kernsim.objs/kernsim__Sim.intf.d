@@ -1,0 +1,1 @@
+lib/kernsim/sim.mli: Time

@@ -1,0 +1,1 @@
+lib/kernsim/task.ml: Format List Time

@@ -1,0 +1,1 @@
+lib/kernsim/task.mli: Format Time

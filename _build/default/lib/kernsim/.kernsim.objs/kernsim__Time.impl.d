@@ -1,0 +1,1 @@
+lib/kernsim/time.ml: Format

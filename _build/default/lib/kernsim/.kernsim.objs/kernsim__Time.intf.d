@@ -1,0 +1,1 @@
+lib/kernsim/time.mli: Format

@@ -1,0 +1,1 @@
+lib/kernsim/topology.ml: Fun List

@@ -1,0 +1,489 @@
+type params = {
+  sched_latency : Time.ns;
+  min_granularity : Time.ns;
+  wakeup_granularity : Time.ns;
+  numa_imbalance_threshold : int;
+}
+
+let default_params =
+  {
+    sched_latency = Time.us 6_000;
+    min_granularity = Time.us 750;
+    wakeup_granularity = Time.ms 1;
+    numa_imbalance_threshold = 2;
+  }
+
+(* Linux's sched_prio_to_weight: weight for nice -20 .. 19. *)
+let prio_to_weight =
+  [|
+    88761; 71755; 56483; 46273; 36291;
+    29154; 23254; 18705; 14949; 11916;
+    9548; 7620; 6100; 4904; 3906;
+    3121; 2501; 1991; 1586; 1277;
+    1024; 820; 655; 526; 423;
+    335; 272; 215; 172; 137;
+    110; 87; 70; 56; 45;
+    36; 29; 23; 18; 15;
+  |]
+
+let nice_0_load = 1024
+
+let weight_of_nice nice =
+  let nice = max (-20) (min 19 nice) in
+  prio_to_weight.(nice + 20)
+
+(* Runqueue keys order by (vruntime, pid); the pid tiebreak keeps equal
+   vruntimes deterministic. *)
+module Key = struct
+  type t = int * int
+
+  let compare (v1, p1) (v2, p2) =
+    match Int.compare v1 v2 with 0 -> Int.compare p1 p2 | c -> c
+end
+
+module Rq_tree = Ds.Rbtree.Make (Key)
+
+type ent = {
+  pid : int;
+  mutable vruntime : int;
+  mutable weight : int;
+  mutable on_rq : bool; (* present in some cpu's tree *)
+  mutable rq_cpu : int;
+  mutable last_sum_exec : Time.ns; (* checkpoint for vruntime deltas *)
+  mutable slice_start_exec : Time.ns; (* sum_exec when last dispatched *)
+}
+
+type cfs_rq = {
+  mutable tree : unit Rq_tree.t;
+  mutable min_vruntime : int;
+  mutable load_waiting : int; (* sum of weights in the tree *)
+  mutable curr : int option; (* pid of the dispatched CFS task, if any *)
+}
+
+type t = {
+  ops : Sched_class.kernel_ops;
+  params : params;
+  rqs : cfs_rq array;
+  ents : (int, ent) Hashtbl.t;
+  tasks : (int, Task.t) Hashtbl.t; (* pid -> task_struct view *)
+  mutable last_periodic_check : Time.ns;
+}
+
+let ent_of t (task : Task.t) =
+  match Hashtbl.find_opt t.ents task.pid with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        pid = task.pid;
+        vruntime = 0;
+        weight = weight_of_nice task.nice;
+        on_rq = false;
+        rq_cpu = 0;
+        last_sum_exec = 0;
+        slice_start_exec = 0;
+      }
+    in
+    Hashtbl.replace t.ents task.pid e;
+    Hashtbl.replace t.tasks task.pid task;
+    e
+
+let curr_weight t rq =
+  match rq.curr with
+  | None -> 0
+  | Some pid -> ( match Hashtbl.find_opt t.ents pid with Some e -> e.weight | None -> 0)
+
+let nr_waiting rq = Rq_tree.cardinal rq.tree
+
+let nr_running rq = nr_waiting rq + if rq.curr = None then 0 else 1
+
+let rq_load t rq = rq.load_waiting + curr_weight t rq
+
+(* vruntime advances inversely to weight. *)
+let calc_delta_fair delta weight = delta * nice_0_load / max 1 weight
+
+let update_min_vruntime t rq =
+  let candidate =
+    match Rq_tree.min_binding_opt rq.tree with
+    | Some ((v, _), ()) -> (
+      match rq.curr with
+      | Some pid -> (
+        match Hashtbl.find_opt t.ents pid with Some e -> min v e.vruntime | None -> v)
+      | None -> v)
+    | None -> (
+      match rq.curr with
+      | Some pid -> (
+        match Hashtbl.find_opt t.ents pid with Some e -> e.vruntime | None -> rq.min_vruntime)
+      | None -> rq.min_vruntime)
+  in
+  if candidate > rq.min_vruntime then rq.min_vruntime <- candidate
+
+(* Fold freshly consumed cpu time (tracked by the kernel in sum_exec) into
+   the entity's vruntime. *)
+let update_curr t rq (task : Task.t) =
+  let e = ent_of t task in
+  let delta = task.sum_exec - e.last_sum_exec in
+  if delta > 0 then begin
+    e.last_sum_exec <- task.sum_exec;
+    e.vruntime <- e.vruntime + calc_delta_fair delta e.weight;
+    update_min_vruntime t rq
+  end
+
+let tree_insert rq (e : ent) =
+  rq.tree <- Rq_tree.add (e.vruntime, e.pid) () rq.tree;
+  rq.load_waiting <- rq.load_waiting + e.weight;
+  e.on_rq <- true
+
+let tree_remove rq (e : ent) =
+  if e.on_rq then begin
+    rq.tree <- Rq_tree.remove (e.vruntime, e.pid) rq.tree;
+    rq.load_waiting <- rq.load_waiting - e.weight;
+    e.on_rq <- false
+  end
+
+(* CFS slice: the share of one latency period this entity is owed. *)
+let sched_slice t rq (e : ent) =
+  let nr = max 1 (nr_running rq) in
+  let period =
+    if nr > t.params.sched_latency / t.params.min_granularity then
+      nr * t.params.min_granularity
+    else t.params.sched_latency
+  in
+  let load = max 1 (rq_load t rq) in
+  max t.params.min_granularity (period * e.weight / load)
+
+let place_entity t rq (e : ent) ~newly_woken =
+  let floor_v =
+    if newly_woken then rq.min_vruntime - calc_delta_fair (t.params.sched_latency / 2) e.weight
+    else rq.min_vruntime
+  in
+  if e.vruntime < floor_v then e.vruntime <- floor_v;
+  (* also bound the deficit: queues whose min_vruntime raced ahead (e.g.
+     under a lone low-weight task) must not exile this entity for seconds *)
+  let ceiling = rq.min_vruntime + t.params.sched_latency in
+  if e.vruntime > ceiling then e.vruntime <- ceiling
+
+(* ---------- placement ---------- *)
+
+let allowed (task : Task.t) cpu = Task.allowed_cpu task cpu
+
+let find_idle_in t (task : Task.t) cpus =
+  List.find_opt (fun c -> allowed task c && t.ops.cpu_is_idle c && t.rqs.(c).curr = None && nr_waiting t.rqs.(c) = 0) cpus
+
+(* weight-based, like find_idlest_cpu: a cpu running only nice-19 batch
+   work is much less loaded than one stacked with high-priority tasks *)
+let least_loaded t (task : Task.t) =
+  let best = ref None in
+  for c = 0 to t.ops.nr_cpus - 1 do
+    if allowed task c then begin
+      let load = rq_load t t.rqs.(c) in
+      match !best with
+      | Some (_, l) when l <= load -> ()
+      | _ -> best := Some (c, load)
+    end
+  done;
+  match !best with Some (c, _) -> c | None -> task.cpu
+
+let select_task_rq t (task : Task.t) ~waker_cpu =
+  let prev = task.cpu in
+  let topo = t.ops.topology in
+  if allowed task prev && t.ops.cpu_is_idle prev && nr_waiting t.rqs.(prev) = 0 then prev
+  else
+    match find_idle_in t task (Topology.llc_cpus topo prev) with
+    | Some c -> c
+    | None -> (
+      match find_idle_in t task (Topology.node_cpus topo prev) with
+      | Some c -> c
+      | None -> (
+        (* consider the waker's side of the machine before a full scan *)
+        match find_idle_in t task (Topology.node_cpus topo waker_cpu) with
+        | Some c -> c
+        | None -> (
+          match find_idle_in t task (Topology.all_cpus topo) with
+          | Some c -> c
+          | None -> least_loaded t task)))
+
+(* ---------- balancing ---------- *)
+
+(* A pullable waiting task on [from]'s tree, preferring the one that would
+   run last (largest vruntime), that may run on [to_cpu]. *)
+let steal_candidate t ~from ~to_cpu =
+  let rq = t.rqs.(from) in
+  let found = ref None in
+  Rq_tree.iter
+    (fun (_, pid) () ->
+      match Hashtbl.find_opt t.tasks pid with
+      | Some task when allowed task to_cpu -> found := Some pid (* keep last = largest *)
+      | Some _ | None -> ())
+    rq.tree;
+  !found
+
+(* Only run-queues that cannot drain themselves promptly are eligible
+   sources: something running plus waiters, or several waiters.  An idle
+   cpu with one just-woken task is about to run it — pulling would just
+   migrate cache-hot work (real CFS's migration-cost hysteresis). *)
+let pullable t c =
+  let rq = t.rqs.(c) in
+  let w = nr_waiting rq in
+  if rq.curr <> None then w else if w >= 2 then w else 0
+
+let busiest_cpu t ~among ~excluding =
+  let best = ref None in
+  List.iter
+    (fun c ->
+      if c <> excluding then begin
+        let w = pullable t c in
+        match !best with
+        | Some (_, bw) when bw >= w -> ()
+        | _ -> if w > 0 then best := Some (c, w)
+      end)
+    among;
+  !best
+
+let balance t ~cpu =
+  let rq = t.rqs.(cpu) in
+  let topo = t.ops.topology in
+  let here = nr_running rq in
+  let local = busiest_cpu t ~among:(Topology.node_cpus topo cpu) ~excluding:cpu in
+  let remote () = busiest_cpu t ~among:(Topology.all_cpus topo) ~excluding:cpu in
+  let try_pull (src, waiting) ~threshold =
+    if waiting >= here + threshold then steal_candidate t ~from:src ~to_cpu:cpu else None
+  in
+  match local with
+  | Some src -> (
+    (* newidle: pull whenever someone local is waiting and we are idle;
+       periodic: pull only past an imbalance of 2 *)
+    let threshold = if here = 0 then 1 else 2 in
+    match try_pull src ~threshold with
+    | Some pid -> Some pid
+    | None ->
+      if here = 0 then
+        match remote () with
+        | Some src -> try_pull src ~threshold:t.params.numa_imbalance_threshold
+        | None -> None
+      else None)
+  | None ->
+    if here = 0 then
+      match remote () with
+      | Some src -> try_pull src ~threshold:t.params.numa_imbalance_threshold
+      | None -> None
+    else None
+
+(* ---------- hooks ---------- *)
+
+let task_new t (task : Task.t) ~cpu =
+  let e = ent_of t task in
+  e.weight <- weight_of_nice task.nice;
+  e.rq_cpu <- cpu;
+  let rq = t.rqs.(cpu) in
+  e.vruntime <- rq.min_vruntime;
+  e.last_sum_exec <- task.sum_exec;
+  tree_insert rq e
+
+let task_wakeup t (task : Task.t) ~cpu ~waker_cpu =
+  ignore waker_cpu;
+  let e = ent_of t task in
+  let rq = t.rqs.(cpu) in
+  e.rq_cpu <- cpu;
+  place_entity t rq e ~newly_woken:true;
+  tree_insert rq e;
+  (* wakeup preemption *)
+  match rq.curr with
+  | Some curr_pid -> (
+    match Hashtbl.find_opt t.ents curr_pid with
+    | Some curr_e ->
+      (* granularity scales with the woken entity's weight, as in
+         wakeup_gran(): heavy (high-priority) wakers preempt sooner *)
+      let gran = calc_delta_fair t.params.wakeup_granularity e.weight in
+      if e.vruntime + gran < curr_e.vruntime then t.ops.resched_cpu cpu
+    | None -> ())
+  | None -> ()
+
+let dequeue_running t (task : Task.t) ~cpu =
+  let rq = t.rqs.(cpu) in
+  update_curr t rq task;
+  if rq.curr = Some task.pid then rq.curr <- None
+  else tree_remove rq (ent_of t task)
+
+let task_blocked t (task : Task.t) ~cpu = dequeue_running t task ~cpu
+
+let task_dead t (task : Task.t) ~cpu =
+  dequeue_running t task ~cpu;
+  Hashtbl.remove t.ents task.pid;
+  Hashtbl.remove t.tasks task.pid
+
+let task_departed t (task : Task.t) ~cpu =
+  if Hashtbl.mem t.ents task.pid then begin
+    (if Task.is_runnable task then dequeue_running t task ~cpu);
+    Hashtbl.remove t.ents task.pid;
+    Hashtbl.remove t.tasks task.pid
+  end
+
+let requeue_preempted t (task : Task.t) ~cpu =
+  let rq = t.rqs.(cpu) in
+  update_curr t rq task;
+  let e = ent_of t task in
+  if rq.curr = Some task.pid then rq.curr <- None;
+  if not e.on_rq then begin
+    e.rq_cpu <- cpu;
+    tree_insert rq e
+  end
+
+let task_preempt t (task : Task.t) ~cpu = requeue_preempted t task ~cpu
+
+let task_yield t (task : Task.t) ~cpu = requeue_preempted t task ~cpu
+
+let pick_next_task t ~cpu =
+  let rq = t.rqs.(cpu) in
+  match Rq_tree.min_binding_opt rq.tree with
+  | None -> None
+  | Some ((_, pid), ()) -> (
+    match Hashtbl.find_opt t.ents pid with
+    | None -> None
+    | Some e ->
+      tree_remove rq e;
+      rq.curr <- Some pid;
+      (match Hashtbl.find_opt t.tasks pid with
+      | Some task ->
+        e.last_sum_exec <- task.sum_exec;
+        e.slice_start_exec <- task.sum_exec
+      | None -> ());
+      Some pid)
+
+let task_tick t ~cpu ~queued =
+  ignore queued;
+  let rq = t.rqs.(cpu) in
+  (match rq.curr with
+  | Some pid -> (
+    match (Hashtbl.find_opt t.tasks pid, Hashtbl.find_opt t.ents pid) with
+    | Some task, Some e ->
+      update_curr t rq task;
+      if nr_waiting rq > 0 then begin
+        let ran = task.sum_exec - e.slice_start_exec in
+        if ran >= sched_slice t rq e then t.ops.resched_cpu cpu
+      end
+    | _ -> ())
+  | None -> ());
+  (* periodic balancing: a busy cpu observing a big enough imbalance asks
+     itself to reschedule, which runs the balance hook *)
+  if rq.curr <> None then begin
+    let here = nr_running rq in
+    let topo = t.ops.topology in
+    match busiest_cpu t ~among:(Topology.node_cpus topo cpu) ~excluding:cpu with
+    | Some (_, w) when w >= here + 2 -> t.ops.resched_cpu cpu
+    | Some _ | None -> ()
+  end
+
+let migrate_task_rq t (task : Task.t) ~from_cpu ~to_cpu =
+  let e = ent_of t task in
+  let from_rq = t.rqs.(from_cpu) and to_rq = t.rqs.(to_cpu) in
+  if from_rq.curr = Some task.pid then from_rq.curr <- None;
+  tree_remove from_rq e;
+  (* renormalize vruntime relative to the destination queue, carrying at
+     most one latency period of credit or debt: min_vruntime diverges wildly
+     between queues dominated by different weights, and letting the raw
+     offset travel can exile a task behind a low-weight hog for seconds *)
+  let cap = t.params.sched_latency in
+  let offset = max (-cap) (min cap (e.vruntime - from_rq.min_vruntime)) in
+  e.vruntime <- to_rq.min_vruntime + offset;
+  e.rq_cpu <- to_cpu;
+  if Task.is_runnable task && task.state <> Task.Running then tree_insert to_rq e
+
+let task_prio_changed t (task : Task.t) =
+  let e = ent_of t task in
+  let rq = t.rqs.(e.rq_cpu) in
+  if e.on_rq then begin
+    tree_remove rq e;
+    e.weight <- weight_of_nice task.nice;
+    tree_insert rq e
+  end
+  else e.weight <- weight_of_nice task.nice
+
+(* Internal consistency check used by tests and while debugging: every
+   runnable, non-running task must sit in exactly the tree of its run-queue
+   under its current key. *)
+let check_consistency t ~hook =
+  Hashtbl.iter
+    (fun pid (task : Task.t) ->
+      match Hashtbl.find_opt t.ents pid with
+      | None -> ()
+      | Some e ->
+        let in_tree rq = Rq_tree.find_opt (e.vruntime, e.pid) rq.tree <> None in
+        let is_curr = Array.exists (fun rq -> rq.curr = Some pid) t.rqs in
+        if task.state = Task.Runnable && not is_curr then begin
+          if not e.on_rq then
+            failwith
+              (Printf.sprintf "cfs[%s]: runnable pid %d not on_rq (task.cpu=%d)" hook pid
+                 task.cpu);
+          if e.rq_cpu <> task.cpu then
+            failwith
+              (Printf.sprintf "cfs[%s]: pid %d tree cpu %d but kernel cpu %d" hook pid
+                 e.rq_cpu task.cpu);
+          if not (in_tree t.rqs.(e.rq_cpu)) then
+            failwith
+              (Printf.sprintf "cfs[%s]: pid %d (v=%d) missing from tree on cpu %d" hook pid
+                 e.vruntime e.rq_cpu)
+        end)
+    t.tasks;
+  (* a task the kernel is running must be this class's curr on its cpu *)
+  Hashtbl.iter
+    (fun pid (task : Task.t) ->
+      if task.state = Task.Running && Hashtbl.mem t.ents pid then
+        match t.rqs.(task.cpu).curr with
+        | Some c when c = pid -> ()
+        | other ->
+          failwith
+            (Printf.sprintf "cfs[%s]: pid %d running on cpu %d but rq.curr=%s" hook pid
+               task.cpu
+               (match other with Some c -> string_of_int c | None -> "none")))
+    t.tasks
+
+let factory ?(params = default_params) ?(debug_checks = false) () : Sched_class.factory =
+ fun ops ->
+  let t =
+    {
+      ops;
+      params;
+      rqs =
+        Array.init ops.nr_cpus (fun _ ->
+            { tree = Rq_tree.empty; min_vruntime = 0; load_waiting = 0; curr = None });
+      ents = Hashtbl.create 64;
+      tasks = Hashtbl.create 64;
+      last_periodic_check = 0;
+    }
+  in
+  let checked hook f =
+    if debug_checks then (
+      fun x ->
+        let r = f x in
+        check_consistency t ~hook;
+        r)
+    else f
+  in
+  {
+    Sched_class.name = "cfs";
+    select_task_rq = (fun task ~waker_cpu -> select_task_rq t task ~waker_cpu);
+    task_new = (fun task ~cpu -> checked "task_new" (fun () -> task_new t task ~cpu) ());
+    task_wakeup =
+      (fun task ~cpu ~waker_cpu ->
+        checked "task_wakeup" (fun () -> task_wakeup t task ~cpu ~waker_cpu) ());
+    task_blocked =
+      (fun task ~cpu -> checked "task_blocked" (fun () -> task_blocked t task ~cpu) ());
+    task_yield = (fun task ~cpu -> checked "task_yield" (fun () -> task_yield t task ~cpu) ());
+    task_preempt =
+      (fun task ~cpu -> checked "task_preempt" (fun () -> task_preempt t task ~cpu) ());
+    task_dead = (fun task ~cpu -> checked "task_dead" (fun () -> task_dead t task ~cpu) ());
+    task_departed =
+      (fun task ~cpu -> checked "task_departed" (fun () -> task_departed t task ~cpu) ());
+    task_tick = (fun ~cpu ~queued -> checked "tick" (fun () -> task_tick t ~cpu ~queued) ());
+    pick_next_task = (fun ~cpu -> checked "pick" (fun () -> pick_next_task t ~cpu) ());
+    balance = (fun ~cpu -> balance t ~cpu);
+    balance_err = (fun _ ~cpu:_ -> ());
+    migrate_task_rq =
+      (fun task ~from_cpu ~to_cpu ->
+        checked "migrate" (fun () -> migrate_task_rq t task ~from_cpu ~to_cpu) ());
+    task_prio_changed =
+      (fun task -> checked "prio" (fun () -> task_prio_changed t task) ());
+    task_affinity_changed = (fun _ -> ());
+    deliver_hint = (fun _ _ -> ());
+  }

@@ -1,0 +1,575 @@
+type ns = Time.ns
+
+type core = {
+  id : int;
+  mutable curr : int option; (* pid currently dispatched *)
+  mutable last_pid : int; (* previously dispatched pid, for switch cost *)
+  mutable seg_seq : int; (* invalidates stale run-end events *)
+  mutable seg_run_start : ns; (* when the current task's compute started *)
+  mutable seg_busy_from : ns; (* busy-time accounting start (incl. overhead) *)
+  mutable pending_charge : ns; (* overhead to pay before the next dispatch *)
+  mutable resched_queued : bool;
+  mutable timer_seq : int; (* invalidates stale custom timers *)
+  mutable in_idle : bool; (* the core entered the idle loop *)
+  mutable idle_since : ns;
+}
+
+type chan = { mutable count : int; waiters : int Ds.Deque.t }
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  costs : Costs.t;
+  metrics : Metrics.t;
+  cores : core array;
+  mutable classes : Sched_class.t array;
+  tasks : (int, Task.t) Hashtbl.t;
+  mutable task_order : int list; (* pids, reverse spawn order *)
+  mutable next_pid : int;
+  mutable chans : chan array;
+  mutable nr_chans : int;
+  mutable ctx_cpu : int; (* cpu whose kernel context is executing *)
+}
+
+let topology t = t.topo
+
+let costs t = t.costs
+
+let now t = Sim.now t.sim
+
+let metrics t = t.metrics
+
+let find_task t pid = Hashtbl.find_opt t.tasks pid
+
+let get_task t pid =
+  match find_task t pid with
+  | Some task -> task
+  | None -> invalid_arg (Printf.sprintf "Machine: unknown pid %d" pid)
+
+let class_of_policy t policy =
+  if policy < 0 || policy >= Array.length t.classes then
+    invalid_arg (Printf.sprintf "Machine: unknown policy %d" policy);
+  t.classes.(policy)
+
+let class_of_task t (task : Task.t) = class_of_policy t task.policy
+
+let cpu_idle t cpu = t.cores.(cpu).curr = None
+
+(* ---------- channels ---------- *)
+
+let new_chan t =
+  let ch = { count = 0; waiters = Ds.Deque.create () } in
+  if t.nr_chans = Array.length t.chans then begin
+    let bigger = Array.make (max 8 (2 * Array.length t.chans)) ch in
+    Array.blit t.chans 0 bigger 0 t.nr_chans;
+    t.chans <- bigger
+  end;
+  t.chans.(t.nr_chans) <- ch;
+  t.nr_chans <- t.nr_chans + 1;
+  t.nr_chans - 1
+
+let chan t id =
+  if id < 0 || id >= t.nr_chans then invalid_arg "Machine: bad channel id";
+  t.chans.(id)
+
+let chan_count t id = (chan t id).count
+
+let chan_waiters t id = Ds.Deque.length (chan t id).waiters
+
+(* ---------- charging & resched ---------- *)
+
+(* Overhead charged to a core in its idle loop is hidden by the idleness;
+   overhead charged while the core is doing something delays its next
+   dispatch. *)
+let charge t ~cpu ns =
+  let core = t.cores.(cpu) in
+  if ns > 0 && not core.in_idle then core.pending_charge <- core.pending_charge + ns
+
+let rec resched_cpu t cpu =
+  let core = t.cores.(cpu) in
+  if not core.resched_queued then begin
+    core.resched_queued <- true;
+    let delay = if cpu = t.ctx_cpu then 0 else t.costs.ipi_latency in
+    Sim.after t.sim ~delay (fun () -> do_schedule t cpu)
+  end
+
+(* ---------- accounting ---------- *)
+
+(* Checkpoint the running task's consumed cpu time without ending its
+   segment, so classes observing [sum_exec] (e.g. at tick) see fresh data. *)
+and sync_curr t core =
+  match core.curr with
+  | None -> ()
+  | Some pid ->
+    let task = get_task t pid in
+    let now_ = Sim.now t.sim in
+    if now_ > core.seg_run_start then begin
+      let consumed = min (now_ - core.seg_run_start) task.remaining in
+      task.remaining <- task.remaining - consumed;
+      task.sum_exec <- task.sum_exec + consumed;
+      core.seg_run_start <- now_
+    end;
+    if now_ > core.seg_busy_from then begin
+      Metrics.add_busy t.metrics ~cpu:core.id ~group:task.group (now_ - core.seg_busy_from);
+      core.seg_busy_from <- now_
+    end
+
+(* ---------- wakeups ---------- *)
+
+and wake_task t (task : Task.t) ~waker_cpu =
+  match task.state with
+  | Task.Blocked ->
+    let now_ = Sim.now t.sim in
+    task.state <- Task.Runnable;
+    task.last_wake <- now_;
+    task.wake_pending <- true;
+    let cl = class_of_task t task in
+    let cpu = cl.select_task_rq task ~waker_cpu in
+    let cpu = if Task.allowed_cpu task cpu then cpu else first_allowed t task in
+    task.cpu <- cpu;
+    cl.task_wakeup task ~cpu ~waker_cpu;
+    charge t ~cpu:waker_cpu t.costs.wakeup_path;
+    if cpu_idle t cpu then resched_cpu t cpu
+  | Task.Runnable | Task.Running | Task.Dead -> ()
+
+and first_allowed t (task : Task.t) =
+  match task.affinity with
+  | None -> 0
+  | Some [] -> invalid_arg "Machine: empty affinity"
+  | Some (c :: _) ->
+    if c < 0 || c >= Topology.nr_cpus t.topo then invalid_arg "Machine: bad affinity" else c
+
+and do_wake_chan t ch_id ~waker_cpu =
+  let ch = chan t ch_id in
+  match Ds.Deque.pop_front ch.waiters with
+  | Some pid -> wake_task t (get_task t pid) ~waker_cpu
+  | None -> ch.count <- ch.count + 1
+
+(* ---------- behaviour execution ---------- *)
+
+(* Run the task's behaviour through instantaneous actions until it yields a
+   verdict on what the kernel should do with the task. *)
+and next_actions t core (task : Task.t) =
+  let now_ = Sim.now t.sim in
+  let inbox = List.rev task.inbox in
+  task.inbox <- [];
+  let ctx = { Task.now = now_; self = task.pid; cpu = core.id; inbox } in
+  match task.behaviour ctx with
+  | Task.Compute d -> if d > 0 then `Run d else next_actions t core task
+  | Task.Block ch_id ->
+    let ch = chan t ch_id in
+    if ch.count > 0 then begin
+      ch.count <- ch.count - 1;
+      next_actions t core task
+    end
+    else begin
+      Ds.Deque.push_back ch.waiters task.pid;
+      `Blocked
+    end
+  | Task.Wake ch_id ->
+    do_wake_chan t ch_id ~waker_cpu:core.id;
+    next_actions t core task
+  | Task.Sleep d -> `Sleep d
+  | Task.Yield -> `Yield
+  | Task.Send_hint h ->
+    (* hint queues are registered per scheduler; any task may write into
+       them (the Arachne runtime runs under CFS but talks to the arbiter),
+       so the hint is offered to every class *)
+    Array.iter (fun (cl : Sched_class.t) -> cl.deliver_hint task h) t.classes;
+    next_actions t core task
+  | Task.Spawn spec ->
+    ignore (spawn t spec);
+    next_actions t core task
+  | Task.Exit -> `Exit
+
+(* ---------- task creation ---------- *)
+
+and spawn t (spec : Task.spec) =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let task = Task.make spec ~pid ~now:(Sim.now t.sim) in
+  Hashtbl.replace t.tasks pid task;
+  t.task_order <- pid :: t.task_order;
+  let cl = class_of_task t task in
+  let waker_cpu = t.ctx_cpu in
+  let cpu = cl.select_task_rq task ~waker_cpu in
+  let cpu = if Task.allowed_cpu task cpu then cpu else first_allowed t task in
+  task.cpu <- cpu;
+  task.state <- Task.Runnable;
+  task.last_wake <- Sim.now t.sim;
+  task.wake_pending <- true;
+  cl.task_new task ~cpu;
+  if cpu_idle t cpu then resched_cpu t cpu;
+  pid
+
+(* ---------- migration ---------- *)
+
+and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
+  match find_task t pid with
+  | None -> ()
+  | Some task ->
+    if
+      task.state = Task.Runnable && task.cpu <> to_cpu && Task.allowed_cpu task to_cpu
+      && (* the task must not be dispatched anywhere *)
+      t.cores.(task.cpu).curr <> Some pid
+    then begin
+      let from_cpu = task.cpu in
+      task.cpu <- to_cpu;
+      Metrics.count_migration t.metrics;
+      charge t ~cpu:to_cpu t.costs.migration;
+      cl.migrate_task_rq task ~from_cpu ~to_cpu
+    end
+    else cl.balance_err task ~cpu:to_cpu
+
+(* Move a runnable task between classes: the old class releases it via
+   task_departed, the new one adopts it via select_task_rq + task_new. *)
+and apply_policy_change t (task : Task.t) ~policy =
+  (class_of_task t task).task_departed task ~cpu:task.cpu;
+  task.policy <- policy;
+  task.pending_policy <- None;
+  let new_cl = class_of_policy t policy in
+  let cpu = new_cl.select_task_rq task ~waker_cpu:t.ctx_cpu in
+  let cpu = if Task.allowed_cpu task cpu then cpu else first_allowed t task in
+  task.cpu <- cpu;
+  new_cl.task_new task ~cpu;
+  if cpu_idle t cpu then resched_cpu t cpu
+
+(* ---------- the schedule operation ---------- *)
+
+and do_schedule t cpu =
+  let core = t.cores.(cpu) in
+  core.resched_queued <- false;
+  let prev_ctx = t.ctx_cpu in
+  t.ctx_cpu <- cpu;
+  (* deschedule the current task, if any *)
+  (match core.curr with
+  | Some pid ->
+    sync_curr t core;
+    core.seg_seq <- core.seg_seq + 1;
+    let task = get_task t pid in
+    core.curr <- None;
+    if task.state = Task.Running then begin
+      task.state <- Task.Runnable;
+      (class_of_task t task).task_preempt task ~cpu;
+      match task.pending_policy with
+      | Some policy -> apply_policy_change t task ~policy
+      | None -> ()
+    end
+  | None -> ());
+  Metrics.count_schedule t.metrics ~cpu;
+  (* balance + pick, classes in priority order, until a task sticks *)
+  let rec pick_loop () =
+    let chosen = ref None in
+    Array.iter
+      (fun (cl : Sched_class.t) ->
+        if !chosen = None then begin
+          (match cl.balance ~cpu with
+          | Some pid -> try_migrate t pid ~to_cpu:cpu cl
+          | None -> ());
+          match cl.pick_next_task ~cpu with
+          | Some pid ->
+            let task = get_task t pid in
+            if task.state = Task.Runnable && task.cpu = cpu then chosen := Some task
+            else begin
+              (* a native class returning an unrunnable task is the kernel
+                 crash the paper describes; surface it loudly *)
+              Metrics.count_pick_violation t.metrics;
+              invalid_arg
+                (Printf.sprintf "Machine: class %s picked invalid pid %d (%s, cpu %d vs %d)"
+                   cl.name pid
+                   (Format.asprintf "%a" Task.pp_state task.state)
+                   task.cpu cpu)
+            end
+          | None -> ()
+        end)
+      t.classes;
+    match !chosen with
+    | None ->
+      if not core.in_idle then begin
+        core.in_idle <- true;
+        core.idle_since <- Sim.now t.sim
+      end
+    | Some task -> dispatch_loop task
+  and dispatch_loop (task : Task.t) =
+    (* charge pending overhead + context switch before the task computes *)
+    let now_ = Sim.now t.sim in
+    let switch_cost = if core.last_pid <> task.pid then t.costs.context_switch else 0 in
+    if switch_cost > 0 then Metrics.count_context_switch t.metrics;
+    let wake_cost =
+      if core.in_idle then
+        if now_ - core.idle_since >= t.costs.deep_idle_after then t.costs.deep_idle_exit
+        else t.costs.idle_exit
+      else 0
+    in
+    core.in_idle <- false;
+    let overhead = core.pending_charge + switch_cost + wake_cost in
+    core.pending_charge <- 0;
+    core.seg_busy_from <- now_;
+    core.curr <- Some task.pid;
+    core.last_pid <- task.pid;
+    task.state <- Task.Running;
+    let run_start = now_ + overhead in
+    if task.wake_pending then begin
+      task.wake_pending <- false;
+      Metrics.record_wakeup_latency t.metrics ~group:task.group (run_start - task.last_wake)
+    end;
+    (* the behaviour advances only once the dispatch costs have elapsed;
+       a task with no compute left runs its next actions at [run_start] *)
+    start_segment task ~run_start
+  and start_segment (task : Task.t) ~run_start =
+    core.seg_run_start <- run_start;
+    core.seg_seq <- core.seg_seq + 1;
+    let seq = core.seg_seq in
+    Sim.at t.sim ~time:(run_start + task.remaining) (fun () ->
+        if core.seg_seq = seq && core.curr = Some task.pid then segment_end t cpu task)
+  in
+  pick_loop ();
+  t.ctx_cpu <- prev_ctx
+
+(* What to do when a task's behaviour stopped computing. *)
+and apply_verdict t core (task : Task.t) verdict =
+  let cpu = core.id in
+  let cl = class_of_task t task in
+  match verdict with
+  | `Run _ -> assert false
+  | `Blocked ->
+    task.state <- Task.Blocked;
+    cl.task_blocked task ~cpu
+  | `Sleep d ->
+    task.state <- Task.Blocked;
+    cl.task_blocked task ~cpu;
+    let pid = task.pid in
+    Sim.after t.sim ~delay:d (fun () ->
+        match find_task t pid with
+        | Some task when task.state = Task.Blocked ->
+          (* timer fires on the cpu the task last ran on *)
+          let prev = t.ctx_cpu in
+          t.ctx_cpu <- task.cpu;
+          wake_task t task ~waker_cpu:task.cpu;
+          t.ctx_cpu <- prev
+        | Some _ | None -> ())
+  | `Yield ->
+    task.state <- Task.Runnable;
+    cl.task_yield task ~cpu
+  | `Exit ->
+    task.state <- Task.Dead;
+    task.exited_at <- Some (Sim.now t.sim);
+    cl.task_dead task ~cpu
+
+(* The running task finished its compute quantum: advance its behaviour. *)
+and segment_end t cpu (task : Task.t) =
+  let core = t.cores.(cpu) in
+  let prev_ctx = t.ctx_cpu in
+  t.ctx_cpu <- cpu;
+  sync_curr t core;
+  (match next_actions t core task with
+  | `Run d ->
+    task.remaining <- d;
+    (* continue on-cpu without a context switch *)
+    core.seg_run_start <- Sim.now t.sim;
+    core.seg_seq <- core.seg_seq + 1;
+    let seq = core.seg_seq in
+    Sim.at t.sim ~time:(Sim.now t.sim + d) (fun () ->
+        if core.seg_seq = seq && core.curr = Some task.pid then segment_end t cpu task)
+  | verdict ->
+    core.seg_seq <- core.seg_seq + 1;
+    core.curr <- None;
+    apply_verdict t core task verdict;
+    do_schedule t cpu);
+  t.ctx_cpu <- prev_ctx
+
+(* ---------- ticks & timers ---------- *)
+
+let tick t =
+  let nr = Topology.nr_cpus t.topo in
+  (* refresh accounting so classes see up-to-date runtimes *)
+  for cpu = 0 to nr - 1 do
+    sync_curr t t.cores.(cpu)
+  done;
+  Array.iter
+    (fun (cl : Sched_class.t) ->
+      for cpu = 0 to nr - 1 do
+        let prev = t.ctx_cpu in
+        t.ctx_cpu <- cpu;
+        cl.task_tick ~cpu ~queued:(t.cores.(cpu).curr <> None);
+        t.ctx_cpu <- prev
+      done)
+    t.classes;
+  (* newidle-style pull for cpus sitting idle between wakeups *)
+  for cpu = 0 to nr - 1 do
+    if cpu_idle t cpu && not t.cores.(cpu).resched_queued then begin
+      let prev = t.ctx_cpu in
+      t.ctx_cpu <- cpu;
+      do_schedule t cpu;
+      t.ctx_cpu <- prev
+    end
+  done
+
+let rec arm_tick t =
+  Sim.after t.sim ~delay:t.costs.tick_period (fun () ->
+      tick t;
+      arm_tick t)
+
+(* ---------- construction ---------- *)
+
+let create ?(costs = Costs.default) ~topology ~classes () =
+  let nr = Topology.nr_cpus topology in
+  let cores =
+    Array.init nr (fun id ->
+        {
+          id;
+          curr = None;
+          last_pid = -1;
+          seg_seq = 0;
+          seg_run_start = 0;
+          seg_busy_from = 0;
+          pending_charge = 0;
+          resched_queued = false;
+          timer_seq = 0;
+          in_idle = true;
+          idle_since = 0;
+        })
+  in
+  let t =
+    {
+      sim = Sim.create ();
+      topo = topology;
+      costs;
+      metrics = Metrics.create ~nr_cpus:nr;
+      cores;
+      classes = [||];
+      tasks = Hashtbl.create 64;
+      task_order = [];
+      next_pid = 1;
+      chans = [||];
+      nr_chans = 0;
+      ctx_cpu = 0;
+    }
+  in
+  let make_ops (slot : Sched_class.t option ref) : Sched_class.kernel_ops =
+    {
+      now = (fun () -> Sim.now t.sim);
+      nr_cpus = nr;
+      topology;
+      costs;
+      defer = (fun ~delay f -> Sim.after t.sim ~delay f);
+      resched_cpu = (fun cpu -> resched_cpu t cpu);
+      set_timer =
+        (fun ~cpu delay ->
+          let core = t.cores.(cpu) in
+          charge t ~cpu costs.timer_arm;
+          core.timer_seq <- core.timer_seq + 1;
+          let seq = core.timer_seq in
+          Sim.after t.sim ~delay (fun () ->
+              if t.cores.(cpu).timer_seq = seq then
+                match !slot with
+                | Some cl ->
+                  let prev = t.ctx_cpu in
+                  t.ctx_cpu <- cpu;
+                  sync_curr t t.cores.(cpu);
+                  cl.task_tick ~cpu ~queued:(t.cores.(cpu).curr <> None);
+                  t.ctx_cpu <- prev
+                | None -> ()))
+      ;
+      cancel_timer = (fun ~cpu -> t.cores.(cpu).timer_seq <- t.cores.(cpu).timer_seq + 1);
+      charge = (fun ~cpu ns -> charge t ~cpu ns);
+      send_user =
+        (fun ~pid hint ->
+          match find_task t pid with
+          | Some task -> task.inbox <- hint :: task.inbox
+          | None -> ());
+      current =
+        (fun ~cpu -> match t.cores.(cpu).curr with Some pid -> find_task t pid | None -> None);
+      cpu_is_idle = (fun cpu -> cpu_idle t cpu);
+    }
+  in
+  let instantiated =
+    List.map
+      (fun factory ->
+        let slot = ref None in
+        let cl = factory (make_ops slot) in
+        slot := Some cl;
+        cl)
+      classes
+  in
+  t.classes <- Array.of_list instantiated;
+  arm_tick t;
+  t
+
+(* ---------- public control ---------- *)
+
+let tasks t = List.rev_map (get_task t) t.task_order
+
+let alive_tasks t =
+  Hashtbl.fold (fun _ (task : Task.t) acc -> if task.state = Task.Dead then acc else acc + 1) t.tasks 0
+
+let set_nice t ~pid ~nice =
+  let task = get_task t pid in
+  task.nice <- nice;
+  (class_of_task t task).task_prio_changed task
+
+let rec enforce_affinity t pid =
+  match find_task t pid with
+  | None -> ()
+  | Some task ->
+    if not (Task.allowed_cpu task task.cpu) then begin
+      match task.state with
+      | Task.Runnable ->
+        (* sitting on a forbidden rq: move it now *)
+        let cl = class_of_task t task in
+        let to_cpu = first_allowed t task in
+        let from_cpu = task.cpu in
+        task.cpu <- to_cpu;
+        Metrics.count_migration t.metrics;
+        cl.migrate_task_rq task ~from_cpu ~to_cpu;
+        if cpu_idle t to_cpu then resched_cpu t to_cpu
+      | Task.Running ->
+        (* kick it off the forbidden cpu, then finish the move *)
+        resched_cpu t task.cpu;
+        Sim.after t.sim ~delay:(t.costs.ipi_latency + 1) (fun () -> enforce_affinity t pid)
+      | Task.Blocked | Task.Dead -> ()
+    end
+
+let set_affinity t ~pid affinity =
+  let task = get_task t pid in
+  task.affinity <- affinity;
+  (class_of_task t task).task_affinity_changed task;
+  enforce_affinity t pid
+
+let set_policy t ~pid ~policy =
+  let task = get_task t pid in
+  ignore (class_of_policy t policy);
+  if policy <> task.policy then
+    match task.state with
+    | Task.Running ->
+      (* applied by do_schedule once the task is off its cpu *)
+      task.pending_policy <- Some policy;
+      resched_cpu t task.cpu
+    | Task.Runnable ->
+      apply_policy_change t task ~policy
+    | Task.Blocked ->
+      (* not queued anywhere: depart the old class now; the new class
+         adopts the task at its next wakeup *)
+      (class_of_task t task).task_departed task ~cpu:task.cpu;
+      task.policy <- policy
+    | Task.Dead -> ()
+
+let at t ~delay f = Sim.after t.sim ~delay f
+
+let run_until t until = Sim.run_until t.sim ~until
+
+let run_for t d = Sim.run_until t.sim ~until:(Sim.now t.sim + d)
+
+let run_to_completion t = Sim.run t.sim
+
+let spawn = spawn
+
+let new_chan = new_chan
+
+let chan_count = chan_count
+
+let chan_waiters = chan_waiters
+
+let cpu_idle = cpu_idle
+
+let class_of_policy = class_of_policy

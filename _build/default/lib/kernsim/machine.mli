@@ -1,0 +1,80 @@
+(** The simulated multicore machine and its core scheduling loop.
+
+    [Machine] plays the role of Linux's core scheduling code ("sched core"
+    in Figure 1 of the paper): it owns the authoritative task states and
+    run-queue assignments, drives scheduler classes through the
+    {!Sched_class} hook set (balance before every pick, wakeup and blocking
+    notifications, periodic ticks), charges context-switch / IPI / framework
+    overheads in simulated time, and executes task behaviours.
+
+    Scheduler classes are given in priority order: the first class with a
+    runnable task for a cpu wins the pick, which is how an Enoki scheduler
+    coexists with (and cedes idle cycles to) CFS, as in §5.4's co-location
+    experiment.  A task's [policy] field is an index into this list. *)
+
+type t
+
+type ns = Time.ns
+
+(** [create ~topology ~classes ()] builds a machine.  [classes] are
+    factories, instantiated with this machine's kernel capability table;
+    list position = policy id = pick priority. *)
+val create : ?costs:Costs.t -> topology:Topology.t -> classes:Sched_class.factory list -> unit -> t
+
+val topology : t -> Topology.t
+
+val costs : t -> Costs.t
+
+val now : t -> ns
+
+val metrics : t -> Metrics.t
+
+(** Allocate a wait channel (counting semaphore) for task behaviours. *)
+val new_chan : t -> int
+
+(** Pending un-consumed signals on a channel. *)
+val chan_count : t -> int -> int
+
+(** Tasks currently blocked on a channel. *)
+val chan_waiters : t -> int -> int
+
+(** Create a task; it becomes runnable immediately (the class's
+    [select_task_rq] then [task_new] run first, as in §3.1's walkthrough). *)
+val spawn : t -> Task.spec -> int
+
+val find_task : t -> int -> Task.t option
+
+(** All tasks ever spawned, in pid order. *)
+val tasks : t -> Task.t list
+
+val alive_tasks : t -> int
+
+(** Renice a live task; forwards [task_prio_changed] to its class. *)
+val set_nice : t -> pid:int -> nice:int -> unit
+
+(** Change a live task's allowed cpus; forwards [task_affinity_changed]. *)
+val set_affinity : t -> pid:int -> int list option -> unit
+
+(** Move a task to another scheduler class: the old class gets
+    [task_departed] (returning any Schedulable it held, in the Enoki case)
+    and the new class adopts the task through [task_new]. *)
+val set_policy : t -> pid:int -> policy:int -> unit
+
+(** Schedule an arbitrary callback into the simulation (used by benches to
+    trigger live upgrades or metric-window resets mid-run). *)
+val at : t -> delay:ns -> (unit -> unit) -> unit
+
+(** Advance the simulation. *)
+val run_until : t -> ns -> unit
+
+(** [run_for t d] advances by [d] from the current clock. *)
+val run_for : t -> ns -> unit
+
+(** Run until no events remain (all tasks exited or blocked forever). *)
+val run_to_completion : t -> unit
+
+(** The instantiated class for a policy id. *)
+val class_of_policy : t -> int -> Sched_class.t
+
+(** Per-cpu idle check (true when nothing is dispatched on the cpu). *)
+val cpu_idle : t -> int -> bool

@@ -1,0 +1,50 @@
+(** Accounting collected by the machine while a simulation runs.
+
+    The benchmark harness reads latencies and cpu shares from here; workload
+    models additionally keep their own request-level histograms. *)
+
+type t
+
+val create : nr_cpus:int -> t
+
+(** Wakeup latency: time from a task's wakeup to its next dispatch
+    (what schbench reports). *)
+
+val record_wakeup_latency : t -> group:string -> Time.ns -> unit
+
+val wakeup_latency : t -> Stats.Histogram.t
+
+val wakeup_latency_of_group : t -> string -> Stats.Histogram.t option
+
+(** Busy time per cpu and per accounting group. *)
+
+val add_busy : t -> cpu:int -> group:string -> Time.ns -> unit
+
+val busy_of_cpu : t -> int -> Time.ns
+
+val busy_of_group : t -> string -> Time.ns
+
+val total_busy : t -> Time.ns
+
+(** Scheduling events. *)
+
+val count_schedule : t -> cpu:int -> unit
+
+val schedules : t -> int
+
+val count_migration : t -> unit
+
+val migrations : t -> int
+
+val count_pick_violation : t -> unit
+
+(** Picks rejected because the returned Schedulable failed validation. *)
+val pick_violations : t -> int
+
+val count_context_switch : t -> unit
+
+val context_switches : t -> int
+
+(** Reset latency histograms and counters but keep identities — used to
+    discard warmup. *)
+val reset : t -> unit

@@ -1,0 +1,59 @@
+type ns = Time.ns
+
+type kernel_ops = {
+  now : unit -> ns;
+  nr_cpus : int;
+  topology : Topology.t;
+  costs : Costs.t;
+  defer : delay:ns -> (unit -> unit) -> unit;
+  resched_cpu : int -> unit;
+  set_timer : cpu:int -> ns -> unit;
+  cancel_timer : cpu:int -> unit;
+  charge : cpu:int -> ns -> unit;
+  send_user : pid:int -> Task.hint -> unit;
+  current : cpu:int -> Task.t option;
+  cpu_is_idle : int -> bool;
+}
+
+type t = {
+  name : string;
+  select_task_rq : Task.t -> waker_cpu:int -> int;
+  task_new : Task.t -> cpu:int -> unit;
+  task_wakeup : Task.t -> cpu:int -> waker_cpu:int -> unit;
+  task_blocked : Task.t -> cpu:int -> unit;
+  task_yield : Task.t -> cpu:int -> unit;
+  task_preempt : Task.t -> cpu:int -> unit;
+  task_dead : Task.t -> cpu:int -> unit;
+  task_departed : Task.t -> cpu:int -> unit;
+  task_tick : cpu:int -> queued:bool -> unit;
+  pick_next_task : cpu:int -> int option;
+  balance : cpu:int -> int option;
+  balance_err : Task.t -> cpu:int -> unit;
+  migrate_task_rq : Task.t -> from_cpu:int -> to_cpu:int -> unit;
+  task_prio_changed : Task.t -> unit;
+  task_affinity_changed : Task.t -> unit;
+  deliver_hint : Task.t -> Task.hint -> unit;
+}
+
+type factory = kernel_ops -> t
+
+let noop name =
+  {
+    name;
+    select_task_rq = (fun _task ~waker_cpu -> waker_cpu);
+    task_new = (fun _ ~cpu:_ -> ());
+    task_wakeup = (fun _ ~cpu:_ ~waker_cpu:_ -> ());
+    task_blocked = (fun _ ~cpu:_ -> ());
+    task_yield = (fun _ ~cpu:_ -> ());
+    task_preempt = (fun _ ~cpu:_ -> ());
+    task_dead = (fun _ ~cpu:_ -> ());
+    task_departed = (fun _ ~cpu:_ -> ());
+    task_tick = (fun ~cpu:_ ~queued:_ -> ());
+    pick_next_task = (fun ~cpu:_ -> None);
+    balance = (fun ~cpu:_ -> None);
+    balance_err = (fun _ ~cpu:_ -> ());
+    migrate_task_rq = (fun _ ~from_cpu:_ ~to_cpu:_ -> ());
+    task_prio_changed = (fun _ -> ());
+    task_affinity_changed = (fun _ -> ());
+    deliver_hint = (fun _ _ -> ());
+  }

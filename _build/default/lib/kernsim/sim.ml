@@ -1,0 +1,42 @@
+type event = { time : Time.ns; seq : int; thunk : unit -> unit }
+
+type t = { events : event Ds.Heap.t; mutable clock : Time.ns; mutable next_seq : int }
+
+let compare_event a b =
+  match Int.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create () = { events = Ds.Heap.create ~compare:compare_event; clock = 0; next_seq = 0 }
+
+let now t = t.clock
+
+let at t ~time f =
+  let time = max time t.clock in
+  Ds.Heap.add t.events { time; seq = t.next_seq; thunk = f };
+  t.next_seq <- t.next_seq + 1
+
+let after t ~delay f = at t ~time:(t.clock + max 0 delay) f
+
+let run_until t ~until =
+  let rec loop () =
+    match Ds.Heap.peek t.events with
+    | Some ev when ev.time <= until ->
+      ignore (Ds.Heap.pop t.events);
+      t.clock <- ev.time;
+      ev.thunk ();
+      loop ()
+    | Some _ | None -> t.clock <- max t.clock until
+  in
+  loop ()
+
+let run t =
+  let rec loop () =
+    match Ds.Heap.pop t.events with
+    | Some ev ->
+      t.clock <- ev.time;
+      ev.thunk ();
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let pending t = Ds.Heap.length t.events

@@ -1,0 +1,28 @@
+(** The discrete-event engine: a virtual clock and an ordered queue of
+    callbacks.
+
+    Events at equal timestamps fire in scheduling order (a monotonically
+    increasing sequence number breaks ties), which makes whole simulations
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.ns
+
+(** [at t ~time f] schedules [f] to run when the clock reaches [time]
+    (clamped to [now] if in the past). *)
+val at : t -> time:Time.ns -> (unit -> unit) -> unit
+
+(** [after t ~delay f] is [at t ~time:(now t + delay) f]. *)
+val after : t -> delay:Time.ns -> (unit -> unit) -> unit
+
+(** Run events until the clock passes [until] or the queue empties.
+    Events scheduled exactly at [until] are executed. *)
+val run_until : t -> until:Time.ns -> unit
+
+(** Run until the event queue is empty. *)
+val run : t -> unit
+
+val pending : t -> int

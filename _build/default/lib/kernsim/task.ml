@@ -1,0 +1,83 @@
+type ns = Time.ns
+
+type hint = ..
+
+type action =
+  | Compute of ns
+  | Block of int
+  | Wake of int
+  | Sleep of ns
+  | Yield
+  | Send_hint of hint
+  | Spawn of spec
+  | Exit
+
+and ctx = { now : ns; self : int; cpu : int; inbox : hint list }
+
+and behaviour = ctx -> action
+
+and spec = {
+  name : string;
+  group : string;
+  nice : int;
+  policy : int;
+  behaviour : behaviour;
+  affinity : int list option;
+}
+
+type state = Runnable | Running | Blocked | Dead
+
+type t = {
+  pid : int;
+  name : string;
+  group : string;
+  mutable nice : int;
+  mutable policy : int;
+  behaviour : behaviour;
+  mutable state : state;
+  mutable cpu : int;
+  mutable affinity : int list option;
+  mutable remaining : ns;
+  mutable sum_exec : ns;
+  mutable last_wake : ns;
+  mutable wake_pending : bool;
+  mutable inbox : hint list;
+  mutable pending_policy : int option;
+  mutable spawned_at : ns;
+  mutable exited_at : ns option;
+}
+
+let default_spec ~name behaviour =
+  { name; group = name; nice = 0; policy = 0; behaviour; affinity = None }
+
+let make (spec : spec) ~pid ~now =
+  {
+    pid;
+    name = spec.name;
+    group = spec.group;
+    nice = spec.nice;
+    policy = spec.policy;
+    behaviour = spec.behaviour;
+    state = Runnable;
+    cpu = 0;
+    affinity = spec.affinity;
+    remaining = 0;
+    sum_exec = 0;
+    last_wake = now;
+    wake_pending = false;
+    inbox = [];
+    pending_policy = None;
+    spawned_at = now;
+    exited_at = None;
+  }
+
+let is_runnable t = match t.state with Runnable | Running -> true | Blocked | Dead -> false
+
+let allowed_cpu t cpu =
+  match t.affinity with None -> true | Some cpus -> List.mem cpu cpus
+
+let pp_state fmt = function
+  | Runnable -> Format.pp_print_string fmt "runnable"
+  | Running -> Format.pp_print_string fmt "running"
+  | Blocked -> Format.pp_print_string fmt "blocked"
+  | Dead -> Format.pp_print_string fmt "dead"

@@ -1,0 +1,81 @@
+(** Simulated tasks and their behaviours.
+
+    A task is the simulator's [task_struct]: identity, scheduling state and
+    accounting, plus a {e behaviour} — a resumable program that yields the
+    task's next action whenever the previous one completes.  Behaviours are
+    closures carrying their own state, which is how the workload generators
+    ({!Workloads}) express pipes, servers, fork-join phases and so on. *)
+
+type ns = Time.ns
+
+(** Messages crossing the user/kernel boundary (Enoki's custom scheduler
+    hints, §3.3).  The variant is extensible: each scheduler defines its own
+    hint constructors, mirroring the paper's scheduler-defined hint types. *)
+type hint = ..
+
+(** What a task does next.  Instantaneous actions ([Wake], [Send_hint],
+    [Spawn]) are processed in the task's kernel context and the behaviour is
+    immediately asked for another action. *)
+type action =
+  | Compute of ns  (** run on the cpu for this much time *)
+  | Block of int  (** wait on channel (semantics of a semaphore P) *)
+  | Wake of int  (** signal channel (semaphore V), waking one waiter *)
+  | Sleep of ns  (** block for a fixed duration *)
+  | Yield  (** give up the cpu but stay runnable *)
+  | Send_hint of hint  (** push a hint to this task's scheduler *)
+  | Spawn of spec  (** create a new task *)
+  | Exit  (** terminate *)
+
+and ctx = {
+  now : ns;
+  self : int;  (** own pid *)
+  cpu : int;  (** cpu the task is currently on *)
+  inbox : hint list;  (** kernel-to-user messages since the last action *)
+}
+
+and behaviour = ctx -> action
+
+and spec = {
+  name : string;
+  group : string;  (** accounting group, e.g. "batch" vs "rocksdb" *)
+  nice : int;  (** -20 (highest) .. 19 (lowest) *)
+  policy : int;  (** which scheduler class manages this task *)
+  behaviour : behaviour;
+  affinity : int list option;  (** allowed cpus; [None] = all *)
+}
+
+type state = Runnable | Running | Blocked | Dead
+
+type t = {
+  pid : int;
+  name : string;
+  group : string;
+  mutable nice : int;
+  mutable policy : int;
+  behaviour : behaviour;
+  mutable state : state;
+  mutable cpu : int;  (** kernel run-queue assignment *)
+  mutable affinity : int list option;
+  mutable remaining : ns;  (** left of the current [Compute] *)
+  mutable sum_exec : ns;  (** total cpu time consumed *)
+  mutable last_wake : ns;
+  mutable wake_pending : bool;  (** a wakeup latency sample is outstanding *)
+  mutable inbox : hint list;  (** kernel-to-user hint mailbox (newest first) *)
+  mutable pending_policy : int option;
+      (** policy change to apply at the next deschedule *)
+  mutable spawned_at : ns;
+  mutable exited_at : ns option;
+}
+
+(** [default_spec ~name behaviour] fills in group = name, nice 0, policy 0,
+    no affinity. *)
+val default_spec : name:string -> behaviour -> spec
+
+val make : spec -> pid:int -> now:ns -> t
+
+val is_runnable : t -> bool
+
+(** [allowed_cpu task cpu] respects [affinity]. *)
+val allowed_cpu : t -> int -> bool
+
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,25 @@
+(** Simulated time.
+
+    The whole simulator counts nanoseconds in a plain [int]; 63 bits covers
+    ~292 simulated years, far beyond any experiment here. *)
+
+type ns = int
+
+val ns : int -> ns
+
+val us : int -> ns
+
+val ms : int -> ns
+
+val sec : int -> ns
+
+val to_us : ns -> float
+
+val to_ms : ns -> float
+
+val to_sec : ns -> float
+
+(** Human-readable rendering with an adaptive unit (e.g. "3.6us"). *)
+val pp : Format.formatter -> ns -> unit
+
+val to_string : ns -> string

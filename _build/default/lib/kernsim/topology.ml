@@ -1,0 +1,32 @@
+type t = { cores : int; cores_per_llc : int; cores_per_node : int }
+
+let create ~cores ~cores_per_llc ~cores_per_node =
+  if cores <= 0 || cores_per_llc <= 0 || cores_per_node <= 0 then
+    invalid_arg "Topology.create";
+  if cores mod cores_per_llc <> 0 || cores mod cores_per_node <> 0 then
+    invalid_arg "Topology.create: cores must divide evenly";
+  { cores; cores_per_llc; cores_per_node }
+
+let one_socket = create ~cores:8 ~cores_per_llc:8 ~cores_per_node:8
+
+let two_socket = create ~cores:80 ~cores_per_llc:40 ~cores_per_node:40
+
+let nr_cpus t = t.cores
+
+let node_of t cpu = cpu / t.cores_per_node
+
+let llc_of t cpu = cpu / t.cores_per_llc
+
+let group_cpus size cpu total =
+  let base = cpu / size * size in
+  List.init (min size (total - base)) (fun i -> base + i)
+
+let node_cpus t cpu = group_cpus t.cores_per_node cpu t.cores
+
+let llc_cpus t cpu = group_cpus t.cores_per_llc cpu t.cores
+
+let same_node t a b = node_of t a = node_of t b
+
+let same_llc t a b = llc_of t a = llc_of t b
+
+let all_cpus t = List.init t.cores Fun.id

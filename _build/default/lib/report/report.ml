@@ -1,0 +1,38 @@
+let section title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let note s = Printf.printf "  %s\n" s
+
+let table ~header rows =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Report.table: ragged rows")
+    rows;
+  let widths = Array.make arity 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let print_row row =
+    print_string "  ";
+    List.iteri
+      (fun i cell ->
+        print_string cell;
+        if i < arity - 1 then print_string (String.make (widths.(i) - String.length cell + 2) ' '))
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.mapi (fun i _ -> String.make widths.(i) '-') header);
+  List.iter print_row rows;
+  flush stdout
+
+let fmt_f v = Printf.sprintf "%g" v
+
+let fmt_f1 v = Printf.sprintf "%.1f" v
+
+let fmt_f2 v = Printf.sprintf "%.2f" v
+
+let fmt_pct v = Printf.sprintf "%+.2f%%" v

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+(** Print a section banner. *)
+val section : string -> unit
+
+(** Print an indented note line. *)
+val note : string -> unit
+
+(** [table ~header rows] prints an aligned table; every row must have the
+    same arity as [header]. *)
+val table : header:string list -> string list list -> unit
+
+val fmt_f : float -> string
+
+(** Format with a fixed number of decimals. *)
+val fmt_f1 : float -> string
+
+val fmt_f2 : float -> string
+
+(** Percentage with sign, two decimals (Table 5 style). *)
+val fmt_pct : float -> string

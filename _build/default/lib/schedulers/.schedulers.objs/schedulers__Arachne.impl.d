@@ -1,0 +1,1 @@
+lib/schedulers/arachne.ml: Array Enoki Hints List Option

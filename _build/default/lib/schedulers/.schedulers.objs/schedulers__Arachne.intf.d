@@ -1,0 +1,1 @@
+lib/schedulers/arachne.mli: Enoki

@@ -1,0 +1,1 @@
+lib/schedulers/edf.ml: Array Ds Enoki Hashtbl Hints Int Kernsim List Option

@@ -1,0 +1,1 @@
+lib/schedulers/edf.mli: Enoki Kernsim

@@ -1,0 +1,1 @@
+lib/schedulers/fifo_sched.ml: Array Ds Enoki List

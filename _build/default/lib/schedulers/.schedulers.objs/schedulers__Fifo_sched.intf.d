@@ -1,0 +1,1 @@
+lib/schedulers/fifo_sched.mli: Enoki

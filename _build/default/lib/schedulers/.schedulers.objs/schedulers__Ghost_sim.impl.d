@@ -1,0 +1,1 @@
+lib/schedulers/ghost_sim.ml: Array Ds Fun Hashtbl Kernsim List Shinjuku

@@ -1,0 +1,1 @@
+lib/schedulers/ghost_sim.mli: Kernsim

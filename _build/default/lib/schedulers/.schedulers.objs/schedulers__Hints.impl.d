@@ -1,0 +1,1 @@
+lib/schedulers/hints.ml: Enoki Kernsim Printf String

@@ -1,0 +1,1 @@
+lib/schedulers/hints.mli: Kernsim

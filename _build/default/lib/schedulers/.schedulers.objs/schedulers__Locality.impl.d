@@ -1,0 +1,1 @@
+lib/schedulers/locality.ml: Array Ds Enoki Hashtbl Hints List Option Stats

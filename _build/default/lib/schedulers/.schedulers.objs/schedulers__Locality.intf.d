@@ -1,0 +1,1 @@
+lib/schedulers/locality.mli: Enoki

@@ -1,0 +1,1 @@
+lib/schedulers/nest.ml: Array Ds Enoki Fun Int Kernsim List Option

@@ -1,0 +1,1 @@
+lib/schedulers/nest.mli: Enoki Kernsim

@@ -1,0 +1,1 @@
+lib/schedulers/rt_fifo.ml: Array Ds Enoki Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/schedulers/rt_fifo.mli: Enoki

@@ -1,0 +1,1 @@
+lib/schedulers/shinjuku.ml: Array Ds Enoki Kernsim List Option Printf

@@ -1,0 +1,1 @@
+lib/schedulers/shinjuku.mli: Enoki Kernsim

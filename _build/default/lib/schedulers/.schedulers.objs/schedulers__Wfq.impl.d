@@ -1,0 +1,1 @@
+lib/schedulers/wfq.ml: Array Ds Enoki Hashtbl Int Kernsim List Option

@@ -1,0 +1,1 @@
+lib/schedulers/wfq.mli: Enoki

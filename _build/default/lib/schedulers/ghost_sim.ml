@@ -1,0 +1,229 @@
+type policy = Fifo_per_cpu | Sol | Gshinjuku
+
+let agent_cpu policy ~nr_cpus =
+  match policy with Fifo_per_cpu -> None | Sol | Gshinjuku -> Some (nr_cpus - 1)
+
+type t = {
+  ops : Kernsim.Sched_class.kernel_ops;
+  policy : policy;
+  queues : int Ds.Deque.t array; (* per-cpu for Fifo_per_cpu; index 0 global otherwise *)
+  running : int option array;
+  ready : bool array; (* a decision is available for this cpu *)
+  pending : bool array; (* a request is with the agent *)
+  tasks : (int, Kernsim.Task.t) Hashtbl.t;
+  mutable rr : int;
+  mutable agent_free_at : int; (* global agent serialization point *)
+  assigned : (int, int) Hashtbl.t; (* per-CPU FIFO: sticky pid -> cpu *)
+}
+
+let is_global t = t.policy <> Fifo_per_cpu
+
+let queue_for t cpu = if is_global t then t.queues.(0) else t.queues.(cpu)
+
+let agent t = agent_cpu t.policy ~nr_cpus:t.ops.nr_cpus
+
+(* cpus the policy schedules user tasks on (the global agent's core is
+   dedicated to the agent) *)
+let worker_cpus t =
+  let excluded = agent t in
+  List.filter (fun c -> Some c <> excluded) (List.init t.ops.nr_cpus Fun.id)
+
+let agent_latency t =
+  match t.policy with
+  | Fifo_per_cpu -> t.ops.costs.ghost_agent_local
+  | Sol | Gshinjuku -> t.ops.costs.ghost_agent_remote
+
+(* every event is a message on the shared queue to the agent; a global
+   agent additionally processes messages one at a time, so bursts queue *)
+let msg_cost t ~cpu = t.ops.charge ~cpu t.ops.costs.ghost_msg
+
+let select_task_rq t (task : Kernsim.Task.t) ~waker_cpu =
+  msg_cost t ~cpu:waker_cpu;
+  let candidates = List.filter (Kernsim.Task.allowed_cpu task) (worker_cpus t) in
+  match candidates with
+  | [] -> waker_cpu
+  | cands -> (
+    match t.policy with
+    | Fifo_per_cpu -> (
+      (* per-CPU model: tasks belong to one cpu's queue; wakeups return
+         there no matter what is running (no work stealing, no preemption) *)
+      match Hashtbl.find_opt t.assigned task.pid with
+      | Some c when List.mem c cands -> c
+      | Some _ | None ->
+        t.rr <- t.rr + 1;
+        let c = List.nth cands (t.rr mod List.length cands) in
+        Hashtbl.replace t.assigned task.pid c;
+        c)
+    | Sol | Gshinjuku -> (
+      (* prefer an idle worker core, else round-robin *)
+      match List.find_opt (fun c -> t.ops.cpu_is_idle c) cands with
+      | Some c -> c
+      | None ->
+        t.rr <- t.rr + 1;
+        List.nth cands (t.rr mod List.length cands)))
+
+let enqueue t (task : Kernsim.Task.t) ~cpu =
+  Ds.Deque.push_back (queue_for t cpu) task.pid;
+  Hashtbl.replace t.tasks task.pid task
+
+let remove_pid t pid =
+  Array.iter (fun q -> ignore (Ds.Deque.remove_first q ~f:(fun p -> p = pid))) t.queues
+
+let task_new t (task : Kernsim.Task.t) ~cpu =
+  enqueue t task ~cpu;
+  (match t.policy with
+  | Gshinjuku -> t.ops.set_timer ~cpu:(max 0 (min cpu (t.ops.nr_cpus - 1))) Shinjuku.default_slice
+  | Fifo_per_cpu | Sol -> ())
+
+(* start a decision round-trip through the agent for [cpu]; a global
+   agent serves one request at a time, so concurrent cpus queue behind
+   [agent_free_at] *)
+let kick_agent t ~cpu =
+  if (not t.pending.(cpu)) && not t.ready.(cpu) then begin
+    t.pending.(cpu) <- true;
+    let latency = agent_latency t in
+    let delay =
+      match t.policy with
+      | Fifo_per_cpu ->
+        (* the per-CPU agent is scheduled and runs on this very core *)
+        t.ops.charge ~cpu t.ops.costs.ghost_agent_burn;
+        latency
+      | Sol | Gshinjuku ->
+        (* the global agent burns its dedicated core, serially *)
+        (match agent t with Some a -> t.ops.charge ~cpu:a latency | None -> ());
+        let now = t.ops.now () in
+        let start = max now t.agent_free_at in
+        t.agent_free_at <- start + latency;
+        t.agent_free_at - now
+    in
+    t.ops.defer ~delay (fun () ->
+        t.pending.(cpu) <- false;
+        t.ready.(cpu) <- true;
+        t.ops.resched_cpu cpu)
+  end
+
+let task_wakeup t (task : Kernsim.Task.t) ~cpu ~waker_cpu =
+  msg_cost t ~cpu:waker_cpu;
+  enqueue t task ~cpu;
+  (* a per-CPU agent picks the wakeup message off its own core's queue
+     right away, overlapping the decision with the wakeup IPI *)
+  if t.policy = Fifo_per_cpu && t.running.(cpu) = None then kick_agent t ~cpu
+
+let task_blocked t (task : Kernsim.Task.t) ~cpu =
+  msg_cost t ~cpu;
+  if t.running.(cpu) = Some task.pid then t.running.(cpu) <- None;
+  remove_pid t task.pid
+
+let requeue t (task : Kernsim.Task.t) ~cpu =
+  msg_cost t ~cpu;
+  if t.running.(cpu) = Some task.pid then t.running.(cpu) <- None;
+  remove_pid t task.pid;
+  enqueue t task ~cpu
+
+let task_dead t (task : Kernsim.Task.t) ~cpu =
+  msg_cost t ~cpu;
+  Array.iteri (fun c r -> if r = Some task.pid then t.running.(c) <- None) t.running;
+  remove_pid t task.pid;
+  Hashtbl.remove t.tasks task.pid
+
+(* the asynchronous upcall: no decision ready means the core goes idle
+   until the agent answers.  The Shinjuku agent instead keeps a committed
+   transaction ready per cpu (it runs hot on its dedicated core), so its
+   picks pay a commit cost rather than a blocking round trip. *)
+let pick_next_task t ~cpu =
+  if Some cpu = agent t then None
+  else if t.policy = Gshinjuku || t.ready.(cpu) then begin
+    if t.policy = Gshinjuku then begin
+      (* commit the agent's transaction: cost on this core, plus the agent
+         core burns continuously while transactions flow *)
+      t.ops.charge ~cpu (2 * t.ops.costs.ghost_msg);
+      match agent t with
+      | Some a -> t.ops.charge ~cpu:a t.ops.costs.ghost_agent_remote
+      | None -> ()
+    end;
+    t.ready.(cpu) <- false;
+    match Ds.Deque.remove_first (queue_for t cpu) ~f:(fun pid ->
+              match Hashtbl.find_opt t.tasks pid with
+              | Some task -> task.cpu = cpu && task.state = Kernsim.Task.Runnable
+              | None -> false)
+    with
+    | Some pid ->
+      t.running.(cpu) <- Some pid;
+      (match t.policy with
+      | Gshinjuku -> t.ops.set_timer ~cpu Shinjuku.default_slice
+      | Fifo_per_cpu | Sol -> ());
+      Some pid
+    | None -> None
+  end
+  else begin
+    if Ds.Deque.length (queue_for t cpu) > 0 then kick_agent t ~cpu;
+    None
+  end
+
+(* pull the global queue head onto this run-queue (the agent's placement
+   decision being applied by the kernel) *)
+let balance t ~cpu =
+  if Some cpu = agent t then None
+  else if t.policy <> Gshinjuku && not t.ready.(cpu) then None
+  else if is_global t then
+    match Ds.Deque.peek_front t.queues.(0) with
+    | Some pid -> (
+      match Hashtbl.find_opt t.tasks pid with
+      | Some task
+        when task.cpu <> cpu && task.state = Kernsim.Task.Runnable
+             && Kernsim.Task.allowed_cpu task cpu
+             && t.running.(task.cpu) <> None ->
+        Some pid
+      | Some _ | None -> None)
+    | None -> None
+  else None
+
+let task_tick t ~cpu ~queued =
+  ignore queued;
+  match t.policy with
+  | Gshinjuku ->
+    if queued && Ds.Deque.length (queue_for t cpu) > 0 then t.ops.resched_cpu cpu
+  | Fifo_per_cpu | Sol -> ()
+
+let factory policy : Kernsim.Sched_class.factory =
+ fun ops ->
+  let nq = match policy with Fifo_per_cpu -> ops.nr_cpus | Sol | Gshinjuku -> 1 in
+  let t =
+    {
+      ops;
+      policy;
+      queues = Array.init nq (fun _ -> Ds.Deque.create ());
+      running = Array.make ops.nr_cpus None;
+      ready = Array.make ops.nr_cpus false;
+      pending = Array.make ops.nr_cpus false;
+      tasks = Hashtbl.create 64;
+      rr = 0;
+      agent_free_at = 0;
+      assigned = Hashtbl.create 64;
+    }
+  in
+  let name =
+    match policy with
+    | Fifo_per_cpu -> "ghost-fifo"
+    | Sol -> "ghost-sol"
+    | Gshinjuku -> "ghost-shinjuku"
+  in
+  {
+    Kernsim.Sched_class.name;
+    select_task_rq = (fun task ~waker_cpu -> select_task_rq t task ~waker_cpu);
+    task_new = (fun task ~cpu -> task_new t task ~cpu);
+    task_wakeup = (fun task ~cpu ~waker_cpu -> task_wakeup t task ~cpu ~waker_cpu);
+    task_blocked = (fun task ~cpu -> task_blocked t task ~cpu);
+    task_yield = (fun task ~cpu -> requeue t task ~cpu);
+    task_preempt = (fun task ~cpu -> requeue t task ~cpu);
+    task_dead = (fun task ~cpu -> task_dead t task ~cpu);
+    task_departed = (fun task ~cpu -> task_dead t task ~cpu);
+    task_tick = (fun ~cpu ~queued -> task_tick t ~cpu ~queued);
+    pick_next_task = (fun ~cpu -> pick_next_task t ~cpu);
+    balance = (fun ~cpu -> balance t ~cpu);
+    balance_err = (fun _ ~cpu:_ -> ());
+    migrate_task_rq = (fun _ ~from_cpu:_ ~to_cpu:_ -> ());
+    task_prio_changed = (fun _ -> ());
+    task_affinity_changed = (fun _ -> ());
+    deliver_hint = (fun _ _ -> ());
+  }

@@ -1,0 +1,27 @@
+(** A model of the ghOSt userspace-scheduling framework, the paper's main
+    baseline (§4.2.2, §7).
+
+    GhOSt forwards scheduling events to a userspace agent and applies its
+    decisions asynchronously: the kernel does not wait for the agent, so a
+    core needing work may idle until the agent's decision lands.  This
+    class reproduces ghOSt's two structural costs:
+
+    - {e agent dispatch}: a cpu asking for work with no decision ready
+      posts a request and idles; the decision arrives after the agent
+      latency.  Per-CPU agents ([Fifo_per_cpu]) run on the target core and
+      consume its cycles; global agents ([Sol], [Gshinjuku]) run on a
+      dedicated core (the highest-numbered cpu) with a faster turnaround.
+    - {e messaging}: every scheduler event pays a message-enqueue cost in
+      kernel context.
+
+    [Sol] is ghOSt's latency-optimised global FIFO; [Gshinjuku] is ghOSt's
+    version of the Shinjuku policy (global FCFS + 10 us preemption).
+    Policy logic itself is exact; only the userspace round-trips are
+    modelled with calibrated costs ({!Kernsim.Costs}). *)
+
+type policy = Fifo_per_cpu | Sol | Gshinjuku
+
+(** The core the global agent occupies (none for per-CPU agents). *)
+val agent_cpu : policy -> nr_cpus:int -> int option
+
+val factory : policy -> Kernsim.Sched_class.factory

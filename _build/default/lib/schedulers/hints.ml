@@ -1,0 +1,49 @@
+type Kernsim.Task.hint +=
+  | Locality of { pid : int; group : int }
+  | Core_request of { pid : int; cores : int }
+  | Core_grant of { slot : int; cpu : int }
+  | Core_reclaim of { slot : int }
+  | Deadline of { pid : int; relative : Kernsim.Time.ns }
+
+let registered = ref false
+
+let register_codecs () =
+  if not !registered then begin
+    registered := true;
+    Enoki.Hint_codec.register ~name:"locality"
+      ~encode:(function
+        | Locality { pid; group } -> Some (Printf.sprintf "%d,%d" pid group)
+        | _ -> None)
+      ~decode:(fun s ->
+        match String.split_on_char ',' s with
+        | [ pid; group ] -> Locality { pid = int_of_string pid; group = int_of_string group }
+        | _ -> failwith "locality hint");
+    Enoki.Hint_codec.register ~name:"core_request"
+      ~encode:(function
+        | Core_request { pid; cores } -> Some (Printf.sprintf "%d,%d" pid cores)
+        | _ -> None)
+      ~decode:(fun s ->
+        match String.split_on_char ',' s with
+        | [ pid; cores ] -> Core_request { pid = int_of_string pid; cores = int_of_string cores }
+        | _ -> failwith "core_request hint");
+    Enoki.Hint_codec.register ~name:"core_grant"
+      ~encode:(function
+        | Core_grant { slot; cpu } -> Some (Printf.sprintf "%d,%d" slot cpu)
+        | _ -> None)
+      ~decode:(fun s ->
+        match String.split_on_char ',' s with
+        | [ slot; cpu ] -> Core_grant { slot = int_of_string slot; cpu = int_of_string cpu }
+        | _ -> failwith "core_grant hint");
+    Enoki.Hint_codec.register ~name:"core_reclaim"
+      ~encode:(function Core_reclaim { slot } -> Some (string_of_int slot) | _ -> None)
+      ~decode:(fun s -> Core_reclaim { slot = int_of_string s });
+    Enoki.Hint_codec.register ~name:"deadline"
+      ~encode:(function
+        | Deadline { pid; relative } -> Some (Printf.sprintf "%d,%d" pid relative)
+        | _ -> None)
+      ~decode:(fun s ->
+        match String.split_on_char ',' s with
+        | [ pid; relative ] ->
+          Deadline { pid = int_of_string pid; relative = int_of_string relative }
+        | _ -> failwith "deadline hint")
+  end

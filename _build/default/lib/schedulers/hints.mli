@@ -1,0 +1,23 @@
+(** Hint message shapes used by the paper's hint-driven schedulers (§3.3).
+
+    Each scheduler defines its own hint data structures; these are the two
+    sets the paper describes: locality hints (task id + locality value) for
+    the locality-aware scheduler, and core requests / reclamation for the
+    Arachne two-level scheduler.  Codecs are registered so record/replay
+    can serialise them. *)
+
+type Kernsim.Task.hint +=
+  | Locality of { pid : int; group : int }
+      (** user -> kernel: co-locate [pid] with other tasks of [group] *)
+  | Core_request of { pid : int; cores : int }
+      (** user -> kernel: the runtime [pid] wants [cores] cores *)
+  | Core_grant of { slot : int; cpu : int }
+      (** kernel -> user: activation slot [slot] was granted [cpu] *)
+  | Core_reclaim of { slot : int }
+      (** kernel -> user: give back the core held by activation [slot] *)
+  | Deadline of { pid : int; relative : Kernsim.Time.ns }
+      (** user -> kernel: [pid]'s work should complete within [relative]
+          of each wakeup (the EDF extension scheduler) *)
+
+(** Idempotently register the record/replay codecs for the above. *)
+val register_codecs : unit -> unit

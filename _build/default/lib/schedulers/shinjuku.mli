@@ -1,0 +1,24 @@
+(** The Enoki Shinjuku scheduler (§4.2.2).
+
+    Approximates Shinjuku's centralized first-come-first-serve queue with
+    fast preemption on top of the kernel's multiple run-queues: all waiting
+    tasks sit in one global FCFS queue; when a cpu needs work it takes the
+    head (migrating it to its own run-queue via [balance] if needed); a
+    reschedule timer is armed on {e every} operation so any task that has
+    run for the preemption slice is placed back at the tail.  The paper
+    uses a 10 us slice (instead of Shinjuku's 5 us) to avoid overloading
+    the scheduler; long range-queries therefore cannot starve short GETs,
+    which is the whole point of Figure 2.
+
+    Pass a different [slice] via {!create_with_slice} ablations. *)
+
+include Enoki.Sched_trait.S
+
+(** Global queue depth. *)
+val queue_depth : t -> int
+
+(** Default preemption slice (10 us, as in §4.2.2). *)
+val default_slice : Kernsim.Time.ns
+
+(** A variant module with a custom preemption slice (ablation benches). *)
+val with_slice : Kernsim.Time.ns -> (module Enoki.Sched_trait.S)

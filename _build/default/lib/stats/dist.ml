@@ -1,0 +1,77 @@
+type t = Prng.t -> float
+
+let sample t rng = t rng
+
+let constant v _ = v
+
+let uniform ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform";
+  fun rng -> lo +. ((hi -. lo) *. Prng.float rng)
+
+let exponential ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential";
+  fun rng ->
+    let u = 1.0 -. Prng.float rng in
+    -.mean *. log u
+
+let pareto ~alpha ~lo ~hi =
+  if alpha <= 0.0 || lo <= 0.0 || hi < lo then invalid_arg "Dist.pareto";
+  (* inverse CDF of the bounded Pareto *)
+  let la = lo ** alpha and ha = hi ** alpha in
+  fun rng ->
+    let u = Prng.float rng in
+    ((-.((u *. ha) -. u -. ha) /. (ha *. la)) ** (-1.0 /. alpha))
+
+let lognormal ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Dist.lognormal";
+  fun rng ->
+    (* Box-Muller *)
+    let u1 = 1.0 -. Prng.float rng and u2 = Prng.float rng in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    exp (mu +. (sigma *. z))
+
+let mixture parts =
+  if parts = [] then invalid_arg "Dist.mixture";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+  if total <= 0.0 then invalid_arg "Dist.mixture: weights";
+  fun rng ->
+    let x = Prng.float rng *. total in
+    let rec pick acc = function
+      | [ (_, d) ] -> sample d rng
+      | (w, d) :: rest -> if x < acc +. w then sample d rng else pick (acc +. w) rest
+      | [] -> assert false
+    in
+    pick 0.0 parts
+
+let discrete pairs = mixture (List.map (fun (w, v) -> (w, constant v)) pairs)
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf";
+  (* Precomputed inverse-CDF table; exact for the modest n workloads use. *)
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  fun rng ->
+    let u = Prng.float rng in
+    (* binary search for the first cdf entry >= u *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+    in
+    float_of_int (search 0 (n - 1))
+
+let mean_of_samples t rng ~n =
+  if n <= 0 then invalid_arg "Dist.mean_of_samples";
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. t rng
+  done;
+  !acc /. float_of_int n

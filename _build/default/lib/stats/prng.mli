@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation.
+
+    Every source of randomness in the simulator and the workload generators
+    flows from one of these explicitly-seeded streams, which is what makes
+    whole simulation runs (and therefore record/replay) reproducible.
+
+    The generator is xoshiro256** seeded through splitmix64, both from
+    Blackman & Vigna; state fits in four [int64]s and splitting a fresh
+    independent stream is cheap. *)
+
+type t
+
+(** [create ~seed] builds a generator; equal seeds yield equal streams. *)
+val create : seed:int -> t
+
+(** A new generator whose stream is independent of [t]'s future output. *)
+val split : t -> t
+
+(** Uniform non-negative int in [0, 2^62). *)
+val next : t -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [int t bound] is uniform in [0, bound). Raises when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** Fisher-Yates shuffle in place. *)
+val shuffle : t -> 'a array -> unit

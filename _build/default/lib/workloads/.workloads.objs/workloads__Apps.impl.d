@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Kernsim List Printf Setup Stats

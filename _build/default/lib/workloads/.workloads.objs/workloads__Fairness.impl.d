@@ -1,0 +1,1 @@
+lib/workloads/fairness.ml: Float Kernsim List Printf Setup Stats

@@ -1,0 +1,1 @@
+lib/workloads/fairness.mli: Kernsim Setup

@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Array Kernsim List Printf Queue Schedulers Setup Stats

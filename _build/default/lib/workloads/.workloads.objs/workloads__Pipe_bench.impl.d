@@ -1,0 +1,1 @@
+lib/workloads/pipe_bench.ml: Kernsim List Setup

@@ -1,0 +1,1 @@
+lib/workloads/pipe_bench.mli: Kernsim Setup

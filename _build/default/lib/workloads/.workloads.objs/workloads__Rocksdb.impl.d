@@ -1,0 +1,1 @@
+lib/workloads/rocksdb.ml: Kernsim Printf Queue Setup Stats

@@ -1,0 +1,1 @@
+lib/workloads/rocksdb.mli: Kernsim Setup

@@ -1,0 +1,1 @@
+lib/workloads/schbench.ml: Kernsim List Printf Schedulers Setup Stats

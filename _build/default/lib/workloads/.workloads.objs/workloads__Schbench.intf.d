@@ -1,0 +1,1 @@
+lib/workloads/schbench.mli: Kernsim Setup

@@ -1,0 +1,1 @@
+lib/workloads/setup.ml: Enoki Kernsim Schedulers

@@ -1,0 +1,1 @@
+lib/workloads/setup.mli: Enoki Kernsim Schedulers

@@ -1,0 +1,45 @@
+(** The Table 5 application-benchmark suite: 9 NAS-like and 27
+    Phoronix-like synthetic applications.
+
+    The paper compares CFS against the Enoki WFQ scheduler on the NAS
+    Parallel Benchmarks and the Phoronix multicore suite.  We cannot run
+    those binaries inside a simulator, so each is replaced by a synthetic
+    application from one of five families chosen to span the same axis the
+    suites span — {e sensitivity to load balancing}:
+
+    - [Parallel_compute]: one task per core (optionally barrier-phased) —
+      the NAS pattern; placement barely matters.
+    - [Fork_join]: waves of short-lived tasks — placement of fresh tasks
+      matters (video encoders, compile-like).
+    - [Producer_consumer]: pipeline pairs — wakeup placement matters.
+    - [Io_mix]: many tasks blocking on I/O timers — idle balancing matters
+      (database/server-style, e.g. Cassandra).
+    - [Unbalanced]: tasks of skewed lengths — periodic rebalancing matters
+      most (compression with long mode, e.g. Zstd).
+
+    Each app reports a throughput score (work per wall time); the bench
+    harness prints the CFS-vs-WFQ percentage difference per app and the
+    geometric mean, as Table 5 does. *)
+
+type family =
+  | Parallel_compute of { tasks_per_core : float; chunk : Kernsim.Time.ns; steps : int; barrier : bool }
+  | Fork_join of { waves : int; tasks_per_wave : int; work : Kernsim.Time.ns; skew : float }
+  | Producer_consumer of { pairs : int; items : int; work : Kernsim.Time.ns }
+  | Io_mix of { tasks : int; compute : Kernsim.Time.ns; sleep : Kernsim.Time.ns; iters : int }
+  | Unbalanced of { tasks : int; base : Kernsim.Time.ns; skew : float; steps : int }
+
+type app = { name : string; unit_ : string; family : family; seed : int }
+
+(** The 9 NAS-like applications. *)
+val nas : app list
+
+(** The 27 Phoronix-like applications (same names as the paper's Table 7). *)
+val phoronix : app list
+
+type result = {
+  score : float;  (** throughput: normalised work units per second *)
+  elapsed : Kernsim.Time.ns;
+}
+
+(** Run one app to completion on a freshly supplied machine. *)
+val run : Setup.built -> app -> result

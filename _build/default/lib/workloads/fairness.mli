@@ -1,0 +1,24 @@
+(** The WFQ functional-equivalence checks of Appendix A.1.
+
+    Three behavioural benchmarks establishing that the Enoki WFQ scheduler
+    implements the behaviour expected of a weighted-fair-queuing scheduler,
+    by comparing against CFS:
+
+    - fair sharing: equal CPU-bound tasks complete together, co-located or
+      spread;
+    - weighting: a minimum-priority task finishes well after its siblings;
+    - placement: one task per core, with and without a forced migration. *)
+
+(** [fair_share b ~colocated ~work] runs five CPU hogs of [work] each and
+    returns their completion times (seconds), in pid order. *)
+val fair_share :
+  Setup.built -> colocated:bool -> work:Kernsim.Time.ns -> float list
+
+(** [weighted b ~work] runs five co-located hogs, one at nice 19.  Returns
+    [(normal_completions, low_prio_completion)] in seconds. *)
+val weighted : Setup.built -> work:Kernsim.Time.ns -> float list * float
+
+(** [placement b ~move ~work] runs one hog per core; with [move], one task
+    is forced onto a neighbour's core mid-run.  Returns (mean, stdev) of
+    completion times in seconds. *)
+val placement : Setup.built -> move:bool -> work:Kernsim.Time.ns -> float * float

@@ -1,0 +1,41 @@
+(** The memcached / Mutilate benchmark of §5.6 (Figure 3).
+
+    A Mutilate-style open-loop load generator offers a Facebook-ETC-like
+    request mix (mostly tiny GETs, a tail of larger values, 3% updates) to
+    a memcached server.  Three server builds are compared:
+
+    - [Cfs]: stock memcached — a thread pool on all eight cores under CFS,
+      one kernel wakeup per request;
+    - [Arachne_native]: Arachne's userspace core arbiter — activations poll
+      for work; core requests travel over a socket (modelled as an extra
+      round-trip delay before grants and reclaims apply);
+    - [Arachne_enoki]: the same runtime talking to the Enoki in-kernel core
+      arbiter ({!Schedulers.Arachne}) through hint queues.
+
+    Both Arachne variants automatically scale between two and seven cores,
+    reserving one core for background work, as the paper configures. *)
+
+type mode = Cfs | Arachne_native | Arachne_enoki
+
+type point = {
+  offered_kreqs : float;
+  achieved_kreqs : float;
+  p99_us : float;
+  p50_us : float;
+  avg_cores : float;  (** mean cores held by the server (Arachne modes) *)
+}
+
+type params = {
+  mode : mode;
+  load_kreqs : float;
+  warmup : Kernsim.Time.ns;
+  duration : Kernsim.Time.ns;
+  seed : int;
+}
+
+val default_params : mode:mode -> load_kreqs:float -> params
+
+(** For [Arachne_*] modes the machine must be built with
+    [Setup.Enoki_sched (module Schedulers.Arachne)]; for [Cfs], with
+    [Setup.Cfs]. *)
+val run : Setup.built -> params -> point

@@ -1,0 +1,32 @@
+(** The RocksDB service benchmark of §5.4 (Figure 2).
+
+    Replicates the paper's methodology exactly: an open-loop Poisson load
+    generator dispatches requests to 50 worker tasks on five cores; 99.5%
+    of requests are GETs of 4 us assigned service time and 0.5% are range
+    queries of 10 ms (the paper itself assigns these times and spin-waits).
+    One core is reserved for background work, one for the load generator,
+    and one for the scheduling agent when a ghOSt configuration runs.
+
+    With [with_batch], a CFS batch application (nice 19) shares the
+    machine while RocksDB runs at nice -20 under CFS — Figures 2b/2c. *)
+
+type point = {
+  offered_kreqs : float;  (** offered load, thousand requests/second *)
+  achieved_kreqs : float;
+  p99_us : float;  (** 99th percentile request latency *)
+  p50_us : float;
+  batch_cpus : float;  (** cores' worth of cpu the batch app received *)
+}
+
+type params = {
+  load_kreqs : float;
+  with_batch : bool;
+  warmup : Kernsim.Time.ns;
+  duration : Kernsim.Time.ns;
+  workers : int;
+  seed : int;
+}
+
+val default_params : load_kreqs:float -> with_batch:bool -> params
+
+val run : Setup.built -> params -> point

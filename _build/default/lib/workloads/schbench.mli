@@ -1,0 +1,34 @@
+(** The schbench benchmark (§5.2 Table 4, §5.5 Table 6, §5.7).
+
+    [messages] message threads each drive [workers] worker threads: the
+    message thread pings every worker, each worker does a small unit of
+    work and replies, and the benchmark reports the distribution of worker
+    {e wakeup latency} — time from a worker's wakeup to its dispatch.
+
+    [Table 6]'s modified variant sends {!Schedulers.Hints.Locality} hints
+    co-locating each message thread with its workers (each set gets its own
+    core), exercising Enoki's userspace hinting. *)
+
+type result = {
+  p50 : Kernsim.Time.ns;
+  p99 : Kernsim.Time.ns;
+  samples : int;
+}
+
+type params = {
+  messages : int;  (** message threads *)
+  workers : int;  (** worker threads per message thread *)
+  warmup : Kernsim.Time.ns;
+  duration : Kernsim.Time.ns;  (** measurement window after warmup *)
+  message_work : Kernsim.Time.ns;  (** message-thread work per round *)
+  worker_work : Kernsim.Time.ns;  (** worker work per ping *)
+  locality_hints : bool;  (** send co-location hints (Table 6) *)
+  pin_one_core : bool;  (** cgroup-style: pin every thread to cpu 0 *)
+}
+
+val default_params : params
+
+val run : Setup.built -> params -> result
+
+(** The Arachne row: ping-pong between user threads, ~1 us wakeups. *)
+val run_userlevel : Setup.built -> params -> result

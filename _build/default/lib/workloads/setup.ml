@@ -1,0 +1,51 @@
+type kind =
+  | Cfs
+  | Enoki_sched of (module Enoki.Sched_trait.S)
+  | Ghost of Schedulers.Ghost_sim.policy
+
+type built = {
+  machine : Kernsim.Machine.t;
+  policy : int;
+  cfs_policy : int;
+  enoki : Enoki.Enoki_c.t option;
+  agent_core : int option;
+}
+
+let build ?costs ?record ~topology kind =
+  Schedulers.Hints.register_codecs ();
+  match kind with
+  | Cfs ->
+    let machine =
+      Kernsim.Machine.create ?costs ~topology ~classes:[ Kernsim.Cfs.factory () ] ()
+    in
+    { machine; policy = 0; cfs_policy = 0; enoki = None; agent_core = None }
+  | Enoki_sched m ->
+    let enoki = Enoki.Enoki_c.create ?record ~policy:0 m in
+    let machine =
+      Kernsim.Machine.create ?costs ~topology
+        ~classes:[ Enoki.Enoki_c.factory enoki; Kernsim.Cfs.factory () ]
+        ()
+    in
+    { machine; policy = 0; cfs_policy = 1; enoki = Some enoki; agent_core = None }
+  | Ghost policy ->
+    let machine =
+      Kernsim.Machine.create ?costs ~topology
+        ~classes:[ Schedulers.Ghost_sim.factory policy; Kernsim.Cfs.factory () ]
+        ()
+    in
+    {
+      machine;
+      policy = 0;
+      cfs_policy = 1;
+      enoki = None;
+      agent_core =
+        Schedulers.Ghost_sim.agent_cpu policy
+          ~nr_cpus:(Kernsim.Topology.nr_cpus topology);
+    }
+
+let label = function
+  | Cfs -> "cfs"
+  | Enoki_sched (module S) -> "enoki:" ^ S.name
+  | Ghost Schedulers.Ghost_sim.Fifo_per_cpu -> "ghost-fifo"
+  | Ghost Schedulers.Ghost_sim.Sol -> "ghost-sol"
+  | Ghost Schedulers.Ghost_sim.Gshinjuku -> "ghost-shinjuku"

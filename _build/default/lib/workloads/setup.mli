@@ -1,0 +1,32 @@
+(** Machine assembly for the benchmark matrix.
+
+    Builds a simulated machine with the scheduler configuration under test.
+    Enoki and ghOSt configurations stack their class above native CFS, so
+    tasks outside the tested policy (batch apps, background work) fall
+    through to CFS exactly as in the paper's co-location experiments. *)
+
+type kind =
+  | Cfs  (** native CFS only *)
+  | Enoki_sched of (module Enoki.Sched_trait.S)  (** an Enoki scheduler over CFS *)
+  | Ghost of Schedulers.Ghost_sim.policy  (** a ghOSt policy over CFS *)
+
+type built = {
+  machine : Kernsim.Machine.t;
+  policy : int;  (** policy id for tasks of the scheduler under test *)
+  cfs_policy : int;  (** policy id for co-located CFS tasks *)
+  enoki : Enoki.Enoki_c.t option;  (** present for [Enoki_sched] (upgrade, stats) *)
+  agent_core : int option;
+      (** core occupied by a spinning userspace scheduling agent (ghOSt
+          global policies); workloads spawn the spinner so the core is
+          really consumed *)
+}
+
+val build :
+  ?costs:Kernsim.Costs.t ->
+  ?record:Enoki.Record.t ->
+  topology:Kernsim.Topology.t ->
+  kind ->
+  built
+
+(** Short label for tables ("cfs", "enoki:wfq", "ghost-sol", ...). *)
+val label : kind -> string

@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Ds Float Fun Int List Map Printf QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_enoki.ml: Alcotest Enoki Filename Hashtbl Kernsim List Mutex Option Printf Schedulers String Sys Thread Workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Enoki Fun Kernsim List Option Printf Schedulers Workloads

@@ -1,0 +1,1 @@
+test/test_kernsim.ml: Alcotest Int Kernsim List Option Printf Stats

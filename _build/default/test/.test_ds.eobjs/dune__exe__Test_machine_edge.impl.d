@@ -1,0 +1,1 @@
+test/test_machine_edge.ml: Alcotest Enoki Fun Kernsim List Option Printf Schedulers Stats Workloads

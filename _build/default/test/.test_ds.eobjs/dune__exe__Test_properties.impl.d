@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Enoki Kernsim List Option Printf QCheck QCheck_alcotest Schedulers Stats Workloads

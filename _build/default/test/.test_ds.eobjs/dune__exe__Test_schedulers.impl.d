@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Array Enoki Float Hashtbl Int Kernsim List Option Printf QCheck QCheck_alcotest Schedulers Stats Workloads

@@ -1,0 +1,539 @@
+(* Unit and property tests for the data-structure substrate (lib/ds). *)
+
+module IntRb = Ds.Rbtree.Make (Int)
+
+let check = Alcotest.check
+
+(* ---------- Rbtree unit tests ---------- *)
+
+let rb_of_list l = List.fold_left (fun t k -> IntRb.add k (k * 10) t) IntRb.empty l
+
+let test_rb_empty () =
+  check Alcotest.bool "is_empty" true (IntRb.is_empty IntRb.empty);
+  check Alcotest.int "cardinal" 0 (IntRb.cardinal IntRb.empty);
+  check Alcotest.bool "min none" true (IntRb.min_binding_opt IntRb.empty = None)
+
+let test_rb_add_find () =
+  let t = rb_of_list [ 5; 3; 8; 1; 4 ] in
+  check Alcotest.int "cardinal" 5 (IntRb.cardinal t);
+  check Alcotest.(option int) "find 3" (Some 30) (IntRb.find_opt 3 t);
+  check Alcotest.(option int) "find 9" None (IntRb.find_opt 9 t);
+  check Alcotest.bool "mem 8" true (IntRb.mem 8 t)
+
+let test_rb_replace () =
+  let t = IntRb.add 1 100 (IntRb.add 1 10 IntRb.empty) in
+  check Alcotest.int "cardinal" 1 (IntRb.cardinal t);
+  check Alcotest.(option int) "replaced" (Some 100) (IntRb.find_opt 1 t)
+
+let test_rb_min_max () =
+  let t = rb_of_list [ 5; 3; 8; 1; 4 ] in
+  check Alcotest.(option (pair int int)) "min" (Some (1, 10)) (IntRb.min_binding_opt t);
+  check Alcotest.(option (pair int int)) "max" (Some (8, 80)) (IntRb.max_binding_opt t)
+
+let test_rb_remove () =
+  let t = rb_of_list [ 5; 3; 8; 1; 4 ] in
+  let t = IntRb.remove 3 t in
+  check Alcotest.int "cardinal after remove" 4 (IntRb.cardinal t);
+  check Alcotest.bool "gone" false (IntRb.mem 3 t);
+  let t = IntRb.remove 42 t in
+  check Alcotest.int "remove absent is noop" 4 (IntRb.cardinal t)
+
+let test_rb_remove_all () =
+  let keys = [ 7; 2; 9; 4; 1; 8; 3; 6; 5; 0 ] in
+  let t = rb_of_list keys in
+  let t = List.fold_left (fun t k -> IntRb.remove k t) t keys in
+  check Alcotest.bool "empty after removing all" true (IntRb.is_empty t)
+
+let test_rb_to_list_sorted () =
+  let t = rb_of_list [ 5; 3; 8; 1; 4 ] in
+  check
+    Alcotest.(list (pair int int))
+    "sorted"
+    [ (1, 10); (3, 30); (4, 40); (5, 50); (8, 80) ]
+    (IntRb.to_list t)
+
+let test_rb_nth () =
+  let t = rb_of_list [ 5; 3; 8 ] in
+  check Alcotest.(pair int int) "nth 0" (3, 30) (IntRb.nth t 0);
+  check Alcotest.(pair int int) "nth 2" (8, 80) (IntRb.nth t 2);
+  Alcotest.check_raises "nth out of range" (Invalid_argument "Rbtree.nth") (fun () ->
+      ignore (IntRb.nth t 3))
+
+let test_rb_fold_iter () =
+  let t = rb_of_list [ 2; 1; 3 ] in
+  let sum = IntRb.fold (fun k _ acc -> acc + k) t 0 in
+  check Alcotest.int "fold sum" 6 sum;
+  let seen = ref [] in
+  IntRb.iter (fun k _ -> seen := k :: !seen) t;
+  check Alcotest.(list int) "iter order" [ 3; 2; 1 ] !seen
+
+let test_rb_large_sequential () =
+  let n = 2000 in
+  let t = ref IntRb.empty in
+  for i = 1 to n do
+    t := IntRb.add i i !t
+  done;
+  check Alcotest.int "cardinal" n (IntRb.cardinal !t);
+  check Alcotest.bool "no red-red" true (IntRb.invariant_no_red_red !t);
+  check Alcotest.bool "black height" true (IntRb.invariant_black_height !t);
+  for i = 1 to n / 2 do
+    t := IntRb.remove (i * 2) !t
+  done;
+  check Alcotest.int "cardinal after deletes" (n / 2) (IntRb.cardinal !t);
+  check Alcotest.bool "no red-red after deletes" true (IntRb.invariant_no_red_red !t);
+  check Alcotest.bool "black height after deletes" true (IntRb.invariant_black_height !t);
+  check Alcotest.(option (pair int int)) "min is 1" (Some (1, 1)) (IntRb.min_binding_opt !t)
+
+(* ---------- Rbtree property tests ---------- *)
+
+(* Apply a random sequence of add/remove operations and compare against
+   Stdlib.Map while checking the red-black invariants throughout. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_bound 300)
+      (pair bool (int_bound 50) >|= fun (add, k) -> if add then `Add k else `Remove k))
+
+let ops_arbitrary =
+  QCheck.make ops_gen ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function `Add k -> Printf.sprintf "+%d" k | `Remove k -> Printf.sprintf "-%d" k)
+           ops))
+
+module IntMap = Map.Make (Int)
+
+let prop_rb_model ops =
+  let apply (t, m) = function
+    | `Add k -> (IntRb.add k k t, IntMap.add k k m)
+    | `Remove k -> (IntRb.remove k t, IntMap.remove k m)
+  in
+  let t, m = List.fold_left apply (IntRb.empty, IntMap.empty) ops in
+  IntRb.to_list t = IntMap.bindings m
+
+let prop_rb_invariants ops =
+  let apply t = function `Add k -> IntRb.add k k t | `Remove k -> IntRb.remove k t in
+  let rec go t = function
+    | [] -> true
+    | op :: rest ->
+      let t = apply t op in
+      IntRb.invariant_no_red_red t && IntRb.invariant_black_height t
+      && IntRb.invariant_ordered t && go t rest
+  in
+  go IntRb.empty ops
+
+let prop_rb_cardinal ops =
+  let apply t = function `Add k -> IntRb.add k k t | `Remove k -> IntRb.remove k t in
+  let t = List.fold_left apply IntRb.empty ops in
+  IntRb.cardinal t = List.length (IntRb.to_list t)
+
+let prop_rb_min ops =
+  let apply t = function `Add k -> IntRb.add k k t | `Remove k -> IntRb.remove k t in
+  let t = List.fold_left apply IntRb.empty ops in
+  match (IntRb.min_binding_opt t, IntRb.to_list t) with
+  | None, [] -> true
+  | Some (k, _), (k', _) :: _ -> k = k'
+  | _ -> false
+
+(* ---------- Ring buffer ---------- *)
+
+let test_ring_basic () =
+  let r = Ds.Ring_buffer.create ~capacity:3 in
+  check Alcotest.bool "empty" true (Ds.Ring_buffer.is_empty r);
+  check Alcotest.bool "push1" true (Ds.Ring_buffer.push r 1);
+  check Alcotest.bool "push2" true (Ds.Ring_buffer.push r 2);
+  check Alcotest.bool "push3" true (Ds.Ring_buffer.push r 3);
+  check Alcotest.bool "full" true (Ds.Ring_buffer.is_full r);
+  check Alcotest.bool "push4 dropped" false (Ds.Ring_buffer.push r 4);
+  check Alcotest.int "dropped" 1 (Ds.Ring_buffer.dropped r);
+  check Alcotest.(option int) "pop fifo" (Some 1) (Ds.Ring_buffer.pop r);
+  check Alcotest.(option int) "peek" (Some 2) (Ds.Ring_buffer.peek r);
+  check Alcotest.int "length" 2 (Ds.Ring_buffer.length r)
+
+let test_ring_wraparound () =
+  let r = Ds.Ring_buffer.create ~capacity:2 in
+  for i = 1 to 10 do
+    check Alcotest.bool "push" true (Ds.Ring_buffer.push r i);
+    check Alcotest.(option int) "pop" (Some i) (Ds.Ring_buffer.pop r)
+  done;
+  check Alcotest.int "no drops" 0 (Ds.Ring_buffer.dropped r)
+
+let test_ring_drain () =
+  let r = Ds.Ring_buffer.create ~capacity:4 in
+  List.iter (fun i -> ignore (Ds.Ring_buffer.push r i)) [ 1; 2; 3 ];
+  check Alcotest.(list int) "drain order" [ 1; 2; 3 ] (Ds.Ring_buffer.drain r);
+  check Alcotest.bool "empty after drain" true (Ds.Ring_buffer.is_empty r)
+
+let test_ring_invalid () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Ring_buffer.create") (fun () ->
+      ignore (Ds.Ring_buffer.create ~capacity:0))
+
+let prop_ring_fifo pushes =
+  (* with a big enough ring, pop order equals push order *)
+  let r = Ds.Ring_buffer.create ~capacity:(List.length pushes + 1) in
+  List.iter (fun x -> ignore (Ds.Ring_buffer.push r x)) pushes;
+  Ds.Ring_buffer.drain r = pushes
+
+(* ---------- Heap ---------- *)
+
+let test_heap_order () =
+  let h = Ds.Heap.create ~compare:Int.compare in
+  List.iter (Ds.Heap.add h) [ 5; 1; 4; 2; 3 ];
+  let out = List.filter_map (fun _ -> Ds.Heap.pop h) [ 1; 2; 3; 4; 5 ] in
+  check Alcotest.(list int) "sorted pops" [ 1; 2; 3; 4; 5 ] out;
+  check Alcotest.bool "empty" true (Ds.Heap.is_empty h)
+
+let test_heap_peek () =
+  let h = Ds.Heap.create ~compare:Int.compare in
+  check Alcotest.(option int) "peek empty" None (Ds.Heap.peek h);
+  Ds.Heap.add h 3;
+  Ds.Heap.add h 1;
+  check Alcotest.(option int) "peek min" (Some 1) (Ds.Heap.peek h);
+  check Alcotest.int "len" 2 (Ds.Heap.length h)
+
+let test_heap_remove_if () =
+  let h = Ds.Heap.create ~compare:Int.compare in
+  List.iter (Ds.Heap.add h) [ 1; 2; 3; 4; 5; 6 ];
+  Ds.Heap.remove_if h (fun x -> x mod 2 = 0);
+  let out = List.filter_map (fun _ -> Ds.Heap.pop h) [ 1; 2; 3 ] in
+  check Alcotest.(list int) "odds remain" [ 1; 3; 5 ] out
+
+let prop_heap_sorts l =
+  let h = Ds.Heap.create ~compare:Int.compare in
+  List.iter (Ds.Heap.add h) l;
+  let rec drain acc =
+    match Ds.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain [] = List.sort Int.compare l
+
+(* ---------- Deque ---------- *)
+
+let test_deque_basic () =
+  let d = Ds.Deque.create () in
+  Ds.Deque.push_back d 1;
+  Ds.Deque.push_back d 2;
+  Ds.Deque.push_front d 0;
+  check Alcotest.(list int) "order" [ 0; 1; 2 ] (Ds.Deque.to_list d);
+  check Alcotest.(option int) "pop_front" (Some 0) (Ds.Deque.pop_front d);
+  check Alcotest.(option int) "pop_back" (Some 2) (Ds.Deque.pop_back d);
+  check Alcotest.int "length" 1 (Ds.Deque.length d)
+
+let test_deque_growth () =
+  let d = Ds.Deque.create () in
+  for i = 1 to 100 do
+    Ds.Deque.push_back d i
+  done;
+  check Alcotest.int "length" 100 (Ds.Deque.length d);
+  check Alcotest.(option int) "front" (Some 1) (Ds.Deque.peek_front d);
+  check Alcotest.(option int) "back" (Some 100) (Ds.Deque.peek_back d)
+
+let test_deque_remove () =
+  let d = Ds.Deque.create () in
+  List.iter (Ds.Deque.push_back d) [ 1; 2; 3; 2 ];
+  check Alcotest.bool "removed" true (Ds.Deque.remove d ~eq:Int.equal 2);
+  check Alcotest.(list int) "first occurrence gone" [ 1; 3; 2 ] (Ds.Deque.to_list d);
+  check Alcotest.bool "absent" false (Ds.Deque.remove d ~eq:Int.equal 9)
+
+let test_deque_mixed_ends () =
+  let d = Ds.Deque.create () in
+  (* interleave front/back pushes across the growth boundary *)
+  for i = 1 to 20 do
+    if i mod 2 = 0 then Ds.Deque.push_back d i else Ds.Deque.push_front d i
+  done;
+  check Alcotest.int "length" 20 (Ds.Deque.length d);
+  check Alcotest.(option int) "front is 19" (Some 19) (Ds.Deque.peek_front d);
+  check Alcotest.(option int) "back is 20" (Some 20) (Ds.Deque.peek_back d)
+
+let prop_deque_queue l =
+  (* push_back + pop_front behaves as a FIFO *)
+  let d = Ds.Deque.create () in
+  List.iter (Ds.Deque.push_back d) l;
+  let rec drain acc =
+    match Ds.Deque.pop_front d with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain [] = l
+
+let prop_deque_stack l =
+  (* push_back + pop_back behaves as a LIFO *)
+  let d = Ds.Deque.create () in
+  List.iter (Ds.Deque.push_back d) l;
+  let rec drain acc =
+    match Ds.Deque.pop_back d with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain [] = List.rev l
+
+(* ---------- Stats: Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Stats.Prng.create ~seed:42 and b = Stats.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Stats.Prng.next a) (Stats.Prng.next b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Stats.Prng.create ~seed:1 and b = Stats.Prng.create ~seed:2 in
+  let all_eq = ref true in
+  for _ = 1 to 20 do
+    if Stats.Prng.next a <> Stats.Prng.next b then all_eq := false
+  done;
+  check Alcotest.bool "streams differ" false !all_eq
+
+let test_prng_float_range () =
+  let r = Stats.Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let f = Stats.Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_int_range () =
+  let r = Stats.Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Stats.Prng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int") (fun () ->
+      ignore (Stats.Prng.int r 0))
+
+let test_prng_split_independent () =
+  let a = Stats.Prng.create ~seed:5 in
+  let b = Stats.Prng.split a in
+  let eq = ref 0 in
+  for _ = 1 to 50 do
+    if Stats.Prng.next a = Stats.Prng.next b then incr eq
+  done;
+  check Alcotest.bool "split stream distinct" true (!eq < 5)
+
+let test_prng_shuffle_permutation () =
+  let r = Stats.Prng.create ~seed:3 in
+  let arr = Array.init 50 Fun.id in
+  Stats.Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ---------- Stats: Dist ---------- *)
+
+let rng () = Stats.Prng.create ~seed:123
+
+let test_dist_constant () =
+  check (Alcotest.float 0.0) "constant" 5.0
+    (Stats.Dist.sample (Stats.Dist.constant 5.0) (rng ()))
+
+let test_dist_uniform_bounds () =
+  let d = Stats.Dist.uniform ~lo:2.0 ~hi:4.0 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let x = Stats.Dist.sample d r in
+    if x < 2.0 || x >= 4.0 then Alcotest.failf "uniform out of bounds: %f" x
+  done
+
+let test_dist_exponential_mean () =
+  let d = Stats.Dist.exponential ~mean:10.0 in
+  let m = Stats.Dist.mean_of_samples d (rng ()) ~n:20000 in
+  check (Alcotest.float 0.5) "mean ~10" 10.0 m
+
+let test_dist_pareto_bounds () =
+  let d = Stats.Dist.pareto ~alpha:1.5 ~lo:1.0 ~hi:100.0 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let x = Stats.Dist.sample d r in
+    if x < 0.99 || x > 100.01 then Alcotest.failf "pareto out of bounds: %f" x
+  done
+
+let test_dist_mixture_weights () =
+  (* 90/10 mixture of constants: sample mean must sit near 10 *)
+  let d =
+    Stats.Dist.mixture [ (0.9, Stats.Dist.constant 0.0); (0.1, Stats.Dist.constant 100.0) ]
+  in
+  let m = Stats.Dist.mean_of_samples d (rng ()) ~n:20000 in
+  check (Alcotest.float 1.0) "mixture mean" 10.0 m
+
+let test_dist_zipf_skew () =
+  let d = Stats.Dist.zipf ~n:100 ~s:1.2 in
+  let r = rng () in
+  let zero = ref 0 and total = 10000 in
+  for _ = 1 to total do
+    if Stats.Dist.sample d r = 0.0 then incr zero
+  done;
+  (* rank 0 of a zipf(1.2) over 100 items has probability ~0.26 *)
+  check Alcotest.bool "rank 0 dominates" true (!zero > total / 8)
+
+let test_dist_lognormal_positive () =
+  let d = Stats.Dist.lognormal ~mu:1.0 ~sigma:0.5 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    if Stats.Dist.sample d r <= 0.0 then Alcotest.fail "lognormal must be positive"
+  done
+
+(* ---------- Stats: Histogram ---------- *)
+
+let test_hist_empty () =
+  let h = Stats.Histogram.create () in
+  check Alcotest.int "count" 0 (Stats.Histogram.count h);
+  check Alcotest.int "p50 of empty" 0 (Stats.Histogram.percentile h 50.0)
+
+let test_hist_single () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record h 1000;
+  check Alcotest.int "count" 1 (Stats.Histogram.count h);
+  check Alcotest.int "min" 1000 (Stats.Histogram.min h);
+  check Alcotest.int "max" 1000 (Stats.Histogram.max h);
+  let p99 = Stats.Histogram.percentile h 99.0 in
+  check Alcotest.bool "p99 near value" true (abs (p99 - 1000) <= 1000 / 16)
+
+let test_hist_percentiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.record h i
+  done;
+  let p50 = Stats.Histogram.percentile h 50.0 in
+  let p99 = Stats.Histogram.percentile h 99.0 in
+  check Alcotest.bool "p50 ~500" true (abs (p50 - 500) < 40);
+  check Alcotest.bool "p99 ~990" true (abs (p99 - 990) < 60);
+  check Alcotest.bool "p50 <= p99" true (p50 <= p99)
+
+let test_hist_mean () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.record h) [ 10; 20; 30 ];
+  check (Alcotest.float 0.01) "mean" 20.0 (Stats.Histogram.mean h)
+
+let test_hist_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.record a 10;
+  Stats.Histogram.record b 1000;
+  Stats.Histogram.merge ~dst:a ~src:b;
+  check Alcotest.int "count" 2 (Stats.Histogram.count a);
+  check Alcotest.int "min" 10 (Stats.Histogram.min a);
+  check Alcotest.int "max" 1000 (Stats.Histogram.max a)
+
+let test_hist_clamps_zero () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record h 0;
+  Stats.Histogram.record h (-5);
+  check Alcotest.int "count" 2 (Stats.Histogram.count h);
+  check Alcotest.int "min clamped to 1" 1 (Stats.Histogram.min h)
+
+let prop_hist_percentile_monotone values =
+  let h = Stats.Histogram.create () in
+  List.iter (fun v -> Stats.Histogram.record h (abs v + 1)) values;
+  let ps = [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+  let qs = List.map (Stats.Histogram.percentile h) ps in
+  let rec mono = function a :: (b :: _ as rest) -> a <= b && mono rest | _ -> true in
+  mono qs
+
+let prop_hist_bounded_error v =
+  (* percentile of a single recorded value has bounded relative error *)
+  let v = (abs v mod 1_000_000_000) + 1 in
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record h v;
+  let q = Stats.Histogram.percentile h 100.0 in
+  let err = Float.abs (float_of_int (q - v)) /. float_of_int v in
+  err <= 0.07
+
+(* ---------- Stats: Summary ---------- *)
+
+let test_summary_mean_stdev () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.Summary.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "stdev" 1.0 (Stats.Summary.stdev [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "mean empty" 0.0 (Stats.Summary.mean [])
+
+let test_summary_geomean () =
+  check (Alcotest.float 1e-6) "geomean" 2.0 (Stats.Summary.geomean [ 1.0; 4.0 ]);
+  check (Alcotest.float 1e-6) "geomean abs" 2.0 (Stats.Summary.geomean [ -1.0; -4.0 ])
+
+let test_summary_percent_diff () =
+  check (Alcotest.float 1e-9) "slower" 10.0
+    (Stats.Summary.percent_diff ~baseline:100.0 ~value:90.0);
+  check (Alcotest.float 1e-9) "faster" (-10.0)
+    (Stats.Summary.percent_diff ~baseline:100.0 ~value:110.0);
+  check (Alcotest.float 1e-9) "zero baseline" 0.0
+    (Stats.Summary.percent_diff ~baseline:0.0 ~value:5.0)
+
+(* ---------- suite ---------- *)
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let () =
+  Alcotest.run "ds-and-stats"
+    [
+      ( "rbtree",
+        [
+          Alcotest.test_case "empty" `Quick test_rb_empty;
+          Alcotest.test_case "add/find" `Quick test_rb_add_find;
+          Alcotest.test_case "replace" `Quick test_rb_replace;
+          Alcotest.test_case "min/max" `Quick test_rb_min_max;
+          Alcotest.test_case "remove" `Quick test_rb_remove;
+          Alcotest.test_case "remove all" `Quick test_rb_remove_all;
+          Alcotest.test_case "sorted to_list" `Quick test_rb_to_list_sorted;
+          Alcotest.test_case "nth" `Quick test_rb_nth;
+          Alcotest.test_case "fold/iter" `Quick test_rb_fold_iter;
+          Alcotest.test_case "large sequential" `Quick test_rb_large_sequential;
+        ] );
+      ( "rbtree-properties",
+        [
+          qtest "models Map" ops_arbitrary prop_rb_model;
+          qtest "red-black invariants hold" ops_arbitrary prop_rb_invariants;
+          qtest "cardinal consistent" ops_arbitrary prop_rb_cardinal;
+          qtest "min is first" ops_arbitrary prop_rb_min;
+        ] );
+      ( "ring_buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "drain" `Quick test_ring_drain;
+          Alcotest.test_case "invalid capacity" `Quick test_ring_invalid;
+          qtest "fifo order" QCheck.(list small_int) prop_ring_fifo;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "pop order" `Quick test_heap_order;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "remove_if" `Quick test_heap_remove_if;
+          qtest "heapsort" QCheck.(list small_int) prop_heap_sorts;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "basic" `Quick test_deque_basic;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "remove" `Quick test_deque_remove;
+          Alcotest.test_case "mixed ends" `Quick test_deque_mixed_ends;
+          qtest "fifo" QCheck.(list small_int) prop_deque_queue;
+          qtest "lifo" QCheck.(list small_int) prop_deque_stack;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_dist_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_dist_uniform_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_dist_exponential_mean;
+          Alcotest.test_case "pareto bounds" `Quick test_dist_pareto_bounds;
+          Alcotest.test_case "mixture weights" `Quick test_dist_mixture_weights;
+          Alcotest.test_case "zipf skew" `Quick test_dist_zipf_skew;
+          Alcotest.test_case "lognormal positive" `Quick test_dist_lognormal_positive;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single value" `Quick test_hist_single;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "mean" `Quick test_hist_mean;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "clamps nonpositive" `Quick test_hist_clamps_zero;
+          qtest "percentiles monotone" QCheck.(list small_int) prop_hist_percentile_monotone;
+          qtest "bounded relative error" QCheck.int prop_hist_bounded_error;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "mean/stdev" `Quick test_summary_mean_stdev;
+          Alcotest.test_case "geomean" `Quick test_summary_geomean;
+          Alcotest.test_case "percent_diff" `Quick test_summary_percent_diff;
+        ] );
+    ]

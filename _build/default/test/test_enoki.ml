@@ -1,0 +1,568 @@
+(* Tests for the Enoki framework (lib/core): capabilities, messages, locks,
+   dispatch, live upgrade, hints, record/replay. *)
+
+module T = Kernsim.Task
+module M = Kernsim.Machine
+module Sched = Enoki.Schedulable
+
+let check = Alcotest.check
+
+(* ---------- Schedulable ---------- *)
+
+let test_schedulable_fields () =
+  let s = Sched.Private.create ~pid:7 ~cpu:2 ~gen:5 in
+  check Alcotest.int "pid" 7 (Sched.pid s);
+  check Alcotest.int "cpu" 2 (Sched.cpu s);
+  check Alcotest.int "gen" 5 (Sched.generation s);
+  check Alcotest.bool "live" true (Sched.is_live s)
+
+let test_schedulable_consume () =
+  let s = Sched.Private.create ~pid:1 ~cpu:0 ~gen:1 in
+  Sched.Private.consume s;
+  check Alcotest.bool "dead after consume" false (Sched.is_live s);
+  check Alcotest.bool "describe mentions consumed" true
+    (String.length (Sched.describe s) > 0)
+
+(* ---------- Message encode/decode ---------- *)
+
+let roundtrip_call c =
+  let line = Enoki.Message.encode_call c in
+  let c' = Enoki.Message.decode_call line in
+  check Alcotest.string "call roundtrip" line (Enoki.Message.encode_call c')
+
+let test_message_roundtrips () =
+  let s = Sched.Private.create ~pid:3 ~cpu:1 ~gen:9 in
+  List.iter roundtrip_call
+    [
+      Get_policy;
+      Pick_next_task { cpu = 2; curr = None; curr_runtime = 0 };
+      Pick_next_task { cpu = 2; curr = Some s; curr_runtime = 123 };
+      Pnt_err { cpu = 1; pid = 3; err = "wrong_cpu"; sched = Some s };
+      Task_dead { pid = 42 };
+      Task_blocked { pid = 1; runtime = 555; cpu = 3 };
+      Task_wakeup { pid = 1; runtime = 10; waker_cpu = 0; sched = s };
+      Task_new { pid = 1; runtime = 0; prio = -20; sched = s };
+      Task_preempt { pid = 1; runtime = 99; cpu = 2; sched = s };
+      Task_yield { pid = 1; runtime = 98; cpu = 2; sched = s };
+      Task_departed { pid = 5; cpu = 0 };
+      Task_affinity_changed { pid = 5; allowed = [ 1; 2; 3 ] };
+      Task_affinity_changed { pid = 5; allowed = [] };
+      Task_prio_changed { pid = 5; prio = 10 };
+      Task_tick { cpu = 7; queued = true };
+      Select_task_rq { pid = 9; waker_cpu = 4; allowed = [ 0; 1 ] };
+      Migrate_task_rq { pid = 9; from_cpu = 1; sched = s };
+      Balance { cpu = 6 };
+      Balance_err { cpu = 6; pid = 9; sched = None };
+    ]
+
+let test_reply_roundtrips () =
+  let s = Sched.Private.create ~pid:3 ~cpu:1 ~gen:9 in
+  List.iter
+    (fun r ->
+      let line = Enoki.Message.encode_reply r in
+      check Alcotest.string "reply roundtrip" line
+        (Enoki.Message.encode_reply (Enoki.Message.decode_reply line)))
+    [ R_unit; R_int 5; R_int (-3); R_pid_opt None; R_pid_opt (Some 8); R_sched_opt None;
+      R_sched_opt (Some s) ]
+
+let test_reply_matching () =
+  let s1 = Sched.Private.create ~pid:3 ~cpu:1 ~gen:9 in
+  let s2 = Sched.Private.create ~pid:3 ~cpu:1 ~gen:22 in
+  let s3 = Sched.Private.create ~pid:4 ~cpu:1 ~gen:9 in
+  check Alcotest.bool "same pid+cpu matches despite gen" true
+    (Enoki.Message.reply_matches (R_sched_opt (Some s1)) (R_sched_opt (Some s2)));
+  check Alcotest.bool "different pid mismatch" false
+    (Enoki.Message.reply_matches (R_sched_opt (Some s1)) (R_sched_opt (Some s3)));
+  check Alcotest.bool "unit vs int mismatch" false
+    (Enoki.Message.reply_matches R_unit (R_int 0))
+
+let test_decode_failure () =
+  (match Enoki.Message.decode_call "nonsense here" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected decode failure");
+  match Enoki.Message.decode_reply "what" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected reply decode failure"
+
+(* ---------- Hint codec ---------- *)
+
+let test_hint_codec () =
+  Schedulers.Hints.register_codecs ();
+  let h = Schedulers.Hints.Locality { pid = 12; group = 3 } in
+  let enc = Enoki.Hint_codec.encode h in
+  (match Enoki.Hint_codec.decode enc with
+  | Schedulers.Hints.Locality { pid; group } ->
+    check Alcotest.int "pid" 12 pid;
+    check Alcotest.int "group" 3 group
+  | _ -> Alcotest.fail "decoded to wrong constructor");
+  let r = Schedulers.Hints.Core_request { pid = 4; cores = 6 } in
+  (match Enoki.Hint_codec.decode (Enoki.Hint_codec.encode r) with
+  | Schedulers.Hints.Core_request { pid; cores } ->
+    check Alcotest.int "pid" 4 pid;
+    check Alcotest.int "cores" 6 cores
+  | _ -> Alcotest.fail "core_request roundtrip failed")
+
+let test_hint_codec_opaque () =
+  (* unregistered hints survive as opaque strings *)
+  match Enoki.Hint_codec.decode "nosuchcodec:payload" with
+  | Enoki.Hint_codec.Opaque s -> check Alcotest.string "payload" "payload" s
+  | _ -> Alcotest.fail "expected Opaque"
+
+(* ---------- Lock ---------- *)
+
+let test_lock_passthrough () =
+  Enoki.Lock.set_passthrough_mode ();
+  let l = Enoki.Lock.create ~name:"t" () in
+  check Alcotest.int "with_lock result" 42 (Enoki.Lock.with_lock l (fun () -> 42))
+
+let test_lock_record_events () =
+  let events = ref [] in
+  Enoki.Lock.reset_ids ();
+  Enoki.Lock.set_record_mode
+    ~sink:(fun e -> events := e :: !events)
+    ~tid:(fun () -> 3);
+  let l = Enoki.Lock.create () in
+  ignore (Enoki.Lock.with_lock l (fun () -> 1));
+  Enoki.Lock.set_passthrough_mode ();
+  let evs = List.rev !events in
+  check Alcotest.int "three events" 3 (List.length evs);
+  (match evs with
+  | [ a; b; c ] ->
+    check Alcotest.bool "create" true (a.Enoki.Lock.op = Enoki.Lock.Create);
+    check Alcotest.bool "acquire" true (b.Enoki.Lock.op = Enoki.Lock.Acquire);
+    check Alcotest.bool "release" true (c.Enoki.Lock.op = Enoki.Lock.Release);
+    check Alcotest.int "tid recorded" 3 b.Enoki.Lock.tid
+  | _ -> Alcotest.fail "expected 3 events")
+
+let test_lock_replay_order () =
+  (* two threads must acquire in the recorded order 2;1;2 *)
+  Enoki.Lock.reset_ids ();
+  let table = Hashtbl.create 4 in
+  let table_mu = Mutex.create () in
+  let my_tid () =
+    Mutex.lock table_mu;
+    let v = try Hashtbl.find table (Thread.id (Thread.self ())) with Not_found -> -1 in
+    Mutex.unlock table_mu;
+    v
+  in
+  Enoki.Lock.set_replay_mode ~order:(fun _ -> [ 2; 1; 2 ]) ~tid:my_tid;
+  let l = Enoki.Lock.create () in
+  let log = ref [] and log_mu = Mutex.create () in
+  let work tid n () =
+    Mutex.lock table_mu;
+    Hashtbl.replace table (Thread.id (Thread.self ())) tid;
+    Mutex.unlock table_mu;
+    for _ = 1 to n do
+      Enoki.Lock.with_lock l (fun () ->
+          Mutex.lock log_mu;
+          log := tid :: !log;
+          Mutex.unlock log_mu)
+    done
+  in
+  let t1 = Thread.create (work 1 1) () in
+  let t2 = Thread.create (work 2 2) () in
+  Thread.join t1;
+  Thread.join t2;
+  Enoki.Lock.set_passthrough_mode ();
+  check Alcotest.(list int) "recorded order enforced" [ 2; 1; 2 ] (List.rev !log)
+
+(* ---------- Enoki_c end-to-end on a machine ---------- *)
+
+let build_fifo ?record () =
+  Workloads.Setup.build ?record ~topology:Kernsim.Topology.one_socket
+    (Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched))
+
+let one_shot compute =
+  let done_ = ref false in
+  fun (_ : T.ctx) ->
+    if !done_ then T.Exit
+    else begin
+      done_ := true;
+      T.Compute compute
+    end
+
+let test_enoki_runs_tasks () =
+  let b = build_fifo () in
+  let pids =
+    List.init 4 (fun i ->
+        M.spawn b.machine
+          { (T.default_spec ~name:(Printf.sprintf "t%d" i) (one_shot (Kernsim.Time.ms 2))) with
+            T.policy = b.policy })
+  in
+  M.run_for b.machine (Kernsim.Time.ms 50);
+  List.iter
+    (fun pid ->
+      let task = Option.get (M.find_task b.machine pid) in
+      check Alcotest.bool "task completed under enoki fifo" true (task.T.state = T.Dead))
+    pids;
+  match b.enoki with
+  | Some e ->
+    check Alcotest.bool "dispatches happened" true (Enoki.Enoki_c.calls e > 0);
+    check Alcotest.int "no violations" 0 (Enoki.Enoki_c.violations e)
+  | None -> Alcotest.fail "expected enoki handle"
+
+let test_enoki_coexists_with_cfs () =
+  (* enoki tasks and cfs tasks share the machine; enoki cedes idle cycles *)
+  let b = build_fifo () in
+  let epid =
+    M.spawn b.machine
+      { (T.default_spec ~name:"enoki-task" (one_shot (Kernsim.Time.ms 1))) with T.policy = b.policy }
+  in
+  let cpid =
+    M.spawn b.machine
+      { (T.default_spec ~name:"cfs-task" (one_shot (Kernsim.Time.ms 1))) with
+        T.policy = b.cfs_policy }
+  in
+  M.run_for b.machine (Kernsim.Time.ms 20);
+  check Alcotest.bool "enoki task done" true
+    ((Option.get (M.find_task b.machine epid)).T.state = T.Dead);
+  check Alcotest.bool "cfs task done" true
+    ((Option.get (M.find_task b.machine cpid)).T.state = T.Dead)
+
+(* a scheduler that deliberately returns a wrong-cpu Schedulable once, to
+   exercise the pnt_err path *)
+module Bad_sched = struct
+  type t = {
+    inner : Schedulers.Fifo_sched.t;
+    mutable sabotage_left : int;
+    mutable stash : Sched.t option; (* the real token kept during sabotage *)
+    mutable pnt_errs : int;
+  }
+
+  let name = "bad"
+
+  let create ctx =
+    { inner = Schedulers.Fifo_sched.create ctx; sabotage_left = 1; stash = None; pnt_errs = 0 }
+
+  let get_policy t = Schedulers.Fifo_sched.get_policy t.inner
+
+  let pick_next_task t ~cpu ~curr ~curr_runtime =
+    match Schedulers.Fifo_sched.pick_next_task t.inner ~cpu ~curr ~curr_runtime with
+    | Some tok when t.sabotage_left > 0 && Sched.cpu tok = cpu ->
+      t.sabotage_left <- t.sabotage_left - 1;
+      t.stash <- Some tok;
+      (* forge a token claiming a different core: must be rejected *)
+      Some (Sched.Private.create ~pid:(Sched.pid tok) ~cpu:(cpu + 1) ~gen:(Sched.generation tok))
+    | r -> r
+
+  let pnt_err t ~cpu ~pid ~err ~sched =
+    t.pnt_errs <- t.pnt_errs + 1;
+    ignore (err, sched);
+    (* recover: hand the stashed real token back to the queue *)
+    match t.stash with
+    | Some tok ->
+      t.stash <- None;
+      Schedulers.Fifo_sched.pnt_err t.inner ~cpu ~pid ~err:"recovered" ~sched:(Some tok)
+    | None -> ()
+
+  let task_dead t = Schedulers.Fifo_sched.task_dead t.inner
+
+  let task_blocked t = Schedulers.Fifo_sched.task_blocked t.inner
+
+  let task_wakeup t = Schedulers.Fifo_sched.task_wakeup t.inner
+
+  let task_new t = Schedulers.Fifo_sched.task_new t.inner
+
+  let task_preempt t = Schedulers.Fifo_sched.task_preempt t.inner
+
+  let task_yield t = Schedulers.Fifo_sched.task_yield t.inner
+
+  let task_departed t = Schedulers.Fifo_sched.task_departed t.inner
+
+  let task_affinity_changed t = Schedulers.Fifo_sched.task_affinity_changed t.inner
+
+  let task_prio_changed t = Schedulers.Fifo_sched.task_prio_changed t.inner
+
+  let task_tick t = Schedulers.Fifo_sched.task_tick t.inner
+
+  let select_task_rq t = Schedulers.Fifo_sched.select_task_rq t.inner
+
+  let migrate_task_rq t = Schedulers.Fifo_sched.migrate_task_rq t.inner
+
+  let balance t = Schedulers.Fifo_sched.balance t.inner
+
+  let balance_err t = Schedulers.Fifo_sched.balance_err t.inner
+
+  let reregister_prepare _ = None
+
+  let reregister_init ctx _ = create ctx
+
+  let parse_hint t = Schedulers.Fifo_sched.parse_hint t.inner
+end
+
+let test_schedulable_violation_recovered () =
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched (module Bad_sched))
+  in
+  let pid =
+    M.spawn b.machine
+      { (T.default_spec ~name:"victim" (one_shot (Kernsim.Time.ms 1))) with T.policy = b.policy }
+  in
+  M.run_for b.machine (Kernsim.Time.ms 50);
+  let e = Option.get b.enoki in
+  check Alcotest.bool "violation detected" true (Enoki.Enoki_c.violations e >= 1);
+  check Alcotest.bool "wrong_cpu classified" true
+    (List.mem_assoc "wrong_cpu" (Enoki.Enoki_c.violation_breakdown e));
+  (* the task must still complete: pnt_err returned ownership and the
+     scheduler recovered *)
+  check Alcotest.bool "task survived the bad pick" true
+    ((Option.get (M.find_task b.machine pid)).T.state = T.Dead)
+
+(* ---------- live upgrade ---------- *)
+
+let hog ~chunk ~steps =
+  let left = ref steps in
+  fun (_ : T.ctx) ->
+    if !left = 0 then T.Exit
+    else begin
+      decr left;
+      T.Compute chunk
+    end
+
+let test_live_upgrade_same_module () =
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched (module Schedulers.Wfq))
+  in
+  let pids =
+    List.init 6 (fun i ->
+        M.spawn b.machine
+          { (T.default_spec ~name:(Printf.sprintf "h%d" i)
+               (hog ~chunk:(Kernsim.Time.ms 1) ~steps:30))
+            with
+            T.policy = b.policy })
+  in
+  let e = Option.get b.enoki in
+  let stats = ref None in
+  M.at b.machine ~delay:(Kernsim.Time.ms 10) (fun () ->
+      match Enoki.Enoki_c.upgrade e (module Schedulers.Wfq) with
+      | Ok s -> stats := Some s
+      | Error exn -> raise exn);
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  (match !stats with
+  | Some s ->
+    check Alcotest.bool "state transferred" true s.Enoki.Upgrade.transferred;
+    check Alcotest.bool "pause is positive" true (s.Enoki.Upgrade.pause > 0);
+    check Alcotest.bool "pause is microseconds-scale" true
+      (s.Enoki.Upgrade.pause < Kernsim.Time.us 100);
+    check Alcotest.bool "tasks carried" true (s.Enoki.Upgrade.tasks_carried >= 6)
+  | None -> Alcotest.fail "upgrade did not run");
+  (* no task may be lost across the upgrade *)
+  List.iter
+    (fun pid ->
+      check Alcotest.bool "task survived upgrade" true
+        ((Option.get (M.find_task b.machine pid)).T.state = T.Dead))
+    pids
+
+let test_live_upgrade_incompatible_rejected () =
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched (module Schedulers.Wfq))
+  in
+  ignore
+    (M.spawn b.machine
+       { (T.default_spec ~name:"h" (hog ~chunk:(Kernsim.Time.ms 1) ~steps:50)) with
+         T.policy = b.policy });
+  M.run_for b.machine (Kernsim.Time.ms 5);
+  let e = Option.get b.enoki in
+  (* Shinjuku does not recognise WFQ's transfer state *)
+  (match Enoki.Enoki_c.upgrade e (module Schedulers.Shinjuku) with
+  | Error (Enoki.Upgrade.Incompatible _) -> ()
+  | Error e -> raise e
+  | Ok _ -> Alcotest.fail "incompatible upgrade must fail");
+  check Alcotest.string "old scheduler still registered" "wfq" (Enoki.Enoki_c.scheduler_name e);
+  (* and the machine keeps running fine *)
+  M.run_for b.machine (Kernsim.Time.ms 100);
+  check Alcotest.int "no tasks alive" 0
+    (List.length
+       (List.filter (fun (t : T.t) -> t.T.state <> T.Dead) (M.tasks b.machine)))
+
+let test_upgrade_pause_scales_with_tasks () =
+  let pause_for n =
+    let b =
+      Workloads.Setup.build ~topology:Kernsim.Topology.two_socket
+        (Workloads.Setup.Enoki_sched (module Schedulers.Wfq))
+    in
+    for i = 1 to n do
+      ignore
+        (M.spawn b.machine
+           { (T.default_spec ~name:(Printf.sprintf "h%d" i)
+                (hog ~chunk:(Kernsim.Time.ms 1) ~steps:100))
+             with
+             T.policy = b.policy })
+    done;
+    let e = Option.get b.enoki in
+    let pause = ref 0 in
+    M.at b.machine ~delay:(Kernsim.Time.ms 5) (fun () ->
+        match Enoki.Enoki_c.upgrade e (module Schedulers.Wfq) with
+        | Ok s -> pause := s.Enoki.Upgrade.pause
+        | Error exn -> raise exn);
+    M.run_for b.machine (Kernsim.Time.ms 10);
+    !pause
+  in
+  let small = pause_for 4 and large = pause_for 80 in
+  check Alcotest.bool "more tasks, longer pause" true (large > small)
+
+(* ---------- hints ---------- *)
+
+let test_hints_reach_scheduler () =
+  Schedulers.Hints.register_codecs ();
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched (module Schedulers.Locality))
+  in
+  let beh =
+    let st = ref `Hint in
+    fun (ctx : T.ctx) ->
+      match !st with
+      | `Hint ->
+        st := `Work;
+        T.Send_hint (Schedulers.Hints.Locality { pid = ctx.T.self; group = 1 })
+      | `Work -> T.Exit
+  in
+  ignore (M.spawn b.machine { (T.default_spec ~name:"hinter" beh) with T.policy = b.policy });
+  M.run_for b.machine (Kernsim.Time.ms 10);
+  match b.enoki with
+  | Some e -> check Alcotest.int "no hints dropped" 0 (Enoki.Enoki_c.hints_dropped e)
+  | None -> Alcotest.fail "no enoki"
+
+(* ---------- record / replay ---------- *)
+
+let pingpong_workload b ~iters =
+  let m = b.Workloads.Setup.machine in
+  let ch_ab = M.new_chan m and ch_ba = M.new_chan m in
+  let mk ~send ~recv ~first =
+    let n = ref 0 and st = ref (if first then `Send else `Recv0) in
+    fun (_ : T.ctx) ->
+      match !st with
+      | `Recv0 ->
+        st := `Send;
+        T.Block recv
+      | `Send ->
+        st := `Recv;
+        T.Wake send
+      | `Recv ->
+        incr n;
+        if !n >= iters then T.Exit
+        else begin
+          st := `Send;
+          T.Block recv
+        end
+  in
+  ignore
+    (M.spawn m
+       { (T.default_spec ~name:"ping" (mk ~send:ch_ab ~recv:ch_ba ~first:true)) with
+         T.policy = b.Workloads.Setup.policy });
+  ignore
+    (M.spawn m
+       { (T.default_spec ~name:"pong" (mk ~send:ch_ba ~recv:ch_ab ~first:false)) with
+         T.policy = b.Workloads.Setup.policy })
+
+let test_record_produces_log () =
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:50;
+  M.run_for b.machine (Kernsim.Time.ms 100);
+  Enoki.Record.drain record;
+  check Alcotest.bool "log non-empty" true (Enoki.Record.length record > 100);
+  check Alcotest.int "nothing dropped" 0 (Enoki.Record.dropped record);
+  (* every line parses *)
+  let entries = Enoki.Replay.parse (Enoki.Record.contents record) in
+  check Alcotest.bool "entries parsed" true (List.length entries > 100)
+
+let test_record_ring_overrun_drops () =
+  let record = Enoki.Record.create ~capacity:8 () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:200;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  (* tiny ring, high rate: the paper's "events may be dropped" behaviour *)
+  check Alcotest.bool "drops counted" true (Enoki.Record.dropped record > 0)
+
+let test_replay_matches_record () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:100;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  let log = Enoki.Record.contents record in
+  (* replay the identical scheduler code at userspace *)
+  let report = Enoki.Replay.run (module Schedulers.Fifo_sched) ~log in
+  check Alcotest.bool "replayed calls" true (report.Enoki.Replay.total_calls > 200);
+  check Alcotest.(list (pair int string)) "no mismatches" [] report.Enoki.Replay.mismatches;
+  check Alcotest.bool "multiple kernel threads" true (report.Enoki.Replay.threads >= 1)
+
+let test_replay_detects_divergence () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:50;
+  M.run_for b.machine (Kernsim.Time.ms 100);
+  let log = Enoki.Record.contents record in
+  (* replay against a different scheduler: replies must diverge *)
+  let report = Enoki.Replay.run (module Schedulers.Shinjuku) ~log in
+  check Alcotest.bool "divergence flagged" true (report.Enoki.Replay.mismatches <> [])
+
+let test_record_save_load () =
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:20;
+  M.run_for b.machine (Kernsim.Time.ms 50);
+  let path = Filename.temp_file "enoki" ".rec" in
+  Enoki.Record.save record ~path;
+  let loaded = Enoki.Record.load_file ~path in
+  Sys.remove path;
+  check Alcotest.string "file roundtrip" (Enoki.Record.contents record) loaded
+
+(* ---------- suite ---------- *)
+
+let () =
+  Alcotest.run "enoki-core"
+    [
+      ( "schedulable",
+        [
+          Alcotest.test_case "fields" `Quick test_schedulable_fields;
+          Alcotest.test_case "consume" `Quick test_schedulable_consume;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "call roundtrips" `Quick test_message_roundtrips;
+          Alcotest.test_case "reply roundtrips" `Quick test_reply_roundtrips;
+          Alcotest.test_case "reply matching" `Quick test_reply_matching;
+          Alcotest.test_case "decode failure" `Quick test_decode_failure;
+        ] );
+      ( "hints",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_hint_codec;
+          Alcotest.test_case "opaque fallback" `Quick test_hint_codec_opaque;
+          Alcotest.test_case "hints reach scheduler" `Quick test_hints_reach_scheduler;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "passthrough" `Quick test_lock_passthrough;
+          Alcotest.test_case "record events" `Quick test_lock_record_events;
+          Alcotest.test_case "replay order" `Quick test_lock_replay_order;
+        ] );
+      ( "enoki_c",
+        [
+          Alcotest.test_case "runs tasks" `Quick test_enoki_runs_tasks;
+          Alcotest.test_case "coexists with cfs" `Quick test_enoki_coexists_with_cfs;
+          Alcotest.test_case "violation recovered via pnt_err" `Quick
+            test_schedulable_violation_recovered;
+        ] );
+      ( "upgrade",
+        [
+          Alcotest.test_case "same module" `Quick test_live_upgrade_same_module;
+          Alcotest.test_case "incompatible rejected" `Quick
+            test_live_upgrade_incompatible_rejected;
+          Alcotest.test_case "pause scales" `Quick test_upgrade_pause_scales_with_tasks;
+        ] );
+      ( "record-replay",
+        [
+          Alcotest.test_case "record produces log" `Quick test_record_produces_log;
+          Alcotest.test_case "ring overrun drops" `Quick test_record_ring_overrun_drops;
+          Alcotest.test_case "replay matches" `Quick test_replay_matches_record;
+          Alcotest.test_case "replay detects divergence" `Quick test_replay_detects_divergence;
+          Alcotest.test_case "save/load" `Quick test_record_save_load;
+        ] );
+    ]

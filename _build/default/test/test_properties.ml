@@ -1,0 +1,191 @@
+(* Cross-cutting property tests: invariants that must hold for every
+   scheduler on randomly generated workloads.
+
+   - liveness / work conservation: every spawned task eventually finishes
+     when the machine has capacity;
+   - safety: no Schedulable violations ever arise from correct schedulers;
+   - record/replay: a recorded run replays against the same scheduler code
+     with every reply matching (the §3.4 determinism argument). *)
+
+module T = Kernsim.Task
+module M = Kernsim.Machine
+
+let schedulers : (string * (module Enoki.Sched_trait.S)) list =
+  [
+    ("fifo", (module Schedulers.Fifo_sched));
+    ("wfq", (module Schedulers.Wfq));
+    ("shinjuku", (module Schedulers.Shinjuku));
+    ("locality", (module Schedulers.Locality));
+    ("nest", (module Schedulers.Nest));
+    ("edf", (module Schedulers.Edf));
+  ]
+
+(* a random but finite task mix: compute bursts, sleeps, channel traffic *)
+let spawn_random_workload m ~policy ~rng ~tasks =
+  let ch = M.new_chan m in
+  let total_work = ref 0 in
+  let pids =
+    List.init tasks (fun i ->
+        let steps = ref (5 + Stats.Prng.int rng 15) in
+        let beh (_ : T.ctx) =
+          if !steps = 0 then T.Exit
+          else begin
+            decr steps;
+            match Stats.Prng.int rng 6 with
+            | 0 | 1 ->
+              let d = 1 + Stats.Prng.int rng 800_000 in
+              total_work := !total_work + d;
+              T.Compute d
+            | 2 -> T.Sleep (1 + Stats.Prng.int rng 300_000)
+            | 3 -> T.Wake ch
+            | 4 -> T.Yield
+            | _ -> if Stats.Prng.bool rng then T.Wake ch else T.Block ch
+          end
+        in
+        let affinity = if Stats.Prng.int rng 4 = 0 then Some [ Stats.Prng.int rng 8 ] else None in
+        M.spawn m
+          {
+            (T.default_spec ~name:(Printf.sprintf "r%d" i) beh) with
+            T.policy;
+            nice = Stats.Prng.int rng 20 - 10;
+            affinity;
+          })
+  in
+  (pids, ch, total_work)
+
+(* blocked-forever tasks are legitimate (a Block with no matching Wake);
+   release them by flooding the channel at the end *)
+let release m ch =
+  let flood =
+    let n = ref 64 in
+    fun (_ : T.ctx) ->
+      if !n = 0 then T.Exit
+      else begin
+        decr n;
+        T.Wake ch
+      end
+  in
+  ignore (M.spawn m (T.default_spec ~name:"flood" flood))
+
+let prop_tasks_finish (name, modul) seed =
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched modul)
+  in
+  let rng = Stats.Prng.create ~seed in
+  let pids, ch, total_work = spawn_random_workload b.machine ~policy:b.policy ~rng ~tasks:10 in
+  M.run_for b.machine (Kernsim.Time.ms 400);
+  release b.machine ch;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  let unfinished =
+    List.filter
+      (fun pid -> (Option.get (M.find_task b.machine pid)).T.state <> T.Dead)
+      pids
+  in
+  (match b.enoki with
+  | Some e ->
+    if Enoki.Enoki_c.violations e > 0 then
+      QCheck.Test.fail_reportf "%s: %d Schedulable violations (seed %d)" name
+        (Enoki.Enoki_c.violations e) seed
+  | None -> ());
+  if unfinished <> [] then
+    QCheck.Test.fail_reportf "%s: %d tasks never finished (seed %d)" name
+      (List.length unfinished) seed;
+  (* the consumed cpu time covers the generated compute demand *)
+  let consumed =
+    List.fold_left
+      (fun acc pid -> acc + (Option.get (M.find_task b.machine pid)).T.sum_exec)
+      0 pids
+  in
+  if consumed < !total_work then
+    QCheck.Test.fail_reportf "%s: consumed %d < demanded %d (seed %d)" name consumed !total_work
+      seed;
+  true
+
+let prop_record_replay_roundtrip seed =
+  (* record a random workload on WFQ, replay against the same code *)
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create ~capacity:(1 lsl 18) () in
+  let b =
+    Workloads.Setup.build ~record ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched (module Schedulers.Wfq))
+  in
+  let rng = Stats.Prng.create ~seed in
+  let _, ch, _ = spawn_random_workload b.machine ~policy:b.policy ~rng ~tasks:8 in
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  release b.machine ch;
+  M.run_for b.machine (Kernsim.Time.ms 100);
+  let log = Enoki.Record.contents record in
+  let report = Enoki.Replay.run (module Schedulers.Wfq) ~log in
+  if report.Enoki.Replay.mismatches <> [] then
+    QCheck.Test.fail_reportf "replay diverged on seed %d: %d mismatches (first: %s)" seed
+      (List.length report.Enoki.Replay.mismatches)
+      (match report.Enoki.Replay.mismatches with
+      | (line, msg) :: _ -> Printf.sprintf "line %d: %s" line msg
+      | [] -> "");
+  report.Enoki.Replay.total_calls > 0
+
+let prop_message_fuzz_roundtrip (pid, cpu, gen, runtime) =
+  let pid = abs pid and cpu = abs cpu mod 128 and gen = abs gen and runtime = abs runtime in
+  let s = Enoki.Schedulable.Private.create ~pid ~cpu ~gen in
+  let calls =
+    [
+      Enoki.Message.Task_wakeup { pid; runtime; waker_cpu = cpu; sched = s };
+      Enoki.Message.Task_blocked { pid; runtime; cpu };
+      Enoki.Message.Select_task_rq { pid; waker_cpu = cpu; allowed = [ cpu; cpu + 1 ] };
+      Enoki.Message.Pick_next_task { cpu; curr = Some s; curr_runtime = runtime };
+    ]
+  in
+  List.for_all
+    (fun c ->
+      let line = Enoki.Message.encode_call c in
+      Enoki.Message.encode_call (Enoki.Message.decode_call line) = line)
+    calls
+
+let prop_upgrade_preserves_tasks seed =
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched (module Schedulers.Wfq))
+  in
+  let rng = Stats.Prng.create ~seed in
+  let pids, ch, _ = spawn_random_workload b.machine ~policy:b.policy ~rng ~tasks:8 in
+  let e = Option.get b.enoki in
+  (* several upgrades at random times under load *)
+  for i = 1 to 3 do
+    M.at b.machine
+      ~delay:((i * Kernsim.Time.ms 20) + Stats.Prng.int rng (Kernsim.Time.ms 10))
+      (fun () ->
+        match Enoki.Enoki_c.upgrade e (module Schedulers.Wfq) with
+        | Ok _ -> ()
+        | Error exn -> raise exn)
+  done;
+  M.run_for b.machine (Kernsim.Time.ms 300);
+  release b.machine ch;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  List.for_all
+    (fun pid -> (Option.get (M.find_task b.machine pid)).T.state = T.Dead)
+    pids
+  && Enoki.Enoki_c.violations e = 0
+
+let qtest ?(count = 25) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let seeds = QCheck.(int_bound 100_000)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "liveness",
+        List.map
+          (fun ((name, _) as sched) ->
+            qtest
+              (Printf.sprintf "%s: random workloads finish, no violations" name)
+              seeds (prop_tasks_finish sched))
+          schedulers );
+      ( "record-replay",
+        [ qtest ~count:10 "recorded runs replay exactly" seeds prop_record_replay_roundtrip ] );
+      ( "messages",
+        [ qtest ~count:200 "fuzzed encode/decode" QCheck.(quad int int int int) prop_message_fuzz_roundtrip ] );
+      ( "upgrade",
+        [ qtest ~count:10 "upgrades under load lose nothing" seeds prop_upgrade_preserves_tasks ] );
+    ]
