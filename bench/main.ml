@@ -17,7 +17,66 @@ let one_socket = Kernsim.Topology.one_socket
 
 let two_socket = Kernsim.Topology.two_socket
 
-let build ?costs ?record ~topology kind = Workloads.Setup.build ?costs ?record ~topology kind
+(* ---------- schedtrace options ----------
+
+   --trace=PATH / --trace-format=chrome|ftrace / --sanitize apply to every
+   machine the experiments build; traces are exported and the sanitizer
+   verdicts reported after the experiments finish. *)
+
+let trace_path : string option ref = ref None
+
+let trace_format = ref Trace.Export.Chrome
+
+let sanitize = ref false
+
+let traced : (string * Trace.Tracer.t * Trace.Sanitizer.t option) list ref = ref []
+
+let build ?costs ?record ~topology kind =
+  if !trace_path = None && not !sanitize then
+    Workloads.Setup.build ?costs ?record ~topology kind
+  else begin
+    let nr_cpus = Kernsim.Topology.nr_cpus topology in
+    let tracer = Trace.Tracer.create ~nr_cpus () in
+    let sanitizer =
+      if !sanitize then begin
+        let s = Trace.Sanitizer.create ~nr_cpus () in
+        Trace.Sanitizer.attach s tracer;
+        Some s
+      end
+      else None
+    in
+    traced := (Workloads.Setup.label kind, tracer, sanitizer) :: !traced;
+    Workloads.Setup.build ?costs ?record ~tracer ~topology kind
+  end
+
+let finish_tracing () =
+  let entries = List.rev !traced in
+  (match !trace_path with
+  | None -> ()
+  | Some base ->
+    List.iteri
+      (fun i (label, tracer, _) ->
+        let path =
+          if List.length entries = 1 then base else Printf.sprintf "%s.%d-%s" base i label
+        in
+        let events = Trace.Tracer.events tracer in
+        Trace.Export.save ~path !trace_format events;
+        Printf.printf "trace: %s -> %s (%d events, %d dropped)\n" label path
+          (List.length events) (Trace.Tracer.dropped tracer))
+      entries);
+  if !sanitize && entries <> [] then begin
+    Report.section "Sanitizer summary";
+    List.iter
+      (fun (label, _, sanitizer) ->
+        match sanitizer with
+        | Some s ->
+          Printf.printf "  %-24s %9d events, %d violations\n" label
+            (Trace.Sanitizer.events_seen s)
+            (List.length (Trace.Sanitizer.violations s));
+          if not (Trace.Sanitizer.ok s) then print_endline (Trace.Sanitizer.report_string s)
+        | None -> ())
+      entries
+  end
 
 (* the scheduler matrix of Tables 3 and 4 *)
 let matrix =
@@ -620,6 +679,73 @@ let ablation () =
   Report.note "warm cores touches fewer cores AND wakes faster -- cold cores pay the";
   Report.note "deep idle-state exit on every wakeup."
 
+(* ---------- sanity: the full scheduler matrix under the sanitizer ---------- *)
+
+let sanity () =
+  Report.section "Sanity: every in-tree scheduler under the invariant sanitizer";
+  (* each scheduler runs its default workload; arachne is a core arbiter
+     (tasks are activations, only dispatched once its runtime requests
+     cores), so it is driven by the memcached runtime rather than raw pipe
+     tasks *)
+  let pipe b = ignore (Workloads.Pipe_bench.run b ~messages:5_000 ()) in
+  let memcached b =
+    ignore
+      (Workloads.Memcached.run b
+         (Workloads.Memcached.default_params ~mode:Workloads.Memcached.Arachne_enoki
+            ~load_kreqs:100.))
+  in
+  let all = Trace.Sanitizer.default_config in
+  (* a core arbiter is neither work-conserving nor starvation-free for
+     parked activations: those two invariants are renounced by design *)
+  let arbiter =
+    { all with Trace.Sanitizer.disabled = [ Trace.Sanitizer.Work_conservation; Starvation ] }
+  in
+  let kinds =
+    [
+      (Workloads.Setup.Cfs, pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched), pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Wfq), pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku), pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Locality), pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Arachne), memcached, arbiter);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Edf), pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Nest), pipe, all);
+      (Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo), pipe, all);
+      (Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol, pipe, all);
+      (Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu, pipe, all);
+      (Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku, pipe, all);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (kind, workload, config) ->
+        let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+        let tracer = Trace.Tracer.create ~nr_cpus () in
+        let s = Trace.Sanitizer.create ~config ~nr_cpus () in
+        Trace.Sanitizer.attach s tracer;
+        (* register for --trace= export; sanitizer stays local so the row
+           verdict below is the single report *)
+        if !trace_path <> None then
+          traced := (Workloads.Setup.label kind, tracer, None) :: !traced;
+        let b = Workloads.Setup.build ~tracer ~topology:one_socket kind in
+        workload b;
+        let verdict =
+          if Trace.Sanitizer.ok s then "clean"
+          else Printf.sprintf "%d VIOLATIONS" (List.length (Trace.Sanitizer.violations s))
+        in
+        if not (Trace.Sanitizer.ok s) then print_endline (Trace.Sanitizer.report_string s);
+        [
+          Workloads.Setup.label kind;
+          string_of_int (Trace.Sanitizer.events_seen s);
+          string_of_int (Trace.Tracer.dropped tracer);
+          verdict;
+        ])
+      kinds
+  in
+  Report.table ~header:[ "scheduler"; "events checked"; "ring drops"; "verdict" ] rows;
+  Report.note "invariants: no double-run, no starvation, work conservation,";
+  Report.note "Schedulable token discipline, lock acquire/release pairing."
+
 (* ---------- microbenchmarks ---------- *)
 
 let micro () =
@@ -703,14 +829,35 @@ let experiments =
     ("ablation", ablation);
     ("loc", loc);
     ("micro", micro);
+    ("sanity", sanity);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let has_prefix ~prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
   in
+  let cut ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+  let names =
+    List.filter
+      (fun arg ->
+        if arg = "--sanitize" then begin
+          sanitize := true;
+          false
+        end
+        else if has_prefix ~prefix:"--trace=" arg then begin
+          trace_path := Some (cut ~prefix:"--trace=" arg);
+          false
+        end
+        else if has_prefix ~prefix:"--trace-format=" arg then begin
+          (match Trace.Export.format_of_string (cut ~prefix:"--trace-format=" arg) with
+          | Some f -> trace_format := f
+          | None -> Printf.eprintf "unknown trace format in %s (chrome|ftrace)\n" arg);
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let requested = match names with [] -> List.map fst experiments | ns -> ns in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
@@ -723,4 +870,5 @@ let () =
         Printf.eprintf "unknown experiment %s; available: %s\n" name
           (String.concat " " (List.map fst experiments)))
     requested;
+  finish_tracing ();
   Printf.printf "\nall requested experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -11,13 +11,16 @@
 
 open Cmdliner
 
-type sched = Cfs | Fifo | Wfq | Shinjuku | Locality | Arachne | Ghost_sol | Ghost_fifo | Ghost_shinjuku
+type sched =
+  | Cfs | Fifo | Wfq | Shinjuku | Locality | Arachne | Edf | Nest | Rt_fifo
+  | Ghost_sol | Ghost_fifo | Ghost_shinjuku
 
 let sched_conv =
   Arg.enum
     [
       ("cfs", Cfs); ("fifo", Fifo); ("wfq", Wfq); ("shinjuku", Shinjuku);
-      ("locality", Locality); ("arachne", Arachne); ("ghost-sol", Ghost_sol);
+      ("locality", Locality); ("arachne", Arachne); ("edf", Edf); ("nest", Nest);
+      ("rt-fifo", Rt_fifo); ("ghost-sol", Ghost_sol);
       ("ghost-fifo", Ghost_fifo); ("ghost-shinjuku", Ghost_shinjuku);
     ]
 
@@ -28,6 +31,9 @@ let kind_of_sched = function
   | Shinjuku -> Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku)
   | Locality -> Workloads.Setup.Enoki_sched (module Schedulers.Locality)
   | Arachne -> Workloads.Setup.Enoki_sched (module Schedulers.Arachne)
+  | Edf -> Workloads.Setup.Enoki_sched (module Schedulers.Edf)
+  | Nest -> Workloads.Setup.Enoki_sched (module Schedulers.Nest)
+  | Rt_fifo -> Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo)
   | Ghost_sol -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol
   | Ghost_fifo -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu
   | Ghost_shinjuku -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku
@@ -38,6 +44,9 @@ let module_of_sched = function
   | Shinjuku -> Some (module Schedulers.Shinjuku)
   | Locality -> Some (module Schedulers.Locality)
   | Arachne -> Some (module Schedulers.Arachne)
+  | Edf -> Some (module Schedulers.Edf)
+  | Nest -> Some (module Schedulers.Nest)
+  | Rt_fifo -> Some (module Schedulers.Rt_fifo)
   | Cfs | Ghost_sol | Ghost_fifo | Ghost_shinjuku -> None
 
 type workload = Pipe | Schbench | Rocksdb | Memcached
@@ -67,6 +76,37 @@ let topology_of_cores = function
   | 80 -> Kernsim.Topology.two_socket
   | 8 -> Kernsim.Topology.one_socket
   | n -> Kernsim.Topology.create ~cores:n ~cores_per_llc:n ~cores_per_node:n
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH" ~doc:"Write a schedtrace of the run to $(docv).")
+
+let trace_format_conv =
+  Arg.conv
+    ( (fun s ->
+        match Trace.Export.format_of_string s with
+        | Some f -> Ok f
+        | None -> Error (`Msg (Printf.sprintf "unknown trace format %S (chrome|ftrace)" s))),
+      fun fmt f -> Format.pp_print_string fmt (Trace.Export.format_to_string f) )
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt trace_format_conv Trace.Export.Chrome
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace output format: $(b,chrome) (trace-event JSON, loadable in chrome://tracing \
+           or Perfetto) or $(b,ftrace) (text).")
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Check scheduling invariants online (no double-run, no starvation, work \
+           conservation, Schedulable token discipline, lock pairing) and report violations.")
 
 let print_summary (b : Workloads.Setup.built) =
   let mets = Kernsim.Machine.metrics b.machine in
@@ -103,13 +143,45 @@ let run_workload (b : Workloads.Setup.built) workload ~load =
       r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
 
 let run_cmd =
-  let run sched workload load cores =
-    let b = Workloads.Setup.build ~topology:(topology_of_cores cores) (kind_of_sched sched) in
+  let run sched workload load cores trace_path trace_format sanitize =
+    let topology = topology_of_cores cores in
+    let tracer =
+      if trace_path <> None || sanitize then
+        Some (Trace.Tracer.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) ())
+      else None
+    in
+    let sanitizer =
+      if sanitize then (
+        let s = Trace.Sanitizer.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) () in
+        Trace.Sanitizer.attach s (Option.get tracer);
+        Some s)
+      else None
+    in
+    let b = Workloads.Setup.build ?tracer ~topology (kind_of_sched sched) in
     run_workload b workload ~load;
-    print_summary b
+    print_summary b;
+    (match (trace_path, tracer) with
+    | Some path, Some tr ->
+      let events = Trace.Tracer.events tr in
+      (try Trace.Export.save ~path trace_format events
+       with Sys_error msg ->
+         Printf.eprintf "enoki_sim: cannot write trace: %s\n" msg;
+         exit 2);
+      Printf.printf "trace: %d events to %s (%s format, %d dropped by ring overrun)\n"
+        (List.length events) path
+        (Trace.Export.format_to_string trace_format)
+        (Trace.Tracer.dropped tr)
+    | _ -> ());
+    match sanitizer with
+    | Some s ->
+      print_endline (Trace.Sanitizer.report_string s);
+      if not (Trace.Sanitizer.ok s) then exit 3
+    | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a scheduler and print its metrics.")
-    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg)
+    Term.(
+      const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ trace_arg
+      $ trace_format_arg $ sanitize_arg)
 
 let out_arg =
   Arg.(

@@ -8,6 +8,7 @@ type t = {
   gens : (int, int) Hashtbl.t; (* pid -> latest Schedulable generation *)
   hint_ring : (int * Kernsim.Task.hint) Ds.Ring_buffer.t;
   record : Record.t option;
+  tracer : Trace.Tracer.t option;
   mutable calls : int;
   mutable violations : int;
   violation_kinds : (string, int) Hashtbl.t;
@@ -16,7 +17,7 @@ type t = {
   mutable readers : int; (* quiescing read-write lock: in-flight calls *)
 }
 
-let create ?(policy = 0) ?record ?(hint_capacity = 1024) modul =
+let create ?(policy = 0) ?record ?tracer ?(hint_capacity = 1024) modul =
   {
     modul;
     policy;
@@ -25,6 +26,7 @@ let create ?(policy = 0) ?record ?(hint_capacity = 1024) modul =
     gens = Hashtbl.create 64;
     hint_ring = Ds.Ring_buffer.create ~capacity:hint_capacity;
     record;
+    tracer;
     calls = 0;
     violations = 0;
     violation_kinds = Hashtbl.create 8;
@@ -37,6 +39,13 @@ let ops_exn t =
   match t.ops with
   | Some ops -> ops
   | None -> invalid_arg "Enoki_c: scheduler module not loaded into a machine yet"
+
+(* Schedtrace emitter: a single match when disabled.  Timestamps come from
+   the kernel capability table, so this stays silent until registration. *)
+let emit t ~cpu kind =
+  match (t.tracer, t.ops) with
+  | Some tr, Some (ops : Ops.kernel_ops) -> Trace.Tracer.emit tr ~ts:(ops.now ()) ~cpu kind
+  | _ -> ()
 
 let packed_exn t =
   match t.packed with
@@ -93,6 +102,7 @@ let token_valid t token ~cpu =
 let dispatch t ~cpu call =
   let ops = ops_exn t in
   ops.charge ~cpu ops.costs.enoki_call;
+  emit t ~cpu (Trace.Event.Msg_call { name = Message.call_name call });
   t.calls <- t.calls + 1;
   t.current_tid <- cpu;
   t.readers <- t.readers + 1;
@@ -128,6 +138,7 @@ let select_task_rq t (task : Kernsim.Task.t) ~waker_cpu =
   | R_int _ ->
     (* scheduler chose a cpu the task may not use; fall back *)
     count_violation t "bad_select_cpu";
+    emit t ~cpu:waker_cpu (Trace.Event.Pnt_err { pid = task.pid; err = "bad_select_cpu" });
     (match task.affinity with Some (c :: _) -> c | Some [] | None -> waker_cpu)
   | r -> invalid_arg ("Enoki_c: bad select_task_rq reply " ^ Message.encode_reply r)
 
@@ -193,6 +204,7 @@ let pick_next_task t ~cpu =
         else "stale_generation"
       in
       count_violation t err;
+      emit t ~cpu (Trace.Event.Pnt_err { pid = Schedulable.pid token; err });
       unit_reply
         (dispatch t ~cpu
            (Pnt_err { cpu; pid = Schedulable.pid token; err; sched = Some token }));
@@ -261,6 +273,16 @@ let factory t : Kernsim.Sched_class.factory =
   t.ops <- Some ops;
   (* module load: construct the scheduler against the safe context *)
   Lock.reset_ids ();
+  (match t.tracer with
+  | Some _ ->
+    Lock.set_trace_tap
+      (Some
+         (fun op ~lock_id ->
+           match op with
+           | Lock.Acquire -> emit t ~cpu:t.current_tid (Trace.Event.Lock_acquire { lock_id })
+           | Lock.Release -> emit t ~cpu:t.current_tid (Trace.Event.Lock_release { lock_id })
+           | Lock.Create -> ()))
+  | None -> ());
   (match t.record with
   | Some r ->
     Lock.set_record_mode ~sink:(Record.tap_lock r) ~tid:(fun () -> t.current_tid);

@@ -17,9 +17,17 @@ type t
     constructed when the machine instantiates the factory (module load
     time).  [policy] is the id user tasks use to attach (defaults to the
     class's position, 0).  [hint_capacity] bounds the user-to-kernel hint
-    ring.  [record] enables the record tap. *)
+    ring.  [record] enables the record tap.  [tracer] attaches a schedtrace
+    sink: Enoki-C then emits [Msg_call] at every message boundary,
+    [Pnt_err] for every rejected Schedulable (and bad [select_task_rq]
+    reply), and lock acquire/release events via {!Lock.set_trace_tap}. *)
 val create :
-  ?policy:int -> ?record:Record.t -> ?hint_capacity:int -> (module Sched_trait.S) -> t
+  ?policy:int ->
+  ?record:Record.t ->
+  ?tracer:Trace.Tracer.t ->
+  ?hint_capacity:int ->
+  (module Sched_trait.S) ->
+  t
 
 (** The scheduler-class factory to hand to {!Kernsim.Machine.create}. *)
 val factory : t -> Kernsim.Sched_class.factory

@@ -18,6 +18,14 @@ type mode =
 
 let mode = ref Passthrough
 
+(* Tracing tap, orthogonal to record/replay: fires in every mode so the
+   sanitizer can check acquire/release pairing online. *)
+let trace_tap : (op -> lock_id:int -> unit) option ref = ref None
+
+let set_trace_tap f = trace_tap := f
+
+let tap op lock_id = match !trace_tap with None -> () | Some f -> f op ~lock_id
+
 let next_id = ref 0
 
 let reset_ids () = next_id := 0
@@ -38,6 +46,7 @@ let create ?(name = "lock") () =
   (match !mode with
   | Record { sink; tid } -> sink { lock_id; op = Create; tid = tid () }
   | Passthrough | Replay _ -> ());
+  tap Create lock_id;
   t
 
 let id t = t.lock_id
@@ -46,11 +55,19 @@ let name t = t.lock_name
 
 let with_lock t f =
   match !mode with
-  | Passthrough -> f ()
+  | Passthrough -> (
+    match !trace_tap with
+    | None -> f ()
+    | Some _ ->
+      tap Acquire t.lock_id;
+      Fun.protect f ~finally:(fun () -> tap Release t.lock_id))
   | Record { sink; tid } ->
     let tid = tid () in
     sink { lock_id = t.lock_id; op = Acquire; tid };
-    Fun.protect f ~finally:(fun () -> sink { lock_id = t.lock_id; op = Release; tid })
+    tap Acquire t.lock_id;
+    Fun.protect f ~finally:(fun () ->
+        tap Release t.lock_id;
+        sink { lock_id = t.lock_id; op = Release; tid })
   | Replay { order; tid } ->
     let my_tid = tid () in
     Mutex.lock t.mutex;
@@ -69,7 +86,9 @@ let with_lock t f =
     in
     wait ();
     (match t.expected with _ :: rest -> t.expected <- rest | [] -> ());
+    tap Acquire t.lock_id;
     let finally () =
+      tap Release t.lock_id;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex
     in

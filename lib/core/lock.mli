@@ -50,3 +50,10 @@ val set_record_mode : sink:(event -> unit) -> tid:(unit -> int) -> unit
 val set_replay_mode : order:(int -> int list) -> tid:(unit -> int) -> unit
 
 val set_passthrough_mode : unit -> unit
+
+(** Tracing tap, orthogonal to the record/replay mode: when set, every
+    {!with_lock} reports [Acquire] before running the body and [Release]
+    after (and {!create} reports [Create]), in all three modes.  The
+    schedtrace subsystem uses this to emit lock events the sanitizer
+    checks for pairing; [None] (the default) restores the zero-cost path. *)
+val set_trace_tap : (op -> lock_id:int -> unit) option -> unit

@@ -29,7 +29,10 @@ let drain t =
 
 let dropped t = Ds.Ring_buffer.dropped t.ring
 
-let length t = t.lines
+let length t =
+  (* count what is still sitting in the ring too, not just drained lines *)
+  drain t;
+  t.lines
 
 let contents t =
   drain t;

@@ -27,7 +27,8 @@ val drain : t -> unit
 (** Lines pushed but lost to ring overrun. *)
 val dropped : t -> int
 
-(** Number of log lines written so far (after {!drain}). *)
+(** Total log lines captured so far (drains the ring first, so lines still
+    queued are counted). *)
 val length : t -> int
 
 (** The full log (drains first). *)

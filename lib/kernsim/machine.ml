@@ -21,6 +21,7 @@ type t = {
   topo : Topology.t;
   costs : Costs.t;
   metrics : Metrics.t;
+  tracer : Trace.Tracer.t option;
   cores : core array;
   mutable classes : Sched_class.t array;
   tasks : (int, Task.t) Hashtbl.t;
@@ -54,6 +55,12 @@ let class_of_policy t policy =
 let class_of_task t (task : Task.t) = class_of_policy t task.policy
 
 let cpu_idle t cpu = t.cores.(cpu).curr = None
+
+(* One option match when tracing is off: the zero-cost-when-disabled sink. *)
+let emit t ~cpu kind =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace.Tracer.emit tr ~ts:(Sim.now t.sim) ~cpu kind
 
 (* ---------- channels ---------- *)
 
@@ -127,6 +134,7 @@ and wake_task t (task : Task.t) ~waker_cpu =
     let cpu = cl.select_task_rq task ~waker_cpu in
     let cpu = if Task.allowed_cpu task cpu then cpu else first_allowed t task in
     task.cpu <- cpu;
+    emit t ~cpu (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
     cl.task_wakeup task ~cpu ~waker_cpu;
     charge t ~cpu:waker_cpu t.costs.wakeup_path;
     if cpu_idle t cpu then resched_cpu t cpu
@@ -198,6 +206,8 @@ and spawn t (spec : Task.spec) =
   task.state <- Task.Runnable;
   task.last_wake <- Sim.now t.sim;
   task.wake_pending <- true;
+  emit t ~cpu
+    (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
   cl.task_new task ~cpu;
   if cpu_idle t cpu then resched_cpu t cpu;
   pid
@@ -217,6 +227,7 @@ and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
       task.cpu <- to_cpu;
       Metrics.count_migration t.metrics;
       charge t ~cpu:to_cpu t.costs.migration;
+      emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
       cl.migrate_task_rq task ~from_cpu ~to_cpu
     end
     else cl.balance_err task ~cpu:to_cpu
@@ -241,6 +252,7 @@ and do_schedule t cpu =
   core.resched_queued <- false;
   let prev_ctx = t.ctx_cpu in
   t.ctx_cpu <- cpu;
+  let prev_pid = core.curr in
   (* deschedule the current task, if any *)
   (match core.curr with
   | Some pid ->
@@ -250,6 +262,7 @@ and do_schedule t cpu =
     core.curr <- None;
     if task.state = Task.Running then begin
       task.state <- Task.Runnable;
+      emit t ~cpu (Trace.Event.Preempt { pid });
       (class_of_task t task).task_preempt task ~cpu;
       match task.pending_policy with
       | Some policy -> apply_policy_change t task ~policy
@@ -287,7 +300,9 @@ and do_schedule t cpu =
     | None ->
       if not core.in_idle then begin
         core.in_idle <- true;
-        core.idle_since <- Sim.now t.sim
+        core.idle_since <- Sim.now t.sim;
+        emit t ~cpu (Trace.Event.Sched_switch { prev = prev_pid; next = None });
+        emit t ~cpu Trace.Event.Idle
       end
     | Some task -> dispatch_loop task
   and dispatch_loop (task : Task.t) =
@@ -308,6 +323,8 @@ and do_schedule t cpu =
     core.curr <- Some task.pid;
     core.last_pid <- task.pid;
     task.state <- Task.Running;
+    emit t ~cpu (Trace.Event.Sched_switch { prev = prev_pid; next = Some task.pid });
+    emit t ~cpu (Trace.Event.Dispatch { pid = task.pid });
     let run_start = now_ + overhead in
     if task.wake_pending then begin
       task.wake_pending <- false;
@@ -334,9 +351,11 @@ and apply_verdict t core (task : Task.t) verdict =
   | `Run _ -> assert false
   | `Blocked ->
     task.state <- Task.Blocked;
+    emit t ~cpu (Trace.Event.Block { pid = task.pid });
     cl.task_blocked task ~cpu
   | `Sleep d ->
     task.state <- Task.Blocked;
+    emit t ~cpu (Trace.Event.Block { pid = task.pid });
     cl.task_blocked task ~cpu;
     let pid = task.pid in
     Sim.after t.sim ~delay:d (fun () ->
@@ -350,10 +369,12 @@ and apply_verdict t core (task : Task.t) verdict =
         | Some _ | None -> ())
   | `Yield ->
     task.state <- Task.Runnable;
+    emit t ~cpu (Trace.Event.Yield { pid = task.pid });
     cl.task_yield task ~cpu
   | `Exit ->
     task.state <- Task.Dead;
     task.exited_at <- Some (Sim.now t.sim);
+    emit t ~cpu (Trace.Event.Exit { pid = task.pid });
     cl.task_dead task ~cpu
 
 (* The running task finished its compute quantum: advance its behaviour. *)
@@ -384,7 +405,8 @@ let tick t =
   let nr = Topology.nr_cpus t.topo in
   (* refresh accounting so classes see up-to-date runtimes *)
   for cpu = 0 to nr - 1 do
-    sync_curr t t.cores.(cpu)
+    sync_curr t t.cores.(cpu);
+    emit t ~cpu Trace.Event.Tick
   done;
   Array.iter
     (fun (cl : Sched_class.t) ->
@@ -412,7 +434,7 @@ let rec arm_tick t =
 
 (* ---------- construction ---------- *)
 
-let create ?(costs = Costs.default) ~topology ~classes () =
+let create ?(costs = Costs.default) ?tracer ~topology ~classes () =
   let nr = Topology.nr_cpus topology in
   let cores =
     Array.init nr (fun id ->
@@ -436,6 +458,7 @@ let create ?(costs = Costs.default) ~topology ~classes () =
       topo = topology;
       costs;
       metrics = Metrics.create ~nr_cpus:nr;
+      tracer;
       cores;
       classes = [||];
       tasks = Hashtbl.create 64;
@@ -521,6 +544,7 @@ let rec enforce_affinity t pid =
         let from_cpu = task.cpu in
         task.cpu <- to_cpu;
         Metrics.count_migration t.metrics;
+        emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
         cl.migrate_task_rq task ~from_cpu ~to_cpu;
         if cpu_idle t to_cpu then resched_cpu t to_cpu
       | Task.Running ->

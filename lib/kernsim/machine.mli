@@ -18,8 +18,18 @@ type ns = Time.ns
 
 (** [create ~topology ~classes ()] builds a machine.  [classes] are
     factories, instantiated with this machine's kernel capability table;
-    list position = policy id = pick priority. *)
-val create : ?costs:Costs.t -> topology:Topology.t -> classes:Sched_class.factory list -> unit -> t
+    list position = policy id = pick priority.  [tracer] attaches a
+    schedtrace sink: the machine then emits a typed event for every
+    wakeup, dispatch, context switch, preemption, block/yield/exit,
+    migration, tick, and idle transition; with no tracer each emit site is
+    a single [option] match. *)
+val create :
+  ?costs:Costs.t ->
+  ?tracer:Trace.Tracer.t ->
+  topology:Topology.t ->
+  classes:Sched_class.factory list ->
+  unit ->
+  t
 
 val topology : t -> Topology.t
 

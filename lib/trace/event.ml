@@ -1,0 +1,72 @@
+type ns = int
+
+type kind =
+  | Sched_switch of { prev : int option; next : int option }
+  | Wakeup of { pid : int; waker_cpu : int; affinity : int list option }
+  | Dispatch of { pid : int }
+  | Preempt of { pid : int }
+  | Yield of { pid : int }
+  | Block of { pid : int }
+  | Exit of { pid : int }
+  | Migrate of { pid : int; from_cpu : int; to_cpu : int }
+  | Tick
+  | Idle
+  | Pnt_err of { pid : int; err : string }
+  | Lock_acquire of { lock_id : int }
+  | Lock_release of { lock_id : int }
+  | Msg_call of { name : string }
+
+type t = { ts : ns; cpu : int; kind : kind }
+
+let name = function
+  | Sched_switch _ -> "sched_switch"
+  | Wakeup _ -> "wakeup"
+  | Dispatch _ -> "dispatch"
+  | Preempt _ -> "preempt"
+  | Yield _ -> "yield"
+  | Block _ -> "block"
+  | Exit _ -> "exit"
+  | Migrate _ -> "migrate"
+  | Tick -> "tick"
+  | Idle -> "idle"
+  | Pnt_err _ -> "pnt_err"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_release _ -> "lock_release"
+  | Msg_call _ -> "msg_call"
+
+let pid_of = function
+  | Wakeup { pid; _ }
+  | Dispatch { pid }
+  | Preempt { pid }
+  | Yield { pid }
+  | Block { pid }
+  | Exit { pid }
+  | Migrate { pid; _ }
+  | Pnt_err { pid; _ } -> Some pid
+  | Sched_switch { next = Some pid; _ } -> Some pid
+  | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ -> None
+
+let opt_pid = function None -> "idle" | Some p -> string_of_int p
+
+let args = function
+  | Sched_switch { prev; next } -> [ ("prev", opt_pid prev); ("next", opt_pid next) ]
+  | Wakeup { pid; waker_cpu; affinity } ->
+    ("pid", string_of_int pid) :: ("waker_cpu", string_of_int waker_cpu)
+    ::
+    (match affinity with
+    | None -> []
+    | Some cpus -> [ ("affinity", String.concat "," (List.map string_of_int cpus)) ])
+  | Dispatch { pid } | Preempt { pid } | Yield { pid } | Block { pid } | Exit { pid } ->
+    [ ("pid", string_of_int pid) ]
+  | Migrate { pid; from_cpu; to_cpu } ->
+    [ ("pid", string_of_int pid); ("from", string_of_int from_cpu); ("to", string_of_int to_cpu) ]
+  | Tick | Idle -> []
+  | Pnt_err { pid; err } -> [ ("pid", string_of_int pid); ("err", err) ]
+  | Lock_acquire { lock_id } | Lock_release { lock_id } -> [ ("lock", string_of_int lock_id) ]
+  | Msg_call { name } -> [ ("call", name) ]
+
+let pp fmt t =
+  Format.fprintf fmt "[%d] %d %s" t.cpu t.ts (name t.kind);
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) (args t.kind)
+
+let to_string t = Format.asprintf "%a" pp t

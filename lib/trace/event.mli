@@ -1,0 +1,48 @@
+(** The schedtrace event taxonomy.
+
+    One constructor per observable scheduling transition.  The machine
+    ({!Kernsim.Machine}), the Enoki-C dispatch boundary, and the lock shim
+    all emit these through a {!Tracer}; exporters and the online
+    {!Sanitizer} consume the same stream.
+
+    Timestamps are simulated nanoseconds ({!Kernsim.Time.ns} is [int]); the
+    trace library deliberately depends only on [Ds] so every layer above it
+    (kernsim, core, schedulers) may emit events. *)
+
+type ns = int
+
+type kind =
+  | Sched_switch of { prev : int option; next : int option }
+      (** a cpu switched contexts; [next = None] means it went idle *)
+  | Wakeup of { pid : int; waker_cpu : int; affinity : int list option }
+      (** a task became runnable (wakeup or spawn) on the event's cpu *)
+  | Dispatch of { pid : int }  (** the task started running on the cpu *)
+  | Preempt of { pid : int }  (** descheduled while still runnable *)
+  | Yield of { pid : int }
+  | Block of { pid : int }  (** blocked on a channel or sleeping *)
+  | Exit of { pid : int }
+  | Migrate of { pid : int; from_cpu : int; to_cpu : int }
+  | Tick  (** periodic scheduler tick on the event's cpu *)
+  | Idle  (** the cpu entered its idle loop *)
+  | Pnt_err of { pid : int; err : string }
+      (** a Schedulable token failed validation ([consumed], [wrong_cpu],
+          [stale_generation], [bad_select_cpu]) *)
+  | Lock_acquire of { lock_id : int }
+  | Lock_release of { lock_id : int }
+  | Msg_call of { name : string }
+      (** one scheduler invocation crossed the Enoki-C message boundary *)
+
+type t = { ts : ns; cpu : int; kind : kind }
+
+(** Stable event name ("sched_switch", "wakeup", ...). *)
+val name : kind -> string
+
+(** The subject task, when the event has one. *)
+val pid_of : kind -> int option
+
+(** Key/value payload for exporters. *)
+val args : kind -> (string * string) list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

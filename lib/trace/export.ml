@@ -1,0 +1,159 @@
+type format = Chrome | Ftrace
+
+let format_to_string = function Chrome -> "chrome" | Ftrace -> "ftrace"
+
+let format_of_string = function
+  | "chrome" -> Some Chrome
+  | "ftrace" -> Some Ftrace
+  | _ -> None
+
+(* ---------- JSON helpers ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome's trace-event timestamps are microseconds. *)
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let json_args kvs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) kvs)
+  ^ "}"
+
+let meta_event ~pid ~tid ~name ~value =
+  Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+    name pid tid (json_escape value)
+
+let instant_event (ev : Event.t) =
+  Printf.sprintf "{\"name\":\"%s\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":%s}"
+    (Event.name ev.kind) (us_of_ns ev.ts) ev.cpu (json_args (Event.args ev.kind))
+
+let complete_event ~name ~cat ~pid ~tid ~start_ns ~stop_ns ~args =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":%s}"
+    (json_escape name) cat (us_of_ns start_ns)
+    (us_of_ns (max 0 (stop_ns - start_ns)))
+    pid tid (json_args args)
+
+(* Reconstruct per-cpu running slices from dispatch/deschedule events so the
+   trace shows task occupancy bars, not just instants. *)
+let run_slices events =
+  let nr_cpus =
+    List.fold_left (fun acc (ev : Event.t) -> max acc (ev.cpu + 1)) 1 events
+  in
+  let open_slice = Array.make nr_cpus None in
+  let slices = ref [] in
+  let close cpu stop_ns =
+    match open_slice.(cpu) with
+    | Some (pid, start_ns) ->
+      open_slice.(cpu) <- None;
+      slices := (cpu, pid, start_ns, stop_ns) :: !slices
+    | None -> ()
+  in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev.kind with
+      | Event.Dispatch { pid } ->
+        close ev.cpu ev.ts;
+        open_slice.(ev.cpu) <- Some (pid, ev.ts)
+      | Event.Preempt { pid } | Event.Yield { pid } | Event.Block { pid } | Event.Exit { pid } ->
+        (match open_slice.(ev.cpu) with
+        | Some (p, _) when p = pid -> close ev.cpu ev.ts
+        | Some _ | None -> ())
+      | Event.Idle | Event.Sched_switch { next = None; _ } -> close ev.cpu ev.ts
+      | Event.Sched_switch _ | Event.Wakeup _ | Event.Migrate _ | Event.Tick | Event.Pnt_err _
+      | Event.Lock_acquire _ | Event.Lock_release _ | Event.Msg_call _ -> ())
+    events;
+  (* close dangling slices at the last timestamp seen *)
+  let last_ts = List.fold_left (fun acc (ev : Event.t) -> max acc ev.ts) 0 events in
+  Array.iteri (fun cpu _ -> close cpu last_ts) open_slice;
+  (nr_cpus, List.rev !slices)
+
+let chrome_json ?(spans = true) events =
+  let nr_cpus, slices = run_slices events in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let add line =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf line
+  in
+  add (meta_event ~pid:0 ~tid:0 ~name:"process_name" ~value:"machine");
+  for cpu = 0 to nr_cpus - 1 do
+    add (meta_event ~pid:0 ~tid:cpu ~name:"thread_name" ~value:(Printf.sprintf "cpu %d" cpu))
+  done;
+  List.iter
+    (fun (cpu, pid, start_ns, stop_ns) ->
+      add
+        (complete_event
+           ~name:(Printf.sprintf "pid %d" pid)
+           ~cat:"run" ~pid:0 ~tid:cpu ~start_ns ~stop_ns
+           ~args:[ ("pid", string_of_int pid) ]))
+    slices;
+  List.iter (fun ev -> add (instant_event ev)) events;
+  if spans then begin
+    let span_list = Spans.of_events events in
+    if span_list <> [] then begin
+      add (meta_event ~pid:1 ~tid:0 ~name:"process_name" ~value:"latency spans");
+      add (meta_event ~pid:1 ~tid:0 ~name:"thread_name" ~value:"wakeup_to_dispatch");
+      add (meta_event ~pid:1 ~tid:1 ~name:"thread_name" ~value:"preempt_to_resched");
+      List.iter
+        (fun (s : Spans.t) ->
+          let tid = match s.kind with Spans.Wakeup_to_dispatch -> 0 | Spans.Preempt_to_resched -> 1 in
+          add
+            (complete_event
+               ~name:(Printf.sprintf "pid %d" s.pid)
+               ~cat:"latency" ~pid:1 ~tid ~start_ns:s.start_ts ~stop_ns:s.stop_ts
+               ~args:[ ("pid", string_of_int s.pid); ("cpu", string_of_int s.cpu) ]))
+        span_list
+    end
+  end;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* ---------- ftrace-style text ---------- *)
+
+let ftrace_line (ev : Event.t) =
+  let secs = ev.ts / 1_000_000_000 in
+  let usecs = ev.ts mod 1_000_000_000 / 1_000 in
+  let args =
+    match Event.args ev.kind with
+    | [] -> ""
+    | kvs -> " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+  in
+  Printf.sprintf "          enoki-%-5s [%03d] %6d.%06d: %s:%s"
+    (match Event.pid_of ev.kind with Some p -> string_of_int p | None -> "0")
+    ev.cpu secs usecs (Event.name ev.kind) args
+
+let ftrace events =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "# tracer: schedtrace\n";
+  Buffer.add_string buf "#           TASK-PID    [CPU]  TIMESTAMP: EVENT: ARGS\n";
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (ftrace_line ev);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let render format events =
+  match format with Chrome -> chrome_json events | Ftrace -> ftrace events
+
+let save ~path format events =
+  let oc = open_out path in
+  Fun.protect
+    (fun () -> output_string oc (render format events))
+    ~finally:(fun () -> close_out oc)

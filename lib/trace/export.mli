@@ -1,0 +1,27 @@
+(** Trace exporters.
+
+    [Chrome] emits trace-event JSON loadable in [chrome://tracing] or
+    Perfetto: one "machine" process with a thread per cpu, run slices
+    reconstructed from dispatch/deschedule pairs, instant markers for every
+    raw event, and a second "latency spans" process carrying the derived
+    {!Spans} (wakeup→dispatch, preempt→resched).
+
+    [Ftrace] emits the familiar one-line-per-event text format
+    ([task-pid [cpu] seconds.usecs: event: args]). *)
+
+type format = Chrome | Ftrace
+
+val format_to_string : format -> string
+
+val format_of_string : string -> format option
+
+(** Full Chrome trace-event JSON document ([{"traceEvents": [...]}]).
+    [spans] (default true) includes the derived latency spans. *)
+val chrome_json : ?spans:bool -> Event.t list -> string
+
+(** Ftrace-style text. *)
+val ftrace : Event.t list -> string
+
+val render : format -> Event.t list -> string
+
+val save : path:string -> format -> Event.t list -> unit

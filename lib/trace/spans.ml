@@ -1,0 +1,43 @@
+type kind = Wakeup_to_dispatch | Preempt_to_resched
+
+type t = { pid : int; cpu : int; kind : kind; start_ts : int; stop_ts : int }
+
+let duration s = s.stop_ts - s.start_ts
+
+let kind_name = function
+  | Wakeup_to_dispatch -> "wakeup_to_dispatch"
+  | Preempt_to_resched -> "preempt_to_resched"
+
+let of_events events =
+  let pending_wake : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pending_preempt : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let spans = ref [] in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev.kind with
+      | Event.Wakeup { pid; _ } ->
+        if not (Hashtbl.mem pending_wake pid) then Hashtbl.replace pending_wake pid ev.ts;
+        Hashtbl.remove pending_preempt pid
+      | Event.Preempt { pid } | Event.Yield { pid } ->
+        if not (Hashtbl.mem pending_preempt pid) then Hashtbl.replace pending_preempt pid ev.ts
+      | Event.Dispatch { pid } ->
+        (match Hashtbl.find_opt pending_wake pid with
+        | Some start_ts ->
+          Hashtbl.remove pending_wake pid;
+          spans :=
+            { pid; cpu = ev.cpu; kind = Wakeup_to_dispatch; start_ts; stop_ts = ev.ts } :: !spans
+        | None -> (
+          match Hashtbl.find_opt pending_preempt pid with
+          | Some start_ts ->
+            spans :=
+              { pid; cpu = ev.cpu; kind = Preempt_to_resched; start_ts; stop_ts = ev.ts }
+              :: !spans
+          | None -> ()));
+        Hashtbl.remove pending_preempt pid
+      | Event.Block { pid } | Event.Exit { pid } ->
+        Hashtbl.remove pending_wake pid;
+        Hashtbl.remove pending_preempt pid
+      | Event.Sched_switch _ | Event.Migrate _ | Event.Tick | Event.Idle | Event.Pnt_err _
+      | Event.Lock_acquire _ | Event.Lock_release _ | Event.Msg_call _ -> ())
+    events;
+  List.rev !spans

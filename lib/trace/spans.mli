@@ -1,0 +1,18 @@
+(** Latency spans derived from the event stream.
+
+    [Wakeup_to_dispatch] is the scheduling latency schbench reports: from a
+    task becoming runnable to its next dispatch.  [Preempt_to_resched] is
+    the time a still-runnable task spent off-cpu after being preempted or
+    yielding.  Spans are computed from a timestamp-ordered event list (as
+    returned by {!Tracer.events}); events lost to ring overrun simply yield
+    fewer spans. *)
+
+type kind = Wakeup_to_dispatch | Preempt_to_resched
+
+type t = { pid : int; cpu : int; kind : kind; start_ts : int; stop_ts : int }
+
+val duration : t -> int
+
+val kind_name : kind -> string
+
+val of_events : Event.t list -> t list

@@ -1,0 +1,41 @@
+type t = {
+  rings : Event.t Ds.Ring_buffer.t array;
+  mutable subscribers : (Event.t -> unit) list;
+  mutable emitted : int;
+}
+
+let create ?(capacity = 65536) ~nr_cpus () =
+  if nr_cpus <= 0 then invalid_arg "Tracer.create: nr_cpus must be positive";
+  {
+    rings = Array.init nr_cpus (fun _ -> Ds.Ring_buffer.create ~capacity);
+    subscribers = [];
+    emitted = 0;
+  }
+
+let nr_cpus t = Array.length t.rings
+
+let emit t ~ts ~cpu kind =
+  let cpu = if cpu >= 0 && cpu < Array.length t.rings then cpu else 0 in
+  let ev = { Event.ts; cpu; kind } in
+  t.emitted <- t.emitted + 1;
+  ignore (Ds.Ring_buffer.push t.rings.(cpu) ev);
+  match t.subscribers with
+  | [] -> ()
+  | subs -> List.iter (fun f -> f ev) subs
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let emitted t = t.emitted
+
+let dropped_of_cpu t cpu = Ds.Ring_buffer.dropped t.rings.(cpu)
+
+let dropped t = Array.fold_left (fun acc r -> acc + Ds.Ring_buffer.dropped r) 0 t.rings
+
+let buffered t = Array.fold_left (fun acc r -> acc + Ds.Ring_buffer.length r) 0 t.rings
+
+let events t =
+  (* each per-cpu ring is already time-ordered; a stable sort on the
+     timestamp merges them without reordering same-time events of one cpu *)
+  Array.to_list t.rings
+  |> List.concat_map Ds.Ring_buffer.drain
+  |> List.stable_sort (fun (a : Event.t) (b : Event.t) -> Int.compare a.ts b.ts)

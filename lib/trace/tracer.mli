@@ -1,0 +1,43 @@
+(** Per-CPU bounded event rings with online subscribers.
+
+    The tracer mirrors the record subsystem's transport discipline (§3.4 of
+    the paper): events are pushed from "kernel" context onto fixed-capacity
+    per-cpu ring buffers and drained later; overruns drop the newest events
+    and are counted, never blocking the emitter.  Subscribers (the online
+    {!Sanitizer}) additionally observe every event at emission time, before
+    any drop, so invariant checking sees the complete stream even when the
+    rings overrun.
+
+    When no tracer is attached, emitters skip a single [option] match — the
+    zero-cost-when-disabled contract the machine relies on. *)
+
+type t
+
+(** [create ~nr_cpus ()] makes one ring of [capacity] (default 65536)
+    events per cpu. *)
+val create : ?capacity:int -> nr_cpus:int -> unit -> t
+
+val nr_cpus : t -> int
+
+(** [emit t ~ts ~cpu kind] appends an event: pushed onto [cpu]'s ring
+    (dropped and counted when full) and delivered to every subscriber.
+    Out-of-range cpus are folded onto cpu 0 rather than lost. *)
+val emit : t -> ts:int -> cpu:int -> Event.kind -> unit
+
+(** Register an online consumer, called synchronously on every emit. *)
+val subscribe : t -> (Event.t -> unit) -> unit
+
+(** Total events offered to the tracer (including later drops). *)
+val emitted : t -> int
+
+(** Events rejected because a ring was full. *)
+val dropped : t -> int
+
+val dropped_of_cpu : t -> int -> int
+
+(** Events currently queued across all rings. *)
+val buffered : t -> int
+
+(** Drain every ring and return the merged stream in timestamp order.
+    Destructive: a second call returns only events emitted in between. *)
+val events : t -> Event.t list

@@ -11,25 +11,28 @@ type built = {
   agent_core : int option;
 }
 
-let build ?costs ?record ~topology kind =
+let build ?costs ?record ?tracer ~topology kind =
   Schedulers.Hints.register_codecs ();
+  (* the lock tap is process-global: clear any tap a previous machine
+     installed so its (now stale) tracer stops receiving events *)
+  Enoki.Lock.set_trace_tap None;
   match kind with
   | Cfs ->
     let machine =
-      Kernsim.Machine.create ?costs ~topology ~classes:[ Kernsim.Cfs.factory () ] ()
+      Kernsim.Machine.create ?costs ?tracer ~topology ~classes:[ Kernsim.Cfs.factory () ] ()
     in
     { machine; policy = 0; cfs_policy = 0; enoki = None; agent_core = None }
   | Enoki_sched m ->
-    let enoki = Enoki.Enoki_c.create ?record ~policy:0 m in
+    let enoki = Enoki.Enoki_c.create ?record ?tracer ~policy:0 m in
     let machine =
-      Kernsim.Machine.create ?costs ~topology
+      Kernsim.Machine.create ?costs ?tracer ~topology
         ~classes:[ Enoki.Enoki_c.factory enoki; Kernsim.Cfs.factory () ]
         ()
     in
     { machine; policy = 0; cfs_policy = 1; enoki = Some enoki; agent_core = None }
   | Ghost policy ->
     let machine =
-      Kernsim.Machine.create ?costs ~topology
+      Kernsim.Machine.create ?costs ?tracer ~topology
         ~classes:[ Schedulers.Ghost_sim.factory policy; Kernsim.Cfs.factory () ]
         ()
     in

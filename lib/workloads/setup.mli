@@ -21,9 +21,14 @@ type built = {
           really consumed *)
 }
 
+(** [tracer] attaches a schedtrace sink to both the machine and (for
+    [Enoki_sched]) the Enoki-C layer; building a machine always resets the
+    process-global lock trace tap first, so at most one machine traces lock
+    events at a time. *)
 val build :
   ?costs:Kernsim.Costs.t ->
   ?record:Enoki.Record.t ->
+  ?tracer:Trace.Tracer.t ->
   topology:Kernsim.Topology.t ->
   kind ->
   built

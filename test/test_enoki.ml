@@ -503,6 +503,50 @@ let test_replay_detects_divergence () =
   let report = Enoki.Replay.run (module Schedulers.Shinjuku) ~log in
   check Alcotest.bool "divergence flagged" true (report.Enoki.Replay.mismatches <> [])
 
+let test_record_length_counts_undrained () =
+  (* regression: [length] used to return only lines already drained, so a
+     freshly tapped record reported 0 *)
+  let record = Enoki.Record.create () in
+  Enoki.Record.tap_lock record { Enoki.Lock.lock_id = 0; op = Enoki.Lock.Create; tid = 0 };
+  Enoki.Record.tap_lock record { Enoki.Lock.lock_id = 0; op = Enoki.Lock.Acquire; tid = 1 };
+  check Alcotest.int "undrained lines counted" 2 (Enoki.Record.length record);
+  Enoki.Record.drain record;
+  check Alcotest.int "no double counting after drain" 2 (Enoki.Record.length record)
+
+let test_record_overrun_reported_and_log_usable () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create ~capacity:64 () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:300;
+  M.run_for b.machine (Kernsim.Time.ms 500);
+  (* the tiny ring must overrun, and the drop count must say so *)
+  check Alcotest.bool "drops reported" true (Enoki.Record.dropped record > 0);
+  (* drops are whole lines, so everything kept still parses *)
+  let entries = Enoki.Replay.parse (Enoki.Record.contents record) in
+  check Alcotest.bool "surviving lines parse" true (List.length entries > 0)
+
+let test_replay_of_truncated_log_validates () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:100;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  let log = Enoki.Record.contents record in
+  check Alcotest.int "full log lost nothing" 0 (Enoki.Record.dropped record);
+  (* keep only the first two thirds of the lines: the log records lock
+     events strictly before the call they bracket, so a prefix cut leaves
+     at worst dangling trailing lock entries, never an orphaned call *)
+  let lines = String.split_on_char '\n' log in
+  let keep = List.length lines * 2 / 3 in
+  let truncated = String.concat "\n" (List.filteri (fun i _ -> i < keep) lines) in
+  let report = Enoki.Replay.run (module Schedulers.Fifo_sched) ~log:truncated in
+  check Alcotest.bool "truncated log replays calls" true
+    (report.Enoki.Replay.total_calls > 0
+    && report.Enoki.Replay.total_calls < List.length lines);
+  check
+    Alcotest.(list (pair int string))
+    "truncated log still validates" [] report.Enoki.Replay.mismatches
+
 let test_record_save_load () =
   let record = Enoki.Record.create () in
   let b = build_fifo ~record () in
@@ -561,6 +605,12 @@ let () =
         [
           Alcotest.test_case "record produces log" `Quick test_record_produces_log;
           Alcotest.test_case "ring overrun drops" `Quick test_record_ring_overrun_drops;
+          Alcotest.test_case "length counts undrained lines" `Quick
+            test_record_length_counts_undrained;
+          Alcotest.test_case "overrun reported, log usable" `Quick
+            test_record_overrun_reported_and_log_usable;
+          Alcotest.test_case "truncated log validates" `Quick
+            test_replay_of_truncated_log_validates;
           Alcotest.test_case "replay matches" `Quick test_replay_matches_record;
           Alcotest.test_case "replay detects divergence" `Quick test_replay_detects_divergence;
           Alcotest.test_case "save/load" `Quick test_record_save_load;

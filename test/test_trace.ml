@@ -1,0 +1,529 @@
+(* Tests for the schedtrace subsystem: tracer transport, derived spans,
+   exporters, and the online invariant sanitizer — including deliberately
+   broken schedulers proving each invariant class fires. *)
+
+module M = Kernsim.Machine
+module T = Kernsim.Task
+module Sched = Enoki.Schedulable
+
+let check = Alcotest.check
+
+let one_socket = Kernsim.Topology.one_socket
+
+(* ---------- a minimal JSON syntax validator ----------
+
+   Enough to assert the Chrome export is well-formed JSON without taking a
+   dependency: validates the full value grammar and fails on trailing
+   garbage. *)
+module Json_check = struct
+  exception Bad of int
+
+  let validate s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance () else raise (Bad !pos)
+    in
+    let literal lit =
+      String.iter (fun c -> expect c) lit
+    in
+    let string_lit () =
+      expect '"';
+      let rec body () =
+        match peek () with
+        | None -> raise (Bad !pos)
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> raise (Bad !pos)
+            done
+          | _ -> raise (Bad !pos));
+          body ()
+        | Some _ ->
+          advance ();
+          body ()
+      in
+      body ()
+    in
+    let number () =
+      let digits () =
+        let any = ref false in
+        let rec go () =
+          match peek () with
+          | Some '0' .. '9' ->
+            any := true;
+            advance ();
+            go ()
+          | _ -> ()
+        in
+        go ();
+        if not !any then raise (Bad !pos)
+      in
+      if peek () = Some '-' then advance ();
+      digits ();
+      if peek () = Some '.' then begin
+        advance ();
+        digits ()
+      end;
+      match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ()
+    in
+    let rec value () =
+      skip_ws ();
+      (match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> raise (Bad !pos));
+      skip_ws ()
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> raise (Bad !pos)
+        in
+        members ()
+      end
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          value ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> raise (Bad !pos)
+        in
+        elements ()
+      end
+    in
+    value ();
+    if !pos <> n then raise (Bad !pos)
+end
+
+(* ---------- tracer transport ---------- *)
+
+let test_tracer_counts_and_drops () =
+  let tr = Trace.Tracer.create ~capacity:4 ~nr_cpus:2 () in
+  let seen = ref 0 in
+  Trace.Tracer.subscribe tr (fun _ -> incr seen);
+  for i = 1 to 6 do
+    Trace.Tracer.emit tr ~ts:(i * 10) ~cpu:0 Trace.Event.Tick
+  done;
+  Trace.Tracer.emit tr ~ts:5 ~cpu:1 (Trace.Event.Dispatch { pid = 7 });
+  check Alcotest.int "emitted counts every offer" 7 (Trace.Tracer.emitted tr);
+  check Alcotest.int "cpu 0 overran by 2" 2 (Trace.Tracer.dropped_of_cpu tr 0);
+  check Alcotest.int "total drops" 2 (Trace.Tracer.dropped tr);
+  check Alcotest.int "subscriber saw every event pre-drop" 7 !seen;
+  check Alcotest.int "buffered = kept events" 5 (Trace.Tracer.buffered tr);
+  let events = Trace.Tracer.events tr in
+  check Alcotest.int "drained all kept events" 5 (List.length events);
+  check Alcotest.bool "timestamp sorted" true
+    (List.for_all2
+       (fun (a : Trace.Event.t) (b : Trace.Event.t) -> a.ts <= b.ts)
+       (List.filteri (fun i _ -> i < 4) events)
+       (List.tl events));
+  check Alcotest.int "drain is destructive" 0 (List.length (Trace.Tracer.events tr))
+
+let test_tracer_folds_out_of_range_cpu () =
+  let tr = Trace.Tracer.create ~nr_cpus:2 () in
+  Trace.Tracer.emit tr ~ts:1 ~cpu:99 Trace.Event.Tick;
+  Trace.Tracer.emit tr ~ts:2 ~cpu:(-1) Trace.Event.Idle;
+  match Trace.Tracer.events tr with
+  | [ a; b ] ->
+    check Alcotest.int "folded onto cpu 0" 0 a.Trace.Event.cpu;
+    check Alcotest.int "negative folded too" 0 b.Trace.Event.cpu
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+(* ---------- derived spans ---------- *)
+
+let ev ts cpu kind = { Trace.Event.ts; cpu; kind }
+
+let test_spans_from_synthetic_stream () =
+  let events =
+    [
+      ev 10 0 (Trace.Event.Wakeup { pid = 5; waker_cpu = 0; affinity = None });
+      ev 30 1 (Trace.Event.Dispatch { pid = 5 });
+      ev 50 1 (Trace.Event.Preempt { pid = 5 });
+      ev 80 1 (Trace.Event.Dispatch { pid = 5 });
+      ev 90 1 (Trace.Event.Block { pid = 5 });
+    ]
+  in
+  let spans = Trace.Spans.of_events events in
+  let wd = List.filter (fun (s : Trace.Spans.t) -> s.kind = Trace.Spans.Wakeup_to_dispatch) spans in
+  let pr = List.filter (fun (s : Trace.Spans.t) -> s.kind = Trace.Spans.Preempt_to_resched) spans in
+  (match wd with
+  | [ s ] ->
+    check Alcotest.int "wakeup->dispatch duration" 20 (Trace.Spans.duration s);
+    check Alcotest.int "span pid" 5 s.pid
+  | l -> Alcotest.failf "expected 1 wakeup span, got %d" (List.length l));
+  match pr with
+  | [ s ] -> check Alcotest.int "preempt->resched duration" 30 (Trace.Spans.duration s)
+  | l -> Alcotest.failf "expected 1 preempt span, got %d" (List.length l)
+
+(* ---------- exporters, on a real run ---------- *)
+
+let traced_pipe_run kind =
+  let tracer = Trace.Tracer.create ~nr_cpus:(Kernsim.Topology.nr_cpus one_socket) () in
+  let b = Workloads.Setup.build ~tracer ~topology:one_socket kind in
+  ignore (Workloads.Pipe_bench.run b ~messages:2_000 ());
+  Trace.Tracer.events tracer
+
+let test_chrome_export_is_valid_json () =
+  let events = traced_pipe_run (Workloads.Setup.Enoki_sched (module Schedulers.Wfq)) in
+  check Alcotest.bool "events captured" true (List.length events > 100);
+  let json = Trace.Export.chrome_json events in
+  (try Json_check.validate json
+   with Json_check.Bad pos -> Alcotest.failf "invalid JSON at byte %d" pos);
+  (* sched_switch events must appear for at least two distinct cpus *)
+  let switch_cpus =
+    List.filter_map
+      (fun (e : Trace.Event.t) ->
+        match e.kind with Trace.Event.Sched_switch _ -> Some e.cpu | _ -> None)
+      events
+    |> List.sort_uniq Int.compare
+  in
+  check Alcotest.bool "sched_switch on >= 2 cpus" true (List.length switch_cpus >= 2);
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "has traceEvents" true (contains "\"traceEvents\"");
+  check Alcotest.bool "has sched_switch instants" true (contains "\"sched_switch\"");
+  check Alcotest.bool "names the machine process" true (contains "\"machine\"")
+
+let test_ftrace_export_format () =
+  let events = traced_pipe_run (Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched)) in
+  let text = Trace.Export.ftrace events in
+  let lines = String.split_on_char '\n' text in
+  check Alcotest.bool "has header" true
+    (match lines with first :: _ -> first = "# tracer: schedtrace" | [] -> false);
+  let body = List.filter (fun l -> l <> "" && l.[0] <> '#') lines in
+  check Alcotest.int "one line per event (plus header)" (List.length events) (List.length body);
+  check Alcotest.bool "lines carry the enoki- prefix" true
+    (List.for_all
+       (fun l ->
+         let rec find i =
+           i + 6 <= String.length l && (String.sub l i 6 = "enoki-" || find (i + 1))
+         in
+         find 0)
+       body)
+
+let test_format_of_string_roundtrip () =
+  check Alcotest.bool "chrome" true (Trace.Export.format_of_string "chrome" = Some Trace.Export.Chrome);
+  check Alcotest.bool "ftrace" true (Trace.Export.format_of_string "ftrace" = Some Trace.Export.Ftrace);
+  check Alcotest.bool "unknown rejected" true (Trace.Export.format_of_string "perf" = None)
+
+(* ---------- sanitizer: clean runs for every in-tree scheduler ---------- *)
+
+let sanitized_run ?(config = Trace.Sanitizer.default_config) kind workload =
+  let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+  let tracer = Trace.Tracer.create ~nr_cpus () in
+  let s = Trace.Sanitizer.create ~config ~nr_cpus () in
+  Trace.Sanitizer.attach s tracer;
+  let b = Workloads.Setup.build ~tracer ~topology:one_socket kind in
+  workload b;
+  (s, b)
+
+let pipe b = ignore (Workloads.Pipe_bench.run b ~messages:2_000 ())
+
+let assert_clean name (s, _) =
+  check Alcotest.bool "events were checked" true (Trace.Sanitizer.events_seen s > 0);
+  if not (Trace.Sanitizer.ok s) then
+    Alcotest.failf "%s: %s" name (Trace.Sanitizer.report_string s)
+
+let clean_case name kind =
+  ( name ^ " sanitizes clean",
+    `Quick,
+    fun () -> assert_clean name (sanitized_run kind pipe) )
+
+let test_arachne_sanitizes_clean () =
+  (* a core arbiter is neither work-conserving nor starvation-free for
+     parked activations (the arbiter grants only the requested cores), so
+     those two invariant classes are off; everything else must hold on its
+     natural workload *)
+  let config =
+    { Trace.Sanitizer.default_config with
+      Trace.Sanitizer.disabled = [ Trace.Sanitizer.Work_conservation; Starvation ]
+    }
+  in
+  let memcached b =
+    ignore
+      (Workloads.Memcached.run b
+         (Workloads.Memcached.default_params ~mode:Workloads.Memcached.Arachne_enoki
+            ~load_kreqs:100.))
+  in
+  assert_clean "arachne"
+    (sanitized_run ~config (Workloads.Setup.Enoki_sched (module Schedulers.Arachne)) memcached)
+
+(* ---------- broken schedulers: each invariant class must fire ----------
+
+   One delegating scheduler wrapping FIFO, with the sabotage selected by a
+   global before the machine is built (schedulers are constructed at
+   factory time, so the ref is read per-build). *)
+
+type sabotage = Starve | Pin_cpu0 | Forge_token
+
+let sabotage_mode = ref Starve
+
+module Broken_sched = struct
+  module F = Schedulers.Fifo_sched
+
+  type t = { inner : F.t; mode : sabotage; mutable stash : Sched.t option }
+
+  let name = "broken"
+
+  let create ctx = { inner = F.create ctx; mode = !sabotage_mode; stash = None }
+
+  let get_policy t = F.get_policy t.inner
+
+  let pick_next_task t ~cpu ~curr ~curr_runtime =
+    match t.mode with
+    | Starve -> None (* never dispatch anything: starves every runnable task *)
+    | Pin_cpu0 ->
+      if cpu = 0 then F.pick_next_task t.inner ~cpu ~curr ~curr_runtime else None
+    | Forge_token -> (
+      match F.pick_next_task t.inner ~cpu ~curr ~curr_runtime with
+      | Some tok when t.stash = None && Sched.cpu tok = cpu ->
+        t.stash <- Some tok;
+        (* forge a token claiming another core: Enoki-C must reject it *)
+        Some (Sched.Private.create ~pid:(Sched.pid tok) ~cpu:(cpu + 1) ~gen:(Sched.generation tok))
+      | r -> r)
+
+  let pnt_err t ~cpu ~pid ~err ~sched =
+    ignore (err, sched);
+    match t.stash with
+    | Some tok ->
+      t.stash <- None;
+      F.pnt_err t.inner ~cpu ~pid ~err:"recovered" ~sched:(Some tok)
+    | None -> ()
+
+  let select_task_rq t ~pid ~waker_cpu ~allowed =
+    match t.mode with
+    | Pin_cpu0 -> 0 (* wedge every task onto one run-queue *)
+    | Starve | Forge_token -> F.select_task_rq t.inner ~pid ~waker_cpu ~allowed
+
+  let balance t ~cpu =
+    match t.mode with Pin_cpu0 | Starve -> None | Forge_token -> F.balance t.inner ~cpu
+
+  let task_dead t = F.task_dead t.inner
+
+  let task_blocked t = F.task_blocked t.inner
+
+  let task_wakeup t = F.task_wakeup t.inner
+
+  let task_new t = F.task_new t.inner
+
+  let task_preempt t = F.task_preempt t.inner
+
+  let task_yield t = F.task_yield t.inner
+
+  let task_departed t = F.task_departed t.inner
+
+  let task_affinity_changed t = F.task_affinity_changed t.inner
+
+  let task_prio_changed t = F.task_prio_changed t.inner
+
+  let task_tick t = F.task_tick t.inner
+
+  let migrate_task_rq t = F.migrate_task_rq t.inner
+
+  let balance_err t = F.balance_err t.inner
+
+  let reregister_prepare _ = None
+
+  let reregister_init ctx _ = create ctx
+
+  let parse_hint t = F.parse_hint t.inner
+end
+
+let hog ~chunk ~steps =
+  let left = ref steps in
+  fun (_ : T.ctx) ->
+    if !left = 0 then T.Exit
+    else begin
+      decr left;
+      T.Compute chunk
+    end
+
+let broken_run mode ~hogs ~for_ =
+  sabotage_mode := mode;
+  let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+  let tracer = Trace.Tracer.create ~nr_cpus () in
+  let s = Trace.Sanitizer.create ~nr_cpus () in
+  Trace.Sanitizer.attach s tracer;
+  let b =
+    Workloads.Setup.build ~tracer ~topology:one_socket
+      (Workloads.Setup.Enoki_sched (module Broken_sched))
+  in
+  List.iter
+    (fun i ->
+      ignore
+        (M.spawn b.machine
+           { (T.default_spec ~name:(Printf.sprintf "h%d" i)
+                (hog ~chunk:(Kernsim.Time.ms 1) ~steps:2_000))
+             with
+             T.policy = b.policy }))
+    (List.init hogs Fun.id);
+  M.run_for b.machine for_;
+  s
+
+let test_sanitizer_catches_starvation () =
+  let s = broken_run Starve ~hogs:2 ~for_:(Kernsim.Time.ms 300) in
+  let vs = Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Starvation in
+  check Alcotest.bool "starvation reported" true (vs <> []);
+  check Alcotest.bool "violations carry trailing context" true
+    (List.for_all (fun (v : Trace.Sanitizer.violation) -> v.window <> []) vs)
+
+let test_sanitizer_catches_work_conservation () =
+  let s = broken_run Pin_cpu0 ~hogs:4 ~for_:(Kernsim.Time.ms 100) in
+  check Alcotest.bool "work conservation violated" true
+    (Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Work_conservation <> [])
+
+let test_sanitizer_catches_token_discipline () =
+  let s = broken_run Forge_token ~hogs:2 ~for_:(Kernsim.Time.ms 50) in
+  let vs = Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Token_discipline in
+  check Alcotest.bool "forged token surfaced as pnt_err violation" true (vs <> [])
+
+(* double-run and lock imbalance cannot be produced through the machine
+   (it validates picks and the Lock module brackets every critical
+   section), so the checks are proven on synthetic event feeds *)
+
+let test_sanitizer_catches_double_run () =
+  let s = Trace.Sanitizer.create ~nr_cpus:4 () in
+  Trace.Sanitizer.feed s (ev 10 0 (Trace.Event.Dispatch { pid = 3 }));
+  Trace.Sanitizer.feed s (ev 20 1 (Trace.Event.Dispatch { pid = 3 }));
+  check Alcotest.int "double run detected" 1
+    (List.length (Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Double_run));
+  (* same pid redispatched on the same cpu is not a double-run *)
+  let s2 = Trace.Sanitizer.create ~nr_cpus:4 () in
+  Trace.Sanitizer.feed s2 (ev 10 0 (Trace.Event.Dispatch { pid = 3 }));
+  Trace.Sanitizer.feed s2 (ev 20 0 (Trace.Event.Dispatch { pid = 3 }));
+  check Alcotest.bool "same-cpu redispatch ok" true (Trace.Sanitizer.ok s2)
+
+let test_sanitizer_catches_lock_imbalance () =
+  let s = Trace.Sanitizer.create ~nr_cpus:2 () in
+  Trace.Sanitizer.feed s (ev 10 0 (Trace.Event.Lock_acquire { lock_id = 1 }));
+  Trace.Sanitizer.feed s (ev 20 0 (Trace.Event.Lock_release { lock_id = 2 }));
+  Trace.Sanitizer.feed s (ev 30 1 (Trace.Event.Lock_release { lock_id = 1 }));
+  check Alcotest.int "out-of-order and never-acquired releases flagged" 2
+    (List.length (Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Lock_imbalance));
+  (* balanced LIFO nesting is clean *)
+  let s2 = Trace.Sanitizer.create ~nr_cpus:2 () in
+  List.iter (Trace.Sanitizer.feed s2)
+    [
+      ev 1 0 (Trace.Event.Lock_acquire { lock_id = 1 });
+      ev 2 0 (Trace.Event.Lock_acquire { lock_id = 2 });
+      ev 3 0 (Trace.Event.Lock_release { lock_id = 2 });
+      ev 4 0 (Trace.Event.Lock_release { lock_id = 1 });
+    ];
+  check Alcotest.bool "balanced nesting clean" true (Trace.Sanitizer.ok s2)
+
+let test_disabled_silences_only_that_kind () =
+  let config =
+    { Trace.Sanitizer.default_config with
+      Trace.Sanitizer.disabled = [ Trace.Sanitizer.Double_run ]
+    }
+  in
+  let s = Trace.Sanitizer.create ~config ~nr_cpus:4 () in
+  Trace.Sanitizer.feed s (ev 10 0 (Trace.Event.Dispatch { pid = 3 }));
+  Trace.Sanitizer.feed s (ev 20 1 (Trace.Event.Dispatch { pid = 3 }));
+  Trace.Sanitizer.feed s (ev 30 0 (Trace.Event.Lock_release { lock_id = 9 }));
+  check Alcotest.bool "disabled kind silenced" true
+    (Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Double_run = []);
+  check Alcotest.bool "other kinds still fire" true
+    (Trace.Sanitizer.violations_of_kind s Trace.Sanitizer.Lock_imbalance <> [])
+
+(* ---------- lock events through the real tap ---------- *)
+
+let test_lock_events_traced_and_balanced () =
+  let (s, b) =
+    sanitized_run (Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched)) pipe
+  in
+  ignore b;
+  assert_clean "fifo lock pairing" (s, b);
+  check Alcotest.bool "lock events observed" true (Trace.Sanitizer.events_seen s > 0)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "tracer",
+        [
+          ("counts, drops, subscribers", `Quick, test_tracer_counts_and_drops);
+          ("out-of-range cpu folded", `Quick, test_tracer_folds_out_of_range_cpu);
+        ] );
+      ("spans", [ ("synthetic stream", `Quick, test_spans_from_synthetic_stream) ]);
+      ( "export",
+        [
+          ("chrome JSON is valid and multi-cpu", `Quick, test_chrome_export_is_valid_json);
+          ("ftrace text format", `Quick, test_ftrace_export_format);
+          ("format parsing", `Quick, test_format_of_string_roundtrip);
+        ] );
+      ( "sanitizer-clean",
+        [
+          clean_case "cfs" Workloads.Setup.Cfs;
+          clean_case "fifo" (Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched));
+          clean_case "wfq" (Workloads.Setup.Enoki_sched (module Schedulers.Wfq));
+          clean_case "shinjuku" (Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku));
+          clean_case "locality" (Workloads.Setup.Enoki_sched (module Schedulers.Locality));
+          clean_case "edf" (Workloads.Setup.Enoki_sched (module Schedulers.Edf));
+          clean_case "nest" (Workloads.Setup.Enoki_sched (module Schedulers.Nest));
+          clean_case "rt-fifo" (Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo));
+          clean_case "ghost-sol" (Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol);
+          clean_case "ghost-fifo" (Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu);
+          clean_case "ghost-shinjuku" (Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku);
+          ("arachne (arbiter invariants)", `Quick, test_arachne_sanitizes_clean);
+        ] );
+      ( "sanitizer-fires",
+        [
+          ("starvation", `Quick, test_sanitizer_catches_starvation);
+          ("work conservation", `Quick, test_sanitizer_catches_work_conservation);
+          ("token discipline", `Quick, test_sanitizer_catches_token_discipline);
+          ("double run (synthetic)", `Quick, test_sanitizer_catches_double_run);
+          ("lock imbalance (synthetic)", `Quick, test_sanitizer_catches_lock_imbalance);
+          ("disabled kinds silenced", `Quick, test_disabled_silences_only_that_kind);
+        ] );
+      ( "lock-tap",
+        [ ("lock events traced and balanced", `Quick, test_lock_events_traced_and_balanced) ] );
+    ]
