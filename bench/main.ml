@@ -29,6 +29,23 @@ let trace_format = ref Trace.Export.Chrome
 
 let sanitize = ref false
 
+(* --seed=N overrides every workload's PRNG seed (each workload has its own
+   canonical default, printed in the run header, so results are reproducible
+   either way) *)
+let seed : int option ref = ref None
+
+let seed_or d = Option.value !seed ~default:d
+
+let schbench_params () =
+  let dp = Workloads.Schbench.default_params in
+  { dp with Workloads.Schbench.seed = seed_or dp.Workloads.Schbench.seed }
+
+let rocksdb_params ~load_kreqs ~with_batch =
+  Workloads.Rocksdb.default_params ?seed:!seed ~load_kreqs ~with_batch ()
+
+let memcached_params ~mode ~load_kreqs =
+  Workloads.Memcached.default_params ?seed:!seed ~mode ~load_kreqs ()
+
 let traced : (string * Trace.Tracer.t * Trace.Sanitizer.t option) list ref = ref []
 
 let build ?costs ?record ~topology kind =
@@ -133,7 +150,7 @@ let table4 () =
   in
   let run_one how workers =
     let params =
-      { Workloads.Schbench.default_params with
+      { (schbench_params ()) with
         workers;
         warmup = Kernsim.Time.ms 500;
         duration = Kernsim.Time.ms 1500;
@@ -222,8 +239,7 @@ let fig2_run ~with_batch =
           (fun (name, kind) ->
             let b = build ~topology:one_socket kind in
             ( name,
-              Workloads.Rocksdb.run b
-                (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch) ))
+              Workloads.Rocksdb.run b (rocksdb_params ~load_kreqs:load ~with_batch) ))
           fig2_kinds ))
     fig2_loads
 
@@ -269,7 +285,7 @@ let table6 () =
   Report.section "Table 6: modified schbench wakeup latency with locality hints (us)";
   let run kind ~hints ~pin =
     let params =
-      { Workloads.Schbench.default_params with
+      { (schbench_params ()) with
         Workloads.Schbench.messages = 2;
         workers = 2;
         warmup = Kernsim.Time.ms 500;
@@ -329,9 +345,7 @@ let fig3 () =
           List.map
             (fun (name, mode, kind) ->
               let b = build ~topology:one_socket kind in
-              ( name,
-                Workloads.Memcached.run b
-                  (Workloads.Memcached.default_params ~mode ~load_kreqs:load) ))
+              ( name, Workloads.Memcached.run b (memcached_params ~mode ~load_kreqs:load) ))
             modes ))
       loads
   in
@@ -360,7 +374,7 @@ let upgrade () =
   let measure ~topology ~workers =
     let b = build ~topology (Workloads.Setup.Enoki_sched (module Schedulers.Wfq)) in
     let params =
-      { Workloads.Schbench.default_params with
+      { (schbench_params ()) with
         Workloads.Schbench.workers;
         warmup = Kernsim.Time.ms 50;
         duration = Kernsim.Time.ms 400;
@@ -543,10 +557,7 @@ let ablation () =
       (fun slice_us ->
         let (module S) = Schedulers.Shinjuku.with_slice (Kernsim.Time.us slice_us) in
         let b = build ~topology:one_socket (Workloads.Setup.Enoki_sched (module S)) in
-        let r =
-          Workloads.Rocksdb.run b
-            (Workloads.Rocksdb.default_params ~load_kreqs:55.0 ~with_batch:false)
-        in
+        let r = Workloads.Rocksdb.run b (rocksdb_params ~load_kreqs:55.0 ~with_batch:false) in
         [
           Printf.sprintf "%d us" slice_us;
           Report.fmt_f1 r.Workloads.Rocksdb.p50_us;
@@ -581,7 +592,7 @@ let ablation () =
     {
       Workloads.Apps.name = "skewed";
       unit_ = "score";
-      seed = 33;
+      seed = seed_or 33;
       family = Workloads.Apps.Unbalanced { tasks = 12; base = Kernsim.Time.ms 4; skew = 3.0; steps = 12 };
     }
   in
@@ -691,8 +702,7 @@ let sanity () =
   let memcached b =
     ignore
       (Workloads.Memcached.run b
-         (Workloads.Memcached.default_params ~mode:Workloads.Memcached.Arachne_enoki
-            ~load_kreqs:100.))
+         (memcached_params ~mode:Workloads.Memcached.Arachne_enoki ~load_kreqs:100.))
   in
   let all = Trace.Sanitizer.default_config in
   (* a core arbiter is neither work-conserving nor starvation-free for
@@ -745,6 +755,146 @@ let sanity () =
   Report.table ~header:[ "scheduler"; "events checked"; "ring drops"; "verdict" ] rows;
   Report.note "invariants: no double-run, no starvation, work conservation,";
   Report.note "Schedulable token discipline, lock acquire/release pairing."
+
+(* ---------- chaos: fault injection and recovery across the matrix ---------- *)
+
+let chaos () =
+  Report.section "Chaos: fault injection, failover and watchdog recovery";
+  let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+  let pipe b = (Workloads.Pipe_bench.run b ~messages:5_000 ()).Workloads.Pipe_bench.completed in
+  let memcached b =
+    ignore
+      (Workloads.Memcached.run b
+         (memcached_params ~mode:Workloads.Memcached.Arachne_enoki ~load_kreqs:100.));
+    true
+  in
+  let all = Trace.Sanitizer.default_config in
+  (* arachne is a core arbiter; see sanity() for why these two invariants
+     are renounced by design *)
+  let arbiter =
+    { all with Trace.Sanitizer.disabled = [ Trace.Sanitizer.Work_conservation; Starvation ] }
+  in
+  let mods : (string * (module Enoki.Sched_trait.S) * _ * _) list =
+    [
+      ("fifo", (module Schedulers.Fifo_sched), pipe, all);
+      ("wfq", (module Schedulers.Wfq), pipe, all);
+      ("shinjuku", (module Schedulers.Shinjuku), pipe, all);
+      ("locality", (module Schedulers.Locality), pipe, all);
+      ("arachne", (module Schedulers.Arachne), memcached, arbiter);
+      ("edf", (module Schedulers.Edf), pipe, all);
+      ("nest", (module Schedulers.Nest), pipe, all);
+      ("rt-fifo", (module Schedulers.Rt_fifo), pipe, all);
+    ]
+  in
+  (* plan name, spec, per-call budget, watchdog armed *)
+  let plans =
+    [
+      ("panic", "panic", None, false);
+      ("chaos", "chaos", None, false);
+      ("wedge+wd", "wedge@pick_next_task:after=500", Some 1_000_000, true);
+    ]
+  in
+  let run_one name (module S : Enoki.Sched_trait.S) workload config ~plan_name ~spec ~budget
+      ~watchdog =
+    let tracer = Trace.Tracer.create ~nr_cpus () in
+    let s = Trace.Sanitizer.create ~config ~nr_cpus () in
+    Trace.Sanitizer.attach s tracer;
+    if !trace_path <> None then
+      traced := (Printf.sprintf "chaos-%s-%s" name plan_name, tracer, None) :: !traced;
+    let plan =
+      match Fault.Plan.parse spec with Ok p -> p | Error m -> failwith ("chaos: " ^ m)
+    in
+    let tally = Hashtbl.create 8 in
+    let wrapped = Fault.Inject.wrap ~tally ~seed:1 ~plan (module S) in
+    let b =
+      Workloads.Setup.build ~tracer ?call_budget:budget ~topology:one_socket
+        (Workloads.Setup.Enoki_sched wrapped)
+    in
+    let e = Option.get b.Workloads.Setup.enoki in
+    let rollbacks = ref 0 in
+    let wd =
+      if not watchdog then None
+      else begin
+        let w =
+          Fault.Watchdog.create ~sanitizer:s
+            ~action:(fun ~reason:_ ~at:_ ->
+              (* recovery re-enters the scheduler: defer out of the
+                 emitting dispatch; pre-upgrade, last-known-good is the
+                 pristine unwrapped module *)
+              Kernsim.Machine.at b.Workloads.Setup.machine ~delay:0 (fun () ->
+                  match
+                    match Enoki.Enoki_c.previous e with
+                    | Some _ -> Enoki.Enoki_c.rollback e
+                    | None -> Enoki.Enoki_c.upgrade e (module S)
+                  with
+                  | Ok _ -> incr rollbacks
+                  | Error _ -> ()))
+            ()
+        in
+        Fault.Watchdog.attach w tracer;
+        Some w
+      end
+    in
+    let completed = workload b in
+    let f = Enoki.Enoki_c.failover_stats e in
+    let injected = Hashtbl.fold (fun _ v acc -> acc + v) tally 0 in
+    [
+      name;
+      plan_name;
+      string_of_int injected;
+      string_of_int f.Enoki.Enoki_c.panics;
+      string_of_int f.Enoki.Enoki_c.failovers;
+      (match f.Enoki.Enoki_c.blackout with Some ns -> Kernsim.Time.to_string ns | None -> "-");
+      string_of_int f.Enoki.Enoki_c.overruns;
+      (match wd with
+      | Some w -> string_of_int (List.length (Fault.Watchdog.fires w))
+      | None -> "-");
+      (if watchdog then string_of_int !rollbacks else "-");
+      (if Trace.Sanitizer.ok s then "clean"
+       else Printf.sprintf "%d violations" (List.length (Trace.Sanitizer.violations s)));
+      (if completed then "yes" else "NO");
+    ]
+  in
+  let control (label, kind) =
+    let tracer = Trace.Tracer.create ~nr_cpus () in
+    let s = Trace.Sanitizer.create ~config:all ~nr_cpus () in
+    Trace.Sanitizer.attach s tracer;
+    let b = Workloads.Setup.build ~tracer ~topology:one_socket kind in
+    let completed = pipe b in
+    [
+      label; "(control)"; "0"; "-"; "-"; "-"; "-"; "-"; "-";
+      (if Trace.Sanitizer.ok s then "clean"
+       else Printf.sprintf "%d violations" (List.length (Trace.Sanitizer.violations s)));
+      (if completed then "yes" else "NO");
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, m, workload, config) ->
+        List.map
+          (fun (plan_name, spec, budget, watchdog) ->
+            run_one name m workload config ~plan_name ~spec ~budget ~watchdog)
+          plans)
+      mods
+    @ List.map control
+        [
+          ("cfs", Workloads.Setup.Cfs);
+          ("ghost-sol", Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol);
+          ("ghost-fifo", Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu);
+          ("ghost-shinjuku", Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku);
+        ]
+  in
+  Report.table
+    ~header:
+      [ "scheduler"; "plan"; "injected"; "panics"; "failovers"; "blackout"; "overruns";
+        "wd fires"; "rollbacks"; "sanitizer"; "done" ]
+    rows;
+  Report.note "panic plans must stay clean: the module dies, the boundary quarantines it";
+  Report.note "and fails over to built-in CFS with no double-run or token leak.";
+  Report.note "chaos plans inject wrong replies, so token-discipline violations there";
+  Report.note "are the injected fault surfacing downstream, not a framework bug.";
+  Report.note "wedge+wd: the watchdog detects call-budget overruns and re-registers the";
+  Report.note "pristine module; rollbacks > 0 with a clean verdict means recovery worked."
 
 (* ---------- microbenchmarks ---------- *)
 
@@ -830,6 +980,7 @@ let experiments =
     ("loc", loc);
     ("micro", micro);
     ("sanity", sanity);
+    ("chaos", chaos);
   ]
 
 let () =
@@ -854,10 +1005,20 @@ let () =
           | None -> Printf.eprintf "unknown trace format in %s (chrome|ftrace)\n" arg);
           false
         end
+        else if has_prefix ~prefix:"--seed=" arg then begin
+          (match int_of_string_opt (cut ~prefix:"--seed=" arg) with
+          | Some n -> seed := Some n
+          | None -> Printf.eprintf "bad seed in %s\n" arg);
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
   let requested = match names with [] -> List.map fst experiments | ns -> ns in
+  Printf.printf "workload seed: %s\n"
+    (match !seed with
+    | Some n -> string_of_int n
+    | None -> "per-workload defaults (schbench 42, rocksdb 7, memcached 11)");
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

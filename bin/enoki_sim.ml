@@ -108,45 +108,93 @@ let sanitize_arg =
           "Check scheduling invariants online (no double-run, no starvation, work \
            conservation, Schedulable token discipline, lock pairing) and report violations.")
 
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Workload PRNG seed.  Defaults to each workload's canonical seed; the effective \
+           seed is printed so any run can be reproduced from its output.")
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"SPEC"
+        ~doc:
+          "Inject faults into the scheduler module: a preset ($(b,panic), $(b,wrong-reply), \
+           $(b,bad-select), $(b,latency), $(b,wedge), $(b,chaos)) or a rule spec like \
+           $(b,panic\\@pick_next_task:p=0.01,after=1000).  Requires an Enoki scheduler.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Seed for the fault injector's PRNG; equal seeds reproduce the same faults.")
+
+let call_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "call-budget" ] ~docv:"NS"
+        ~doc:
+          "Simulated-time budget per scheduler invocation; overruns are counted, traced, \
+           and feed the watchdog (the wedged-module detector).")
+
+let watchdog_arg =
+  Arg.(
+    value & flag
+    & info [ "watchdog" ]
+        ~doc:
+          "Arm the recovery watchdog: on panic bursts, call-budget overruns or sanitizer \
+           starvation it live-upgrades back to the last-known-good scheduler version.")
+
 let print_summary (b : Workloads.Setup.built) =
   let mets = Kernsim.Machine.metrics b.machine in
   Printf.printf "schedules: %d, context switches: %d, migrations: %d\n"
     (Kernsim.Metrics.schedules mets)
     (Kernsim.Metrics.context_switches mets)
     (Kernsim.Metrics.migrations mets);
-  match b.enoki with
-  | Some e ->
-    Printf.printf "enoki: %d scheduler invocations, %d Schedulable violations\n"
-      (Enoki.Enoki_c.calls e) (Enoki.Enoki_c.violations e)
-  | None -> ()
+  Report.kv (Workloads.Setup.enoki_summary b)
 
-let run_workload (b : Workloads.Setup.built) workload ~load =
+let run_workload (b : Workloads.Setup.built) workload ~load ~seed =
   match workload with
   | Pipe ->
+    (* sched-pipe is closed-loop and PRNG-free; no seed to report *)
     let r = Workloads.Pipe_bench.run b () in
     Printf.printf "sched pipe: %.2f us/wakeup over %d wakeups (completed: %b)\n" r.us_per_wakeup
       r.wakeups r.completed
   | Schbench ->
-    let r = Workloads.Schbench.run b Workloads.Schbench.default_params in
+    let dp = Workloads.Schbench.default_params in
+    let p =
+      { dp with Workloads.Schbench.seed = Option.value seed ~default:dp.Workloads.Schbench.seed }
+    in
+    Printf.printf "seed: %d\n" p.Workloads.Schbench.seed;
+    let r = Workloads.Schbench.run b p in
     Printf.printf "schbench: wakeup latency p50 %s, p99 %s (%d samples)\n"
       (Kernsim.Time.to_string r.p50) (Kernsim.Time.to_string r.p99) r.samples
   | Rocksdb ->
-    let r = Workloads.Rocksdb.run b (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch:false) in
+    let p = Workloads.Rocksdb.default_params ?seed ~load_kreqs:load ~with_batch:false () in
+    Printf.printf "seed: %d\n" p.Workloads.Rocksdb.seed;
+    let r = Workloads.Rocksdb.run b p in
     Printf.printf "rocksdb @ %.0fk req/s: achieved %.1fk, p50 %.1f us, p99 %.1f us\n"
       r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
   | Memcached ->
-    let r =
-      Workloads.Memcached.run b
-        (Workloads.Memcached.default_params ~mode:Workloads.Memcached.Cfs ~load_kreqs:load)
+    let p =
+      Workloads.Memcached.default_params ?seed ~mode:Workloads.Memcached.Cfs ~load_kreqs:load ()
     in
+    Printf.printf "seed: %d\n" p.Workloads.Memcached.seed;
+    let r = Workloads.Memcached.run b p in
     Printf.printf "memcached @ %.0fk req/s: achieved %.1fk, p50 %.1f us, p99 %.1f us\n"
       r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
 
 let run_cmd =
-  let run sched workload load cores trace_path trace_format sanitize =
+  let run sched workload load cores trace_path trace_format sanitize seed fault_plan fault_seed
+      call_budget watchdog =
     let topology = topology_of_cores cores in
     let tracer =
-      if trace_path <> None || sanitize then
+      if trace_path <> None || sanitize || watchdog then
         Some (Trace.Tracer.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) ())
       else None
     in
@@ -157,9 +205,82 @@ let run_cmd =
         Some s)
       else None
     in
-    let b = Workloads.Setup.build ?tracer ~topology (kind_of_sched sched) in
-    run_workload b workload ~load;
+    let plan =
+      match fault_plan with
+      | None -> None
+      | Some spec -> (
+        match Fault.Plan.parse spec with
+        | Ok p -> Some p
+        | Error msg ->
+          Printf.eprintf "enoki_sim: bad fault plan: %s\n" msg;
+          exit 2)
+    in
+    let pristine = module_of_sched sched in
+    let tally = Hashtbl.create 8 in
+    let kind =
+      match (plan, pristine) with
+      | Some p, Some m ->
+        Workloads.Setup.Enoki_sched (Fault.Inject.wrap ~tally ~seed:fault_seed ~plan:p m)
+      | Some _, None ->
+        prerr_endline "enoki_sim: --fault-plan requires an Enoki scheduler module";
+        exit 2
+      | None, _ -> kind_of_sched sched
+    in
+    let b = Workloads.Setup.build ?tracer ?call_budget ~topology kind in
+    (match plan with
+    | Some p -> Printf.printf "fault plan: %s (fault seed %d)\n" (Fault.Plan.to_string p) fault_seed
+    | None -> ());
+    let wd =
+      if not watchdog then None
+      else
+        match (b.enoki, pristine, tracer) with
+        | Some e, Some m, Some tr ->
+          let w =
+            Fault.Watchdog.create ?sanitizer
+              ~action:(fun ~reason ~at:_ ->
+                (* recovery re-enters the scheduler: defer it out of the
+                   emitting dispatch to the next simulator step *)
+                Kernsim.Machine.at b.machine ~delay:0 (fun () ->
+                    let r =
+                      (* no upgrade happened yet: "last known good" is the
+                         pristine, unwrapped module *)
+                      match Enoki.Enoki_c.previous e with
+                      | Some _ -> Enoki.Enoki_c.rollback e
+                      | None -> Enoki.Enoki_c.upgrade e m
+                    in
+                    match r with
+                    | Ok s ->
+                      Printf.printf "watchdog: %s -> re-registered %s (pause %s)\n" reason
+                        (Enoki.Enoki_c.scheduler_name e)
+                        (Kernsim.Time.to_string s.Enoki.Upgrade.pause)
+                    | Error exn ->
+                      Printf.printf "watchdog: %s -> rollback failed: %s\n" reason
+                        (Printexc.to_string exn)))
+              ()
+          in
+          Fault.Watchdog.attach w tr;
+          Some w
+        | _ ->
+          prerr_endline "enoki_sim: --watchdog requires an Enoki scheduler";
+          exit 2
+    in
+    run_workload b workload ~load ~seed;
     print_summary b;
+    if Hashtbl.length tally > 0 then begin
+      let items =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Printf.printf "injected faults: %s\n"
+        (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) items))
+    end;
+    (match wd with
+    | Some w ->
+      List.iter
+        (fun (f : Fault.Watchdog.fire) ->
+          Printf.printf "watchdog fired at %s: %s\n" (Kernsim.Time.to_string f.at) f.reason)
+        (Fault.Watchdog.fires w)
+    | None -> ());
     (match (trace_path, tracer) with
     | Some path, Some tr ->
       let events = Trace.Tracer.events tr in
@@ -181,7 +302,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a scheduler and print its metrics.")
     Term.(
       const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ trace_arg
-      $ trace_format_arg $ sanitize_arg)
+      $ trace_format_arg $ sanitize_arg $ seed_arg $ fault_plan_arg $ fault_seed_arg
+      $ call_budget_arg $ watchdog_arg)
 
 let out_arg =
   Arg.(
@@ -189,7 +311,7 @@ let out_arg =
     & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Where to save the record log.")
 
 let record_cmd =
-  let run sched workload load cores out =
+  let run sched workload load cores out seed =
     match module_of_sched sched with
     | None -> prerr_endline "record requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
     | Some m ->
@@ -198,7 +320,7 @@ let record_cmd =
         Workloads.Setup.build ~record ~topology:(topology_of_cores cores)
           (Workloads.Setup.Enoki_sched m)
       in
-      run_workload b workload ~load;
+      run_workload b workload ~load ~seed;
       Enoki.Record.save record ~path:out;
       Printf.printf "recorded %d lines to %s (%d dropped by the ring)\n"
         (Enoki.Record.length record) out (Enoki.Record.dropped record)
@@ -206,7 +328,7 @@ let record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a workload with the record tap on and save the scheduler message log.")
-    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ out_arg)
+    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ out_arg $ seed_arg)
 
 let log_arg =
   Arg.(
@@ -234,7 +356,7 @@ let replay_cmd =
     Term.(const run $ sched_arg $ log_arg)
 
 let upgrade_cmd =
-  let run sched workload load cores =
+  let run sched workload load cores seed =
     match module_of_sched sched with
     | None -> prerr_endline "upgrade requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
     | Some m ->
@@ -249,12 +371,12 @@ let upgrade_cmd =
               (Kernsim.Time.to_string s.Enoki.Upgrade.pause)
               s.Enoki.Upgrade.tasks_carried
           | Error exn -> Printf.printf "upgrade failed: %s\n" (Printexc.to_string exn));
-      run_workload b workload ~load;
+      run_workload b workload ~load ~seed;
       print_summary b
   in
   Cmd.v
     (Cmd.info "upgrade" ~doc:"Run a workload and live-upgrade the scheduler 100ms in.")
-    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg)
+    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ seed_arg)
 
 let () =
   let doc = "Enoki scheduler-framework simulator" in

@@ -8,6 +8,7 @@ type t = {
   cancel_timer : cpu:int -> unit;
   resched : cpu:int -> unit;
   send_user : pid:int -> Kernsim.Task.hint -> unit;
+  charge : cpu:int -> ns -> unit;
   log : string -> unit;
 }
 
@@ -20,5 +21,6 @@ let inert ?(nr_cpus = 8) ?(policy = 0) () =
     cancel_timer = (fun ~cpu:_ -> ());
     resched = (fun ~cpu:_ -> ());
     send_user = (fun ~pid:_ _ -> ());
+    charge = (fun ~cpu:_ _ -> ());
     log = (fun _ -> ());
   }

@@ -18,6 +18,11 @@ type t = {
           need-resched flag; safe — policy still only changes via picks) *)
   send_user : pid:int -> Kernsim.Task.hint -> unit;
       (** push onto the kernel-to-user reverse queue for [pid] *)
+  charge : cpu:int -> ns -> unit;
+      (** account scheduler compute time to [cpu] in simulated time; a
+          module that thinks for long stretches (or a fault plan injecting
+          latency spikes) charges it here, and Enoki-C counts it against
+          the per-call budget *)
   log : string -> unit;
 }
 

@@ -15,9 +15,21 @@ type t = {
   mutable current_tid : int;
   mutable upgrades : Upgrade.stats list;
   mutable readers : int; (* quiescing read-write lock: in-flight calls *)
+  (* fault isolation (the paper's "kernel survives module bugs" property) *)
+  isolate : bool;
+  call_budget : Kernsim.Time.ns option;
+  mutable quarantined : (string * Kernsim.Time.ns) option; (* reason, since *)
+  mutable fallback : Ops.t option; (* instantiated CFS, while quarantined *)
+  mutable panics : int;
+  mutable failovers : int;
+  mutable overruns : int;
+  mutable blackout : Kernsim.Time.ns option; (* quarantine -> first fallback pick *)
+  mutable charged_in_call : Kernsim.Time.ns;
+  mutable history : (module Sched_trait.S) list; (* superseded versions, newest first *)
 }
 
-let create ?(policy = 0) ?record ?tracer ?(hint_capacity = 1024) modul =
+let create ?(policy = 0) ?record ?tracer ?(hint_capacity = 1024) ?(isolate = true) ?call_budget
+    modul =
   {
     modul;
     policy;
@@ -33,6 +45,16 @@ let create ?(policy = 0) ?record ?tracer ?(hint_capacity = 1024) modul =
     current_tid = 0;
     upgrades = [];
     readers = 0;
+    isolate;
+    call_budget;
+    quarantined = None;
+    fallback = None;
+    panics = 0;
+    failovers = 0;
+    overruns = 0;
+    blackout = None;
+    charged_in_call = 0;
+    history = [];
   }
 
 let ops_exn t =
@@ -76,6 +98,8 @@ let hints_dropped t = Ds.Ring_buffer.dropped t.hint_ring
 
 let upgrades t = t.upgrades
 
+let previous t = match t.history with m :: _ -> Some m | [] -> None
+
 (* ---------- capabilities ---------- *)
 
 let mint t ~pid ~cpu =
@@ -106,10 +130,25 @@ let dispatch t ~cpu call =
   t.calls <- t.calls + 1;
   t.current_tid <- cpu;
   t.readers <- t.readers + 1;
+  let saved_charge = t.charged_in_call in
+  t.charged_in_call <- 0;
   let reply =
     Fun.protect
       (fun () -> Lib_enoki.process (packed_exn t) call)
-      ~finally:(fun () -> t.readers <- t.readers - 1)
+      ~finally:(fun () ->
+        t.readers <- t.readers - 1;
+        (* the wedged-module detector: compare what the module charged via
+           [Ctx.charge] during this call against the per-call budget.  The
+           check runs in [finally] so a call that both overruns and raises
+           is still surfaced. *)
+        let charged = t.charged_in_call in
+        t.charged_in_call <- saved_charge;
+        match t.call_budget with
+        | Some budget when charged > budget ->
+          t.overruns <- t.overruns + 1;
+          count_violation t "call_budget";
+          emit t ~cpu (Trace.Event.Overrun { call = Message.call_name call; charged; budget })
+        | Some _ | None -> ())
   in
   (match t.record with
   | Some r ->
@@ -189,27 +228,32 @@ let pick_next_task t ~cpu =
   match dispatch t ~cpu (Pick_next_task { cpu; curr = None; curr_runtime = 0 }) with
   | R_sched_opt None -> None
   | R_sched_opt (Some token) ->
-    if token_valid t token ~cpu then begin
-      let pid = Schedulable.pid token in
-      Schedulable.Private.consume token;
-      invalidate t ~pid;
-      Some pid
-    end
-    else begin
-      (* wrong core or stale token: hand ownership back via pnt_err, the
-         recoverable path the Schedulable design exists for *)
-      let err =
-        if not (Schedulable.is_live token) then "consumed"
-        else if Schedulable.cpu token <> cpu then "wrong_cpu"
-        else "stale_generation"
-      in
+    let reject err =
+      (* wrong core, stale or forged token: hand ownership back via
+         pnt_err, the recoverable path the Schedulable design exists for *)
       count_violation t err;
       emit t ~cpu (Trace.Event.Pnt_err { pid = Schedulable.pid token; err });
       unit_reply
-        (dispatch t ~cpu
-           (Pnt_err { cpu; pid = Schedulable.pid token; err; sched = Some token }));
+        (dispatch t ~cpu (Pnt_err { cpu; pid = Schedulable.pid token; err; sched = Some token }));
       None
+    in
+    if token_valid t token ~cpu then begin
+      let pid = Schedulable.pid token in
+      (* the token checks out against our generation table; re-validate
+         against the kernel's own task state before letting the pid reach
+         the core scheduler, so a bogus reply can never crash the machine *)
+      match (ops_exn t).find_task pid with
+      | Some task when task.state = Kernsim.Task.Runnable && task.cpu = cpu ->
+        Schedulable.Private.consume token;
+        invalidate t ~pid;
+        Some pid
+      | Some _ | None -> reject "not_runnable"
     end
+    else
+      reject
+        (if not (Schedulable.is_live token) then "consumed"
+         else if Schedulable.cpu token <> cpu then "wrong_cpu"
+         else "stale_generation")
   | r -> invalid_arg ("Enoki_c: bad pick_next_task reply " ^ Message.encode_reply r)
 
 let balance t ~cpu =
@@ -259,8 +303,71 @@ let make_ctx t (ops : Ops.kernel_ops) : Ctx.t =
     cancel_timer = (fun ~cpu -> ops.cancel_timer ~cpu);
     resched = (fun ~cpu -> ops.resched_cpu cpu);
     send_user = (fun ~pid hint -> ops.send_user ~pid hint);
+    charge =
+      (fun ~cpu ns ->
+        (* module compute time: account it on the core and against the
+           per-call budget (the infinite-loop stand-in of the fault plan) *)
+        t.charged_in_call <- t.charged_in_call + ns;
+        ops.charge ~cpu ns);
     log = (fun _ -> ());
   }
+
+(* ---------- isolation: quarantine and fallback (ghOSt-style) ---------- *)
+
+let fallback_name = "cfs-fallback"
+
+let fallback_exn t =
+  match t.fallback with
+  | Some fb -> fb
+  | None ->
+    let fb = Kernsim.Cfs.factory () (ops_exn t) in
+    t.fallback <- Some fb;
+    fb
+
+(* A module exception was caught at the dispatch boundary.  First panic
+   flips the class into quarantine: instantiate the built-in CFS fallback,
+   re-home the policy's runnable tasks into it from the kernel's own task
+   list, charge the failover pause everywhere and kick every cpu.  [skip]
+   is the task the failed hook was about — the caller re-delegates that
+   hook to the fallback, which introduces the task without double-queueing
+   it. *)
+let quarantine t ~cpu ?skip ~call exn =
+  let ops = ops_exn t in
+  t.panics <- t.panics + 1;
+  let reason = Printexc.to_string exn in
+  emit t ~cpu (Trace.Event.Panic { call; reason });
+  match t.quarantined with
+  | Some _ -> fallback_exn t
+  | None ->
+    t.quarantined <- Some (reason, ops.now ());
+    t.failovers <- t.failovers + 1;
+    t.blackout <- None;
+    count_violation t "panic";
+    emit t ~cpu (Trace.Event.Failover { fallback = fallback_name });
+    let fb = fallback_exn t in
+    (* Running tasks reach the fallback at their next deschedule and
+       blocked ones at wakeup; CFS tolerates pids it has not seen *)
+    List.iter
+      (fun (task : Kernsim.Task.t) ->
+        if task.state = Kernsim.Task.Runnable && Some task.pid <> skip then
+          fb.task_new task ~cpu:task.cpu)
+      (ops.live_tasks ~policy:t.policy);
+    for c = 0 to ops.nr_cpus - 1 do
+      ops.charge ~cpu:c ops.costs.failover;
+      ops.resched_cpu c
+    done;
+    fb
+
+(* Every scheduler-class hook runs under this boundary: when quarantined,
+   route straight to the fallback; otherwise run the module and convert
+   anything it raises into quarantine + failover instead of letting it
+   unwind the core scheduler. *)
+let guarded t ~cpu ?skip ~call ~(active : unit -> 'a) ~(failed : Ops.t -> 'a) () =
+  match t.quarantined with
+  | Some _ -> failed (fallback_exn t)
+  | None ->
+    if not t.isolate then active ()
+    else ( try active () with exn -> failed (quarantine t ~cpu ?skip ~call exn))
 
 let rec arm_record_drain t (ops : Ops.kernel_ops) r =
   ops.defer ~delay:(Kernsim.Time.us 100) (fun () ->
@@ -293,25 +400,124 @@ let factory t : Kernsim.Sched_class.factory =
   t.packed <- Some (Sched_trait.Packed ((module S), st));
   {
     Kernsim.Sched_class.name = "enoki:" ^ S.name;
-    select_task_rq = (fun task ~waker_cpu -> select_task_rq t task ~waker_cpu);
-    task_new = (fun task ~cpu -> task_new t task ~cpu);
-    task_wakeup = (fun task ~cpu ~waker_cpu -> task_wakeup t task ~cpu ~waker_cpu);
-    task_blocked = (fun task ~cpu -> task_blocked t task ~cpu);
-    task_yield = (fun task ~cpu -> task_yield t task ~cpu);
-    task_preempt = (fun task ~cpu -> task_preempt t task ~cpu);
-    task_dead = (fun task ~cpu -> task_dead t task ~cpu);
-    task_departed = (fun task ~cpu -> task_departed t task ~cpu);
-    task_tick = (fun ~cpu ~queued -> task_tick t ~cpu ~queued);
-    pick_next_task = (fun ~cpu -> pick_next_task t ~cpu);
-    balance = (fun ~cpu -> balance t ~cpu);
-    balance_err = (fun task ~cpu -> balance_err t task ~cpu);
-    migrate_task_rq = (fun task ~from_cpu ~to_cpu -> migrate_task_rq t task ~from_cpu ~to_cpu);
-    task_prio_changed = (fun task -> task_prio_changed t task);
-    task_affinity_changed = (fun task -> task_affinity_changed t task);
-    deliver_hint = (fun task hint -> deliver_hint t task hint);
+    select_task_rq =
+      (fun task ~waker_cpu ->
+        guarded t ~cpu:waker_cpu ~skip:task.pid ~call:"select_task_rq"
+          ~active:(fun () -> select_task_rq t task ~waker_cpu)
+          ~failed:(fun fb -> fb.select_task_rq task ~waker_cpu)
+          ());
+    task_new =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_new"
+          ~active:(fun () -> task_new t task ~cpu)
+          ~failed:(fun fb -> fb.task_new task ~cpu)
+          ());
+    task_wakeup =
+      (fun task ~cpu ~waker_cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_wakeup"
+          ~active:(fun () -> task_wakeup t task ~cpu ~waker_cpu)
+          ~failed:(fun fb -> fb.task_wakeup task ~cpu ~waker_cpu)
+          ());
+    task_blocked =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_blocked"
+          ~active:(fun () -> task_blocked t task ~cpu)
+          ~failed:(fun fb -> fb.task_blocked task ~cpu)
+          ());
+    task_yield =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_yield"
+          ~active:(fun () -> task_yield t task ~cpu)
+          ~failed:(fun fb -> fb.task_yield task ~cpu)
+          ());
+    task_preempt =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_preempt"
+          ~active:(fun () -> task_preempt t task ~cpu)
+          ~failed:(fun fb -> fb.task_preempt task ~cpu)
+          ());
+    task_dead =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_dead"
+          ~active:(fun () -> task_dead t task ~cpu)
+          ~failed:(fun fb -> fb.task_dead task ~cpu)
+          ());
+    task_departed =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"task_departed"
+          ~active:(fun () -> task_departed t task ~cpu)
+          ~failed:(fun fb -> fb.task_departed task ~cpu)
+          ());
+    task_tick =
+      (fun ~cpu ~queued ->
+        guarded t ~cpu ~call:"task_tick"
+          ~active:(fun () -> task_tick t ~cpu ~queued)
+          ~failed:(fun fb -> fb.task_tick ~cpu ~queued)
+          ());
+    pick_next_task =
+      (fun ~cpu ->
+        let picked =
+          guarded t ~cpu ~call:"pick_next_task"
+            ~active:(fun () -> pick_next_task t ~cpu)
+            ~failed:(fun fb -> fb.pick_next_task ~cpu)
+            ()
+        in
+        (match (picked, t.quarantined, t.blackout) with
+        | Some _, Some (_, since), None ->
+          (* first successful dispatch after failover closes the blackout *)
+          t.blackout <- Some (ops.now () - since)
+        | _ -> ());
+        picked);
+    balance =
+      (fun ~cpu ->
+        guarded t ~cpu ~call:"balance"
+          ~active:(fun () -> balance t ~cpu)
+          ~failed:(fun fb -> fb.balance ~cpu)
+          ());
+    balance_err =
+      (fun task ~cpu ->
+        guarded t ~cpu ~skip:task.pid ~call:"balance_err"
+          ~active:(fun () -> balance_err t task ~cpu)
+          ~failed:(fun fb -> fb.balance_err task ~cpu)
+          ());
+    migrate_task_rq =
+      (fun task ~from_cpu ~to_cpu ->
+        guarded t ~cpu:to_cpu ~skip:task.pid ~call:"migrate_task_rq"
+          ~active:(fun () -> migrate_task_rq t task ~from_cpu ~to_cpu)
+          ~failed:(fun fb -> fb.migrate_task_rq task ~from_cpu ~to_cpu)
+          ());
+    task_prio_changed =
+      (fun task ->
+        guarded t ~cpu:task.cpu ~skip:task.pid ~call:"task_prio_changed"
+          ~active:(fun () -> task_prio_changed t task)
+          ~failed:(fun fb -> fb.task_prio_changed task)
+          ());
+    task_affinity_changed =
+      (fun task ->
+        guarded t ~cpu:task.cpu ~skip:task.pid ~call:"task_affinity_changed"
+          ~active:(fun () -> task_affinity_changed t task)
+          ~failed:(fun fb -> fb.task_affinity_changed task)
+          ());
+    deliver_hint =
+      (fun task hint ->
+        guarded t ~cpu:task.cpu ~skip:task.pid ~call:"parse_hint"
+          ~active:(fun () -> deliver_hint t task hint)
+          ~failed:(fun fb -> fb.deliver_hint task hint)
+          ());
   }
 
 (* ---------- live upgrade (§3.2) ---------- *)
+
+(* Rebuild the incoming module's world view from the kernel's own task
+   list: introduce every runnable task of the policy with a fresh token.
+   Running tasks reach the module at their next deschedule and blocked
+   ones at wakeup, mirroring how the machine defers policy changes for
+   running tasks. *)
+let readopt t (ops : Ops.kernel_ops) =
+  List.iter
+    (fun (task : Kernsim.Task.t) ->
+      if task.state = Kernsim.Task.Runnable then task_new t task ~cpu:task.cpu)
+    (ops.live_tasks ~policy:t.policy)
 
 let upgrade t (module New : Sched_trait.S) =
   match t.ops with
@@ -322,13 +528,25 @@ let upgrade t (module New : Sched_trait.S) =
        calls are instantaneous, so quiescing is immediate *)
     assert (t.readers = 0);
     let tasks_carried = Hashtbl.length t.gens in
+    let was_quarantined = t.quarantined <> None in
     match
-      (* prepare in the old version, init in the new one, swap the pointer *)
-      let transfer = Old.reregister_prepare old_st in
+      (* prepare in the old version, init in the new one, swap the pointer.
+         A quarantined module's exported state is not trusted — the Rex
+         argument: recover from kernel ground truth, not from the crashed
+         extension's heap — and a panic inside prepare itself degrades to
+         a stateless handoff instead of aborting the upgrade. *)
+      let transfer =
+        if was_quarantined then None
+        else
+          try Old.reregister_prepare old_st with
+          | Upgrade.Incompatible _ as e -> raise e
+          | _ -> None
+      in
       let new_st = New.reregister_init (make_ctx t ops) transfer in
       (transfer, new_st)
     with
     | transfer, new_st ->
+      t.history <- (module Old : Sched_trait.S) :: t.history;
       t.packed <- Some (Sched_trait.Packed ((module New), new_st));
       (* the write lock was held while both reregister calls ran; model
          that blackout by delaying every cpu's next dispatch *)
@@ -342,5 +560,55 @@ let upgrade t (module New : Sched_trait.S) =
       done;
       let stats = { Upgrade.pause; transferred = Option.is_some transfer; tasks_carried } in
       t.upgrades <- stats :: t.upgrades;
+      (* leaving quarantine (or a stateless handoff): discard the fallback
+         instance and re-introduce the kernel's tasks to the new module *)
+      if was_quarantined || Option.is_none transfer then begin
+        t.quarantined <- None;
+        t.fallback <- None;
+        (try readopt t ops
+         with exn ->
+           (* the incoming module panicked during re-adoption *)
+           if t.isolate then ignore (quarantine t ~cpu:0 ~call:"reregister_init" exn)
+           else raise exn);
+        for cpu = 0 to ops.nr_cpus - 1 do
+          ops.resched_cpu cpu
+        done
+      end;
       Ok stats
-    | exception (Upgrade.Incompatible _ as e) -> Error e)
+    | exception e ->
+      (* [Incompatible] or any panic out of the new module's init: the old
+         version stays registered, the write lock is released *)
+      Error e)
+
+(* Watchdog-driven recovery: re-register the previous scheduler version.
+   On success both the failed version and its predecessor leave the
+   history (the predecessor is current again). *)
+let rollback t =
+  match t.history with
+  | [] -> Error (Invalid_argument "Enoki_c: no previous scheduler version to roll back to")
+  | m :: rest -> (
+    match upgrade t m with
+    | Ok stats ->
+      t.history <- rest;
+      Ok stats
+    | Error _ as e -> e)
+
+(* ---------- fault-isolation counters ---------- *)
+
+(* declared last: the field labels would otherwise shadow [t]'s *)
+type failover_stats = {
+  panics : int;
+  failovers : int;
+  overruns : int;
+  quarantined : (string * Kernsim.Time.ns) option;
+  blackout : Kernsim.Time.ns option;
+}
+
+let failover_stats (t : t) =
+  {
+    panics = t.panics;
+    failovers = t.failovers;
+    overruns = t.overruns;
+    quarantined = t.quarantined;
+    blackout = t.blackout;
+  }

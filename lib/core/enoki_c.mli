@@ -20,12 +20,27 @@ type t
     ring.  [record] enables the record tap.  [tracer] attaches a schedtrace
     sink: Enoki-C then emits [Msg_call] at every message boundary,
     [Pnt_err] for every rejected Schedulable (and bad [select_task_rq]
-    reply), and lock acquire/release events via {!Lock.set_trace_tap}. *)
+    reply), and lock acquire/release events via {!Lock.set_trace_tap}.
+
+    [isolate] (default [true]) arms the module-panic boundary: an
+    exception raised by the scheduler module out of any hook is caught,
+    the module is quarantined, and the class fails over to a built-in
+    kernsim CFS instance so the machine keeps scheduling (ghOSt's
+    fallback-to-CFS, the paper's "kernel survives module bugs" property).
+    With [isolate = false] module exceptions propagate and abort the
+    machine, the pre-fault-subsystem behaviour.
+
+    [call_budget] bounds the simulated time one dispatch may charge
+    through [Ctx.charge]; exceeding it counts a ["call_budget"] violation
+    and emits an [Overrun] trace event (the infinite-loop stand-in a
+    watchdog keys on). *)
 val create :
   ?policy:int ->
   ?record:Record.t ->
   ?tracer:Trace.Tracer.t ->
   ?hint_capacity:int ->
+  ?isolate:bool ->
+  ?call_budget:Kernsim.Time.ns ->
   (module Sched_trait.S) ->
   t
 
@@ -57,6 +72,29 @@ val hints_dropped : t -> int
 
 (** Upgrades performed, most recent first. *)
 val upgrades : t -> Upgrade.stats list
+
+(** Fault-isolation counters. *)
+type failover_stats = {
+  panics : int;  (** module exceptions caught at the dispatch boundary *)
+  failovers : int;  (** quarantine transitions (fallback instantiations) *)
+  overruns : int;  (** dispatches that exceeded the per-call budget *)
+  quarantined : (string * Kernsim.Time.ns) option;
+      (** reason and simulated time of the active quarantine, if any *)
+  blackout : Kernsim.Time.ns option;
+      (** ns from the most recent quarantine to the first successful
+          fallback dispatch — how long the policy went unscheduled *)
+}
+
+val failover_stats : t -> failover_stats
+
+(** The scheduler version superseded by the most recent upgrade, if any
+    (the watchdog's rollback target). *)
+val previous : t -> (module Sched_trait.S) option
+
+(** Live-upgrade back to the previous version: the recovery action a
+    watchdog takes when the current module is wedged or panicking.  Like
+    {!upgrade} but pops the version history on success. *)
+val rollback : t -> (Upgrade.stats, exn) result
 
 (** Send a call directly to the registered scheduler (tests and the replay
     validator use this; the kernel path goes through the factory). *)

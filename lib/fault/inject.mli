@@ -1,0 +1,26 @@
+(** The fault injector: wrap a scheduler module in a fault plan.
+
+    [wrap ~seed ~plan (module S)] returns a module with the same
+    behaviour as [S] except where [plan] fires: the wrapper evaluates the
+    plan's rules on every incoming message (before delegating to [S]) and
+    injects the chosen fault — raising {!Plan.Injected} for a panic,
+    charging simulated compute time through [Ctx.charge] for latency
+    spikes and wedges, or forging the reply for [wrong-reply] /
+    [bad-select] / [corrupt-hint].
+
+    All decisions draw from one {!Stats.Prng} stream seeded with [seed],
+    and the machine itself is deterministic, so identical
+    (seed, plan, workload) runs produce identical fault sequences.
+
+    [tally], when given, is incremented per fired fault under its
+    {!Plan.kind_name} — the observability hook for bench tables.
+
+    The wrapper's [reregister_init] re-arms a fresh injector stream from
+    the same seed, so a live upgrade {e into} a wrapped module faults
+    deterministically too; its [name] is [S.name ^ "+fault"]. *)
+val wrap :
+  ?tally:(string, int) Hashtbl.t ->
+  seed:int ->
+  plan:Plan.t ->
+  (module Enoki.Sched_trait.S) ->
+  (module Enoki.Sched_trait.S)

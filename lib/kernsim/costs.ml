@@ -18,6 +18,7 @@ type t = {
   upgrade_base : Time.ns;
   upgrade_per_cpu : Time.ns;
   upgrade_per_task : Time.ns;
+  failover : Time.ns;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     upgrade_base = 550;
     upgrade_per_cpu = 117;
     upgrade_per_task = 3;
+    failover = 1_500;
   }
 
 let with_record t = { t with record_msg = (if t.record_msg = 0 then 3_800 else t.record_msg) }

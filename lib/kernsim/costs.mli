@@ -35,6 +35,9 @@ type t = {
   upgrade_base : Time.ns;  (** live upgrade: fixed quiesce/swap cost *)
   upgrade_per_cpu : Time.ns;  (** live upgrade: per-cpu run-queue quiesce *)
   upgrade_per_task : Time.ns;  (** live upgrade: state transfer per task *)
+  failover : Time.ns;
+      (** per-cpu pause charged when Enoki-C quarantines a panicked module
+          and fails over to the built-in fallback class *)
 }
 
 val default : t

@@ -504,6 +504,18 @@ let create ?(costs = Costs.default) ?tracer ~topology ~classes () =
       current =
         (fun ~cpu -> match t.cores.(cpu).curr with Some pid -> find_task t pid | None -> None);
       cpu_is_idle = (fun cpu -> cpu_idle t cpu);
+      find_task = (fun pid -> find_task t pid);
+      live_tasks =
+        (fun ~policy ->
+          (* spawn order keeps failover adoption deterministic *)
+          List.rev
+            (List.filter_map
+               (fun pid ->
+                 match find_task t pid with
+                 | Some (task : Task.t) when task.policy = policy && task.state <> Task.Dead ->
+                   Some task
+                 | Some _ | None -> None)
+               t.task_order));
     }
   in
   let instantiated =

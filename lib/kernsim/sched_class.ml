@@ -13,6 +13,8 @@ type kernel_ops = {
   send_user : pid:int -> Task.hint -> unit;
   current : cpu:int -> Task.t option;
   cpu_is_idle : int -> bool;
+  find_task : int -> Task.t option;
+  live_tasks : policy:int -> Task.t list;
 }
 
 type t = {

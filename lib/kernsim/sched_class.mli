@@ -35,6 +35,12 @@ type kernel_ops = {
       (** deliver a kernel-to-user message to [pid]'s inbox *)
   current : cpu:int -> Task.t option;  (** task currently on [cpu] *)
   cpu_is_idle : int -> bool;
+  find_task : int -> Task.t option;
+      (** look up a task by pid (the kernel's pid table); classes use it to
+          re-validate replies from untrusted modules *)
+  live_tasks : policy:int -> Task.t list;
+      (** every non-dead task attached to [policy], in spawn order; the
+          authoritative list a fallback class adopts on failover *)
 }
 
 type t = {

@@ -29,6 +29,16 @@ let table ~header rows =
   List.iter print_row rows;
   flush stdout
 
+let kv pairs =
+  match pairs with
+  | [] -> ()
+  | _ ->
+    let width = List.fold_left (fun w (k, _) -> max w (String.length k)) 0 pairs in
+    List.iter
+      (fun (k, v) -> Printf.printf "  %s%s  %s\n" k (String.make (width - String.length k) ' ') v)
+      pairs;
+    flush stdout
+
 let fmt_f v = Printf.sprintf "%g" v
 
 let fmt_f1 v = Printf.sprintf "%.1f" v

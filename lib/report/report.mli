@@ -10,6 +10,10 @@ val note : string -> unit
     same arity as [header]. *)
 val table : header:string list -> string list list -> unit
 
+(** Aligned key/value lines (violation breakdowns, failover counters,
+    upgrade stats); prints nothing for an empty list. *)
+val kv : (string * string) list -> unit
+
 val fmt_f : float -> string
 
 (** Format with a fixed number of decimals. *)

@@ -15,6 +15,10 @@ type kind =
   | Lock_acquire of { lock_id : int }
   | Lock_release of { lock_id : int }
   | Msg_call of { name : string }
+  | Panic of { call : string; reason : string }
+  | Failover of { fallback : string }
+  | Overrun of { call : string; charged : ns; budget : ns }
+  | Watchdog_fire of { reason : string }
 
 type t = { ts : ns; cpu : int; kind : kind }
 
@@ -33,6 +37,10 @@ let name = function
   | Lock_acquire _ -> "lock_acquire"
   | Lock_release _ -> "lock_release"
   | Msg_call _ -> "msg_call"
+  | Panic _ -> "panic"
+  | Failover _ -> "failover"
+  | Overrun _ -> "overrun"
+  | Watchdog_fire _ -> "watchdog_fire"
 
 let pid_of = function
   | Wakeup { pid; _ }
@@ -44,7 +52,8 @@ let pid_of = function
   | Migrate { pid; _ }
   | Pnt_err { pid; _ } -> Some pid
   | Sched_switch { next = Some pid; _ } -> Some pid
-  | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ -> None
+  | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ | Panic _
+  | Failover _ | Overrun _ | Watchdog_fire _ -> None
 
 let opt_pid = function None -> "idle" | Some p -> string_of_int p
 
@@ -64,6 +73,11 @@ let args = function
   | Pnt_err { pid; err } -> [ ("pid", string_of_int pid); ("err", err) ]
   | Lock_acquire { lock_id } | Lock_release { lock_id } -> [ ("lock", string_of_int lock_id) ]
   | Msg_call { name } -> [ ("call", name) ]
+  | Panic { call; reason } -> [ ("call", call); ("reason", reason) ]
+  | Failover { fallback } -> [ ("fallback", fallback) ]
+  | Overrun { call; charged; budget } ->
+    [ ("call", call); ("charged", string_of_int charged); ("budget", string_of_int budget) ]
+  | Watchdog_fire { reason } -> [ ("reason", reason) ]
 
 let pp fmt t =
   Format.fprintf fmt "[%d] %d %s" t.cpu t.ts (name t.kind);

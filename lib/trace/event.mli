@@ -31,6 +31,18 @@ type kind =
   | Lock_release of { lock_id : int }
   | Msg_call of { name : string }
       (** one scheduler invocation crossed the Enoki-C message boundary *)
+  | Panic of { call : string; reason : string }
+      (** a scheduler module raised out of the named hook; the Enoki-C
+          boundary caught it ("module panic") *)
+  | Failover of { fallback : string }
+      (** Enoki-C quarantined the module and switched the policy's tasks to
+          the named built-in fallback class *)
+  | Overrun of { call : string; charged : ns; budget : ns }
+      (** one dispatch charged more simulated time than the configured
+          per-call budget (the infinite-loop stand-in) *)
+  | Watchdog_fire of { reason : string }
+      (** the fault watchdog tripped on the event stream (panic burst,
+          call-budget overrun, sanitizer starvation) *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 

@@ -198,6 +198,10 @@ let feed t (ev : Event.t) =
         violate t ~at:ev.ts ~cpu Lock_imbalance
           (Printf.sprintf "cpu %d released lock %d it never acquired" cpu lock_id))
   | Event.Msg_call _ -> ()
+  | Event.Panic _ | Event.Failover _ | Event.Overrun _ | Event.Watchdog_fire _ ->
+    (* fault-subsystem markers; the watchdog consumes these, the invariant
+       checks above keep deriving state from the scheduling events alone *)
+    ()
 
 let attach t tracer = Tracer.subscribe tracer (feed t)
 
@@ -218,12 +222,20 @@ let pp_violation fmt v =
     List.iter (fun ev -> Format.fprintf fmt "@,    %s" (Event.to_string ev)) v.window
   end
 
+(* a fault-injection storm can rack up tens of thousands of violations;
+   print the first few in full and summarise the rest *)
+let max_detailed = 20
+
 let pp_report fmt t =
   let vs = violations t in
-  Format.fprintf fmt "@[<v>sanitizer: %d events checked, %d violation%s" t.events_seen
-    (List.length vs)
-    (if List.length vs = 1 then "" else "s");
-  List.iter (fun v -> Format.fprintf fmt "@,%a" pp_violation v) vs;
+  let n = List.length vs in
+  Format.fprintf fmt "@[<v>sanitizer: %d events checked, %d violation%s" t.events_seen n
+    (if n = 1 then "" else "s");
+  List.iteri
+    (fun i v -> if i < max_detailed then Format.fprintf fmt "@,%a" pp_violation v)
+    vs;
+  if n > max_detailed then
+    Format.fprintf fmt "@,... and %d more (first %d shown)" (n - max_detailed) max_detailed;
   Format.fprintf fmt "@]"
 
 let report_string t = Format.asprintf "%a" pp_report t

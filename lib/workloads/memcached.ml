@@ -19,8 +19,8 @@ type params = {
   seed : int;
 }
 
-let default_params ~mode ~load_kreqs =
-  { mode; load_kreqs; warmup = Kernsim.Time.ms 300; duration = Kernsim.Time.ms 1200; seed = 11 }
+let default_params ?(seed = 11) ~mode ~load_kreqs () =
+  { mode; load_kreqs; warmup = Kernsim.Time.ms 300; duration = Kernsim.Time.ms 1200; seed }
 
 (* ETC-like request costs, ~16.5 us mean application work, 3% updates *)
 let service_dist =

@@ -33,7 +33,7 @@ type params = {
   seed : int;
 }
 
-val default_params : mode:mode -> load_kreqs:float -> params
+val default_params : ?seed:int -> mode:mode -> load_kreqs:float -> unit -> params
 
 (** For [Arachne_*] modes the machine must be built with
     [Setup.Enoki_sched (module Schedulers.Arachne)]; for [Cfs], with

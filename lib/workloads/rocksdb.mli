@@ -27,6 +27,6 @@ type params = {
   seed : int;
 }
 
-val default_params : load_kreqs:float -> with_batch:bool -> params
+val default_params : ?seed:int -> load_kreqs:float -> with_batch:bool -> unit -> params
 
 val run : Setup.built -> params -> point

@@ -12,6 +12,7 @@ type params = {
   worker_work : Kernsim.Time.ns;
   locality_hints : bool;
   pin_one_core : bool;
+  seed : int;
 }
 
 let default_params =
@@ -24,6 +25,7 @@ let default_params =
     worker_work = Kernsim.Time.us 1;
     locality_hints = false;
     pin_one_core = false;
+    seed = 42;
   }
 
 (* schbench measures from just before the message thread issues the futex
@@ -102,7 +104,7 @@ let run (b : Setup.built) (p : params) =
   let affinity = if p.pin_one_core then Some [ 0 ] else None in
   let hist = Stats.Histogram.create () in
   let measuring = ref false in
-  let rng0 = Stats.Prng.create ~seed:42 in
+  let rng0 = Stats.Prng.create ~seed:p.seed in
   for i = 0 to p.messages - 1 do
     let rng = Stats.Prng.split rng0 in
     let reply = M.new_chan m in

@@ -24,6 +24,7 @@ type params = {
   worker_work : Kernsim.Time.ns;  (** worker work per ping *)
   locality_hints : bool;  (** send co-location hints (Table 6) *)
   pin_one_core : bool;  (** cgroup-style: pin every thread to cpu 0 *)
+  seed : int;  (** workload PRNG seed; equal seeds replay the same run *)
 }
 
 val default_params : params

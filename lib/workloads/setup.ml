@@ -11,7 +11,7 @@ type built = {
   agent_core : int option;
 }
 
-let build ?costs ?record ?tracer ~topology kind =
+let build ?costs ?record ?tracer ?isolate ?call_budget ~topology kind =
   Schedulers.Hints.register_codecs ();
   (* the lock tap is process-global: clear any tap a previous machine
      installed so its (now stale) tracer stops receiving events *)
@@ -23,7 +23,7 @@ let build ?costs ?record ?tracer ~topology kind =
     in
     { machine; policy = 0; cfs_policy = 0; enoki = None; agent_core = None }
   | Enoki_sched m ->
-    let enoki = Enoki.Enoki_c.create ?record ?tracer ~policy:0 m in
+    let enoki = Enoki.Enoki_c.create ?record ?tracer ?isolate ?call_budget ~policy:0 m in
     let machine =
       Kernsim.Machine.create ?costs ?tracer ~topology
         ~classes:[ Enoki.Enoki_c.factory enoki; Kernsim.Cfs.factory () ]
@@ -52,3 +52,55 @@ let label = function
   | Ghost Schedulers.Ghost_sim.Fifo_per_cpu -> "ghost-fifo"
   | Ghost Schedulers.Ghost_sim.Sol -> "ghost-sol"
   | Ghost Schedulers.Ghost_sim.Gshinjuku -> "ghost-shinjuku"
+
+let fmt_ns ns =
+  if ns >= 1_000_000 then Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+let enoki_summary b =
+  match b.enoki with
+  | None -> []
+  | Some e ->
+    let open Enoki.Enoki_c in
+    let f = failover_stats e in
+    let base =
+      [
+        ("scheduler", scheduler_name e);
+        ("calls", string_of_int (calls e));
+        ("violations", string_of_int (violations e));
+      ]
+    in
+    let breakdown =
+      List.map
+        (fun (kind, n) -> ("violation:" ^ kind, string_of_int n))
+        (violation_breakdown e)
+    in
+    let fault =
+      (if f.panics > 0 then [ ("module panics", string_of_int f.panics) ] else [])
+      @ (if f.overruns > 0 then [ ("call-budget overruns", string_of_int f.overruns) ] else [])
+      @ (match f.quarantined with
+        | Some (reason, since) ->
+          [ ("quarantined", Printf.sprintf "at %s (%s)" (fmt_ns since) reason) ]
+        | None -> [])
+      @ (if f.failovers > 0 then [ ("failovers to cfs", string_of_int f.failovers) ] else [])
+      @
+      match f.blackout with
+      | Some ns -> [ ("failover blackout", fmt_ns ns) ]
+      | None -> []
+    in
+    let upgrades =
+      match upgrades e with
+      | [] -> []
+      | us ->
+        List.concat_map
+          (fun (u : Enoki.Upgrade.stats) ->
+            [
+              ( "upgrade",
+                Printf.sprintf "pause %s, %d task%s %s" (fmt_ns u.pause) u.tasks_carried
+                  (if u.tasks_carried = 1 then "" else "s")
+                  (if u.transferred then "transferred" else "re-adopted (no transfer)") );
+            ])
+          (List.rev us)
+    in
+    base @ breakdown @ fault @ upgrades

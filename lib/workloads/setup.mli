@@ -29,9 +29,16 @@ val build :
   ?costs:Kernsim.Costs.t ->
   ?record:Enoki.Record.t ->
   ?tracer:Trace.Tracer.t ->
+  ?isolate:bool ->
+  ?call_budget:Kernsim.Time.ns ->
   topology:Kernsim.Topology.t ->
   kind ->
   built
 
 (** Short label for tables ("cfs", "enoki:wfq", "ghost-sol", ...). *)
 val label : kind -> string
+
+(** Key/value lines summarising the Enoki-C layer of a built machine —
+    calls, violation breakdown, panic/failover counters, upgrade stats —
+    for report output; empty for non-Enoki configurations. *)
+val enoki_summary : built -> (string * string) list

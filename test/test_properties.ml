@@ -167,6 +167,49 @@ let prop_upgrade_preserves_tasks seed =
     pids
   && Enoki.Enoki_c.violations e = 0
 
+(* a failed (incompatible) upgrade attempted during a fault storm must
+   leave the old scheduler registered with the quiescing lock released —
+   dispatch keeps working, every task still finishes, no token is lost *)
+let prop_failed_upgrade_under_faults seed =
+  let plan =
+    match Fault.Plan.parse "latency:p=0.05,ns=100000" with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let wrapped = Fault.Inject.wrap ~seed ~plan (module Schedulers.Wfq) in
+  let b =
+    Workloads.Setup.build ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched wrapped)
+  in
+  let rng = Stats.Prng.create ~seed in
+  let pids, ch, _ = spawn_random_workload b.machine ~policy:b.policy ~rng ~tasks:8 in
+  let e = Option.get b.enoki in
+  (* Shinjuku does not recognise WFQ's transfer state: every attempt must
+     fail with Incompatible and change nothing *)
+  for i = 1 to 3 do
+    M.at b.machine
+      ~delay:((i * Kernsim.Time.ms 20) + Stats.Prng.int rng (Kernsim.Time.ms 10))
+      (fun () ->
+        match Enoki.Enoki_c.upgrade e (module Schedulers.Shinjuku) with
+        | Error (Enoki.Upgrade.Incompatible _) -> ()
+        | Error exn -> raise exn
+        | Ok _ -> QCheck.Test.fail_report "incompatible upgrade must fail")
+  done;
+  M.run_for b.machine (Kernsim.Time.ms 300);
+  release b.machine ch;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  if Enoki.Enoki_c.scheduler_name e <> "wfq+fault" then
+    QCheck.Test.fail_reportf "old scheduler lost: %s registered (seed %d)"
+      (Enoki.Enoki_c.scheduler_name e) seed;
+  let unfinished =
+    List.filter (fun pid -> (Option.get (M.find_task b.machine pid)).T.state <> T.Dead) pids
+  in
+  if unfinished <> [] then
+    QCheck.Test.fail_reportf
+      "%d tasks never finished after failed upgrades (seed %d): lock leaked or tokens lost"
+      (List.length unfinished) seed;
+  Enoki.Enoki_c.violations e = 0
+
 let qtest ?(count = 25) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
 
@@ -187,5 +230,9 @@ let () =
       ( "messages",
         [ qtest ~count:200 "fuzzed encode/decode" QCheck.(quad int int int int) prop_message_fuzz_roundtrip ] );
       ( "upgrade",
-        [ qtest ~count:10 "upgrades under load lose nothing" seeds prop_upgrade_preserves_tasks ] );
+        [
+          qtest ~count:10 "upgrades under load lose nothing" seeds prop_upgrade_preserves_tasks;
+          qtest ~count:10 "failed upgrades under faults leave the old version intact" seeds
+            prop_failed_upgrade_under_faults;
+        ] );
     ]

@@ -292,7 +292,7 @@ let test_arachne_sanitizes_clean () =
     ignore
       (Workloads.Memcached.run b
          (Workloads.Memcached.default_params ~mode:Workloads.Memcached.Arachne_enoki
-            ~load_kreqs:100.))
+            ~load_kreqs:100. ()))
   in
   assert_clean "arachne"
     (sanitized_run ~config (Workloads.Setup.Enoki_sched (module Schedulers.Arachne)) memcached)

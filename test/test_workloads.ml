@@ -113,7 +113,7 @@ let test_apps_wfq_close_to_cfs () =
 
 let quick_rocksdb load =
   {
-    (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch:false) with
+    (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch:false ()) with
     warmup = Kernsim.Time.ms 100;
     duration = Kernsim.Time.ms 500;
   }
@@ -136,7 +136,7 @@ let test_rocksdb_shinjuku_beats_cfs_tail () =
 let test_rocksdb_batch_share_declines () =
   let quick load =
     {
-      (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch:true) with
+      (Workloads.Rocksdb.default_params ~load_kreqs:load ~with_batch:true ()) with
       warmup = Kernsim.Time.ms 100;
       duration = Kernsim.Time.ms 500;
     }
@@ -150,7 +150,7 @@ let test_rocksdb_batch_share_declines () =
 
 let quick_mc mode load =
   {
-    (Workloads.Memcached.default_params ~mode ~load_kreqs:load) with
+    (Workloads.Memcached.default_params ~mode ~load_kreqs:load ()) with
     warmup = Kernsim.Time.ms 100;
     duration = Kernsim.Time.ms 500;
   }
