@@ -672,10 +672,10 @@ let ablation () =
     let cores =
       List.length
         (List.filter
-           (fun c -> Kernsim.Metrics.busy_of_cpu mets c > Kernsim.Time.us 100)
+           (fun c -> Kernsim.Accounting.busy_of_cpu mets c > Kernsim.Time.us 100)
            (List.init 8 Fun.id))
     in
-    let p50 = Stats.Histogram.percentile (Kernsim.Metrics.wakeup_latency mets) 50.0 in
+    let p50 = Stats.Histogram.percentile (Kernsim.Accounting.wakeup_latency mets) 50.0 in
     (cores, p50)
   in
   let cfs_cores, cfs_p50 = sparse_run Workloads.Setup.Cfs in
@@ -962,6 +962,244 @@ let micro () =
   in
   Report.table ~header:[ "operation"; "cost" ] rows
 
+(* ---------- perf: versioned benchmark snapshot + regression gate ----------
+
+   `perf` runs the full scheduler matrix with the metrics registry and the
+   Enoki-C self-profiler attached and writes BENCH_<suite>.json — the
+   versioned snapshot CI archives.  `regress` reruns the suite and diffs
+   the simulation-deterministic numbers (wakeup p99, throughput) against a
+   committed baseline in bench/baselines/; wall-clock columns are recorded
+   but never gated on, since they vary run to run. *)
+
+let quick = ref false
+
+let bench_out : string option ref = ref None
+
+let baseline_path : string option ref = ref None
+
+let tolerance : float option ref = ref None
+
+let regress_failed = ref false
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if rev = "" then "unknown" else rev
+  with _ -> "unknown"
+
+(* The full scheduler matrix.  Arachne is a core arbiter (activations are
+   dispatched only once its runtime requests cores), so it is driven by
+   the memcached runtime instead of raw pipe tasks, as in sanity(). *)
+let perf_matrix : (string * Workloads.Setup.kind) list =
+  [
+    ("cfs", Workloads.Setup.Cfs);
+    ("fifo", Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched));
+    ("wfq", Workloads.Setup.Enoki_sched (module Schedulers.Wfq));
+    ("shinjuku", Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku));
+    ("locality", Workloads.Setup.Enoki_sched (module Schedulers.Locality));
+    ("arachne", Workloads.Setup.Enoki_sched (module Schedulers.Arachne));
+    ("edf", Workloads.Setup.Enoki_sched (module Schedulers.Edf));
+    ("nest", Workloads.Setup.Enoki_sched (module Schedulers.Nest));
+    ("rt-fifo", Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo));
+    ("ghost-sol", Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol);
+    ("ghost-fifo", Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu);
+    ("ghost-shinjuku", Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku);
+  ]
+
+type perf_result = {
+  pr_name : string;
+  pr_workload : string;
+  pr_wakeup : Stats.Histogram.t;
+  pr_throughput : float; (* requests (or wakeups) per simulated second *)
+  pr_callbacks : Profile.row list;
+}
+
+let perf_suite () = if !quick then "quick" else "perf"
+
+let perf_collect () =
+  let messages = if !quick then 2_000 else 20_000 in
+  List.map
+    (fun (name, kind) ->
+      let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+      let reg = Metrics.Registry.create ~nr_cpus () in
+      let prof = Profile.create () in
+      let b = Workloads.Setup.build ~registry:reg ~profile:prof ~topology:one_socket kind in
+      let pr_workload, pr_throughput =
+        if name = "arachne" then begin
+          let load_kreqs = if !quick then 50. else 100. in
+          let r =
+            Workloads.Memcached.run b
+              (memcached_params ~mode:Workloads.Memcached.Arachne_enoki ~load_kreqs)
+          in
+          ("memcached", r.Workloads.Memcached.achieved_kreqs *. 1000.)
+        end
+        else begin
+          let r = Workloads.Pipe_bench.run b ~messages () in
+          let throughput =
+            if r.Workloads.Pipe_bench.elapsed > 0 then
+              float_of_int r.Workloads.Pipe_bench.wakeups
+              /. (float_of_int r.Workloads.Pipe_bench.elapsed /. 1e9)
+            else 0.
+          in
+          ("pipe", throughput)
+        end
+      in
+      let pr_wakeup =
+        match Metrics.Registry.find_histogram reg "sched_wakeup_latency_ns" with
+        | Some h -> Metrics.Registry.merged h
+        | None -> Stats.Histogram.create ()
+      in
+      { pr_name = name; pr_workload; pr_wakeup; pr_throughput; pr_callbacks = Profile.rows prof })
+    perf_matrix
+
+let perf_json results =
+  let open Metrics.Json in
+  let hist_json h =
+    Obj
+      [
+        ("count", Int (Stats.Histogram.count h));
+        ("mean", Float (Stats.Histogram.mean h));
+        ("p50", Int (Stats.Histogram.percentile h 50.0));
+        ("p95", Int (Stats.Histogram.percentile h 95.0));
+        ("p99", Int (Stats.Histogram.percentile h 99.0));
+        ("p999", Int (Stats.Histogram.percentile h 99.9));
+      ]
+  in
+  let callback_json (r : Profile.row) =
+    Obj
+      [
+        ("call", String r.Profile.call);
+        ("count", Int r.Profile.count);
+        ("sim_ns_mean", Float (float_of_int r.Profile.sim_ns /. float_of_int (max 1 r.Profile.count)));
+        ("wall_ns_mean", Float (r.Profile.wall_ns /. float_of_int (max 1 r.Profile.count)));
+      ]
+  in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("suite", String (perf_suite ()));
+      ("git_rev", String (git_rev ()));
+      ( "results",
+        List
+          (List.map
+             (fun pr ->
+               Obj
+                 [
+                   ("scheduler", String pr.pr_name);
+                   ("workload", String pr.pr_workload);
+                   ("wakeup_ns", hist_json pr.pr_wakeup);
+                   ("throughput_per_s", Float pr.pr_throughput);
+                   ("callbacks", List (List.map callback_json pr.pr_callbacks));
+                 ])
+             results) );
+    ]
+
+let perf_out_path () =
+  Option.value !bench_out ~default:(Printf.sprintf "BENCH_%s.json" (perf_suite ()))
+
+let perf_table results =
+  Report.table
+    ~header:[ "scheduler"; "workload"; "wakeup p50"; "p99"; "throughput/s"; "crossings" ]
+    (List.map
+       (fun pr ->
+         [
+           pr.pr_name;
+           pr.pr_workload;
+           Kernsim.Time.to_string (Stats.Histogram.percentile pr.pr_wakeup 50.0);
+           Kernsim.Time.to_string (Stats.Histogram.percentile pr.pr_wakeup 99.0);
+           Printf.sprintf "%.0f" pr.pr_throughput;
+           string_of_int (List.fold_left (fun a (r : Profile.row) -> a + r.Profile.count) 0 pr.pr_callbacks);
+         ])
+       results)
+
+let perf () =
+  Report.section (Printf.sprintf "Perf suite (%s): per-scheduler benchmark snapshot" (perf_suite ()));
+  let results = perf_collect () in
+  perf_table results;
+  let path = perf_out_path () in
+  Metrics.Json.save ~path (perf_json results);
+  Printf.printf "wrote %s (git %s)\n" path (git_rev ())
+
+(* Default drift tolerances: the simulated numbers are deterministic for a
+   fixed seed, so these only need to absorb intentional cost-model churn;
+   --tolerance=PCT overrides both. *)
+let default_p99_tolerance = 25.0
+
+let default_throughput_tolerance = 10.0
+
+let regress () =
+  Report.section (Printf.sprintf "Regression gate (%s suite)" (perf_suite ()));
+  let path =
+    Option.value !baseline_path
+      ~default:(Printf.sprintf "bench/baselines/BENCH_%s.json" (perf_suite ()))
+  in
+  match Metrics.Json.parse_file ~path with
+  | Error msg ->
+    Printf.eprintf "regress: cannot read baseline %s: %s\n" path msg;
+    regress_failed := true
+  | Ok base ->
+    let tol_p99 = Option.value !tolerance ~default:default_p99_tolerance in
+    let tol_tp = Option.value !tolerance ~default:default_throughput_tolerance in
+    let base_rev =
+      Option.value ~default:"?" Option.(bind (Metrics.Json.member "git_rev" base) Metrics.Json.to_str)
+    in
+    let base_results =
+      Option.value ~default:[]
+        Option.(bind (Metrics.Json.member "results" base) Metrics.Json.to_list)
+    in
+    let find_base name =
+      List.find_opt
+        (fun j ->
+          Option.(bind (Metrics.Json.member "scheduler" j) Metrics.Json.to_str) = Some name)
+        base_results
+    in
+    let results = perf_collect () in
+    let rows =
+      List.map
+        (fun pr ->
+          let cur_p99 = float_of_int (Stats.Histogram.percentile pr.pr_wakeup 99.0) in
+          match find_base pr.pr_name with
+          | None -> [ pr.pr_name; "-"; "-"; "-"; "-"; "new (no baseline)" ]
+          | Some bj ->
+            let get path_fn = Option.bind (path_fn bj) Metrics.Json.to_float in
+            let base_p99 =
+              get (fun j -> Option.bind (Metrics.Json.member "wakeup_ns" j) (Metrics.Json.member "p99"))
+            in
+            let base_tp = get (Metrics.Json.member "throughput_per_s") in
+            let verdicts = ref [] in
+            (match base_p99 with
+            | Some bp when bp > 0. && cur_p99 > (bp *. (1. +. (tol_p99 /. 100.))) +. 1. ->
+              verdicts := Printf.sprintf "p99 +%.1f%%" (100. *. ((cur_p99 /. bp) -. 1.)) :: !verdicts
+            | _ -> ());
+            (match base_tp with
+            | Some bt when bt > 0. && pr.pr_throughput < bt *. (1. -. (tol_tp /. 100.)) ->
+              verdicts :=
+                Printf.sprintf "throughput %.1f%%" (100. *. ((pr.pr_throughput /. bt) -. 1.))
+                :: !verdicts
+            | _ -> ());
+            if !verdicts <> [] then regress_failed := true;
+            [
+              pr.pr_name;
+              (match base_p99 with Some b -> Printf.sprintf "%.0f" b | None -> "-");
+              Printf.sprintf "%.0f" cur_p99;
+              (match base_tp with Some b -> Printf.sprintf "%.0f" b | None -> "-");
+              Printf.sprintf "%.0f" pr.pr_throughput;
+              (if !verdicts = [] then "ok" else "REGRESSED: " ^ String.concat ", " !verdicts);
+            ])
+        results
+    in
+    Report.table
+      ~header:
+        [ "scheduler"; "base p99 (ns)"; "now"; "base thpt/s"; "now"; "verdict" ]
+      rows;
+    Report.note
+      (Printf.sprintf "baseline %s (git %s); tolerance p99 %.0f%%, throughput %.0f%%" path
+         base_rev tol_p99 tol_tp);
+    if !regress_failed then print_endline "regress: FAIL (see verdicts above)"
+    else print_endline "regress: ok"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -981,6 +1219,8 @@ let experiments =
     ("micro", micro);
     ("sanity", sanity);
     ("chaos", chaos);
+    ("perf", perf);
+    ("regress", regress);
   ]
 
 let () =
@@ -1011,10 +1251,33 @@ let () =
           | None -> Printf.eprintf "bad seed in %s\n" arg);
           false
         end
+        else if arg = "--quick" then begin
+          quick := true;
+          false
+        end
+        else if has_prefix ~prefix:"--bench-out=" arg then begin
+          bench_out := Some (cut ~prefix:"--bench-out=" arg);
+          false
+        end
+        else if has_prefix ~prefix:"--baseline=" arg then begin
+          baseline_path := Some (cut ~prefix:"--baseline=" arg);
+          false
+        end
+        else if has_prefix ~prefix:"--tolerance=" arg then begin
+          (match float_of_string_opt (cut ~prefix:"--tolerance=" arg) with
+          | Some pct -> tolerance := Some pct
+          | None -> Printf.eprintf "bad tolerance in %s (percent expected)\n" arg);
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
-  let requested = match names with [] -> List.map fst experiments | ns -> ns in
+  (* perf and regress are explicit gating targets, not part of "run
+     everything" (regress needs a committed baseline to diff against) *)
+  let default_set =
+    List.filter (fun n -> n <> "perf" && n <> "regress") (List.map fst experiments)
+  in
+  let requested = match names with [] -> default_set | ns -> ns in
   Printf.printf "workload seed: %s\n"
     (match !seed with
     | Some n -> string_of_int n
@@ -1032,4 +1295,5 @@ let () =
           (String.concat " " (List.map fst experiments)))
     requested;
   finish_tracing ();
-  Printf.printf "\nall requested experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nall requested experiments done in %.1fs\n" (Unix.gettimeofday () -. t0);
+  if !regress_failed then exit 4

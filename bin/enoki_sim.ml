@@ -142,6 +142,33 @@ let call_budget_arg =
           "Simulated-time budget per scheduler invocation; overruns are counted, traced, \
            and feed the watchdog (the wedged-module detector).")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"PATH"
+        ~doc:
+          "Attach the metrics registry and write it to $(docv) at the end of the run.  The \
+           format follows the extension: $(b,.prom)/$(b,.txt) Prometheus text exposition, \
+           $(b,.csv) the sampled time series, anything else a JSON summary.")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt int Metrics.Sampler.default_interval
+    & info [ "metrics-interval" ] ~docv:"NS"
+        ~doc:
+          "Simulated nanoseconds between metric samples (default 10ms).  Each tick snapshots \
+           every registry metric and emits a $(b,metric_flush) trace event.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile the Enoki-C dispatch boundary: per-callback crossing counts, simulated ns \
+           and host wall-clock ns per call, printed as a table after the run.")
+
 let watchdog_arg =
   Arg.(
     value & flag
@@ -153,9 +180,9 @@ let watchdog_arg =
 let print_summary (b : Workloads.Setup.built) =
   let mets = Kernsim.Machine.metrics b.machine in
   Printf.printf "schedules: %d, context switches: %d, migrations: %d\n"
-    (Kernsim.Metrics.schedules mets)
-    (Kernsim.Metrics.context_switches mets)
-    (Kernsim.Metrics.migrations mets);
+    (Kernsim.Accounting.schedules mets)
+    (Kernsim.Accounting.context_switches mets)
+    (Kernsim.Accounting.migrations mets);
   Report.kv (Workloads.Setup.enoki_summary b)
 
 let run_workload (b : Workloads.Setup.built) workload ~load ~seed =
@@ -191,8 +218,14 @@ let run_workload (b : Workloads.Setup.built) workload ~load ~seed =
 
 let run_cmd =
   let run sched workload load cores trace_path trace_format sanitize seed fault_plan fault_seed
-      call_budget watchdog =
+      call_budget watchdog metrics_out metrics_interval profile =
     let topology = topology_of_cores cores in
+    let registry =
+      if metrics_out <> None then
+        Some (Metrics.Registry.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) ())
+      else None
+    in
+    let prof = if profile then Some (Profile.create ()) else None in
     let tracer =
       if trace_path <> None || sanitize || watchdog then
         Some (Trace.Tracer.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) ())
@@ -226,7 +259,23 @@ let run_cmd =
         exit 2
       | None, _ -> kind_of_sched sched
     in
-    let b = Workloads.Setup.build ?tracer ?call_budget ~topology kind in
+    let b = Workloads.Setup.build ?tracer ?registry ?profile:prof ?call_budget ~topology kind in
+    let sampler =
+      Option.map
+        (fun reg ->
+          let smp = Metrics.Sampler.create ~interval:metrics_interval reg in
+          (match tracer with
+          | Some tr ->
+            Metrics.Sampler.on_flush smp (fun ~ts ->
+                Trace.Tracer.emit tr ~ts ~cpu:0
+                  (Trace.Event.Metric_flush { tick = Metrics.Sampler.ticks smp }))
+          | None -> ());
+          Metrics.Sampler.start smp
+            ~now:(fun () -> Kernsim.Machine.now b.machine)
+            ~defer:(fun ~delay f -> Kernsim.Machine.at b.machine ~delay f);
+          smp)
+        registry
+    in
     (match plan with
     | Some p -> Printf.printf "fault plan: %s (fault seed %d)\n" (Fault.Plan.to_string p) fault_seed
     | None -> ());
@@ -266,6 +315,27 @@ let run_cmd =
     in
     run_workload b workload ~load ~seed;
     print_summary b;
+    (match prof with
+    | Some p when Profile.crossings p > 0 ->
+      print_endline "profile: Enoki-C dispatch boundary";
+      Report.table ~header:Profile.table_header (Profile.table_rows p)
+    | Some _ -> print_endline "profile: no Enoki-C crossings (native scheduler, nothing to attribute)"
+    | None -> ());
+    (match (metrics_out, registry) with
+    | Some path, Some reg ->
+      (* final flush so short runs still get at least one sample *)
+      Option.iter
+        (fun smp -> Metrics.Sampler.flush smp ~ts:(Kernsim.Machine.now b.machine))
+        sampler;
+      let fmt = Metrics.Export.format_of_path path in
+      (try Metrics.Export.save ~path ?sampler fmt reg
+       with Sys_error msg ->
+         Printf.eprintf "enoki_sim: cannot write metrics: %s\n" msg;
+         exit 2);
+      Printf.printf "metrics: %d samples to %s\n"
+        (match sampler with Some s -> Metrics.Sampler.ticks s | None -> 0)
+        path
+    | _ -> ());
     if Hashtbl.length tally > 0 then begin
       let items =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
@@ -303,7 +373,7 @@ let run_cmd =
     Term.(
       const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ trace_arg
       $ trace_format_arg $ sanitize_arg $ seed_arg $ fault_plan_arg $ fault_seed_arg
-      $ call_budget_arg $ watchdog_arg)
+      $ call_budget_arg $ watchdog_arg $ metrics_out_arg $ metrics_interval_arg $ profile_arg)
 
 let out_arg =
   Arg.(

@@ -1,5 +1,19 @@
 module Ops = Kernsim.Sched_class
 
+(* Registry handles for the dispatch boundary, resolved once at [create].
+   Per-callback counters are created lazily on first crossing (the call
+   vocabulary is small and fixed) and cached by name. *)
+type obs = {
+  reg : Metrics.Registry.t;
+  o_calls : Metrics.Registry.counter;
+  o_call_lat : Metrics.Registry.histogram;
+  o_panics : Metrics.Registry.counter;
+  o_failovers : Metrics.Registry.counter;
+  o_overruns : Metrics.Registry.counter;
+  o_violations : Metrics.Registry.counter;
+  o_per_call : (string, Metrics.Registry.counter) Hashtbl.t;
+}
+
 type t = {
   modul : (module Sched_trait.S); (* version registered at load time *)
   policy : int;
@@ -9,6 +23,8 @@ type t = {
   hint_ring : (int * Kernsim.Task.hint) Ds.Ring_buffer.t;
   record : Record.t option;
   tracer : Trace.Tracer.t option;
+  obs : obs option;
+  profile : Profile.t option;
   mutable calls : int;
   mutable violations : int;
   violation_kinds : (string, int) Hashtbl.t;
@@ -28,8 +44,30 @@ type t = {
   mutable history : (module Sched_trait.S) list; (* superseded versions, newest first *)
 }
 
-let create ?(policy = 0) ?record ?tracer ?(hint_capacity = 1024) ?(isolate = true) ?call_budget
-    modul =
+let create ?(policy = 0) ?record ?tracer ?registry ?profile ?(hint_capacity = 1024)
+    ?(isolate = true) ?call_budget modul =
+  let obs =
+    Option.map
+      (fun reg ->
+        {
+          reg;
+          o_calls =
+            Metrics.Registry.counter reg ~help:"Enoki-C boundary crossings" "enoki_calls_total";
+          o_call_lat =
+            Metrics.Registry.histogram reg ~help:"simulated ns charged per boundary crossing"
+              "enoki_call_sim_ns";
+          o_panics = Metrics.Registry.counter reg ~help:"module panics caught" "enoki_panics_total";
+          o_failovers =
+            Metrics.Registry.counter reg ~help:"failovers to the CFS fallback"
+              "enoki_failovers_total";
+          o_overruns =
+            Metrics.Registry.counter reg ~help:"per-call budget overruns" "enoki_overruns_total";
+          o_violations =
+            Metrics.Registry.counter reg ~help:"API discipline violations" "enoki_violations_total";
+          o_per_call = Hashtbl.create 16;
+        })
+      registry
+  in
   {
     modul;
     policy;
@@ -39,6 +77,8 @@ let create ?(policy = 0) ?record ?tracer ?(hint_capacity = 1024) ?(isolate = tru
     hint_ring = Ds.Ring_buffer.create ~capacity:hint_capacity;
     record;
     tracer;
+    obs;
+    profile;
     calls = 0;
     violations = 0;
     violation_kinds = Hashtbl.create 8;
@@ -88,7 +128,20 @@ let violations t = t.violations
 let count_violation t kind =
   t.violations <- t.violations + 1;
   Hashtbl.replace t.violation_kinds kind
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.violation_kinds kind))
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.violation_kinds kind));
+  match t.obs with Some o -> Metrics.Registry.incr o.o_violations () | None -> ()
+
+(* Per-callback crossing counter, created on first use of each call name. *)
+let per_call_counter o name =
+  match Hashtbl.find_opt o.o_per_call name with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.Registry.counter o.reg ~help:"boundary crossings for one callback"
+        ("enoki_call_" ^ name ^ "_total")
+    in
+    Hashtbl.replace o.o_per_call name c;
+    c
 
 let violation_breakdown t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.violation_kinds []
@@ -128,10 +181,18 @@ let dispatch t ~cpu call =
   ops.charge ~cpu ops.costs.enoki_call;
   emit t ~cpu (Trace.Event.Msg_call { name = Message.call_name call });
   t.calls <- t.calls + 1;
+  (match t.obs with
+  | Some o ->
+    Metrics.Registry.incr o.o_calls ~cpu ();
+    Metrics.Registry.incr (per_call_counter o (Message.call_name call)) ~cpu ()
+  | None -> ());
   t.current_tid <- cpu;
   t.readers <- t.readers + 1;
   let saved_charge = t.charged_in_call in
   t.charged_in_call <- 0;
+  let wall0 =
+    match t.profile with Some _ -> Profile.now_wall () | None -> 0.0
+  in
   let reply =
     Fun.protect
       (fun () -> Lib_enoki.process (packed_exn t) call)
@@ -143,9 +204,24 @@ let dispatch t ~cpu call =
            is still surfaced. *)
         let charged = t.charged_in_call in
         t.charged_in_call <- saved_charge;
+        (* per-call latency: the fixed crossing cost plus whatever the
+           module charged; profile rows add the host wall clock.  Both
+           record into plain OCaml state — no simulated time moves. *)
+        (match t.obs with
+        | Some o -> Metrics.Registry.observe o.o_call_lat ~cpu (ops.costs.enoki_call + charged)
+        | None -> ());
+        (match t.profile with
+        | Some p ->
+          Profile.record p ~sched:(scheduler_name t) ~call:(Message.call_name call)
+            ~sim_ns:(ops.costs.enoki_call + charged)
+            ~wall_ns:(Profile.now_wall () -. wall0)
+        | None -> ());
         match t.call_budget with
         | Some budget when charged > budget ->
           t.overruns <- t.overruns + 1;
+          (match t.obs with
+          | Some o -> Metrics.Registry.incr o.o_overruns ~cpu ()
+          | None -> ());
           count_violation t "call_budget";
           emit t ~cpu (Trace.Event.Overrun { call = Message.call_name call; charged; budget })
         | Some _ | None -> ())
@@ -334,6 +410,7 @@ let fallback_exn t =
 let quarantine t ~cpu ?skip ~call exn =
   let ops = ops_exn t in
   t.panics <- t.panics + 1;
+  (match t.obs with Some o -> Metrics.Registry.incr o.o_panics ~cpu () | None -> ());
   let reason = Printexc.to_string exn in
   emit t ~cpu (Trace.Event.Panic { call; reason });
   match t.quarantined with
@@ -341,6 +418,7 @@ let quarantine t ~cpu ?skip ~call exn =
   | None ->
     t.quarantined <- Some (reason, ops.now ());
     t.failovers <- t.failovers + 1;
+    (match t.obs with Some o -> Metrics.Registry.incr o.o_failovers ~cpu () | None -> ());
     t.blackout <- None;
     count_violation t "panic";
     emit t ~cpu (Trace.Event.Failover { fallback = fallback_name });

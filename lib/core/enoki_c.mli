@@ -33,11 +33,20 @@ type t
     [call_budget] bounds the simulated time one dispatch may charge
     through [Ctx.charge]; exceeding it counts a ["call_budget"] violation
     and emits an [Overrun] trace event (the infinite-loop stand-in a
-    watchdog keys on). *)
+    watchdog keys on).
+
+    [registry] attaches a metrics registry: the boundary then keeps
+    total and per-callback crossing counters, a per-call simulated-ns
+    histogram, and panic/failover/overrun/violation counters in it.
+    [profile] attaches a self-profiler attributing simulated and host
+    wall-clock ns to each callback kind (the paper's Table-3 breakdown).
+    Neither ever charges simulated time. *)
 val create :
   ?policy:int ->
   ?record:Record.t ->
   ?tracer:Trace.Tracer.t ->
+  ?registry:Metrics.Registry.t ->
+  ?profile:Profile.t ->
   ?hint_capacity:int ->
   ?isolate:bool ->
   ?call_budget:Kernsim.Time.ns ->

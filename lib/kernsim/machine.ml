@@ -16,11 +16,21 @@ type core = {
 
 type chan = { mutable count : int; waiters : int Ds.Deque.t }
 
+(* Registry handles resolved once at construction so the hot paths pay one
+   option match plus an array increment, never a by-name lookup. *)
+type obs = {
+  o_schedules : Metrics.Registry.counter;
+  o_ctx_switches : Metrics.Registry.counter;
+  o_migrations : Metrics.Registry.counter;
+  o_wakeup_lat : Metrics.Registry.histogram;
+}
+
 type t = {
   sim : Sim.t;
   topo : Topology.t;
   costs : Costs.t;
-  metrics : Metrics.t;
+  metrics : Accounting.t;
+  obs : obs option;
   tracer : Trace.Tracer.t option;
   cores : core array;
   mutable classes : Sched_class.t array;
@@ -55,6 +65,14 @@ let class_of_policy t policy =
 let class_of_task t (task : Task.t) = class_of_policy t task.policy
 
 let cpu_idle t cpu = t.cores.(cpu).curr = None
+
+(* Registry recording: one option match when no registry is attached, and
+   the record calls never touch simulated time (zero-perturbation). *)
+let obs_incr t ~cpu f =
+  match t.obs with None -> () | Some o -> Metrics.Registry.incr (f o) ~cpu ()
+
+let obs_observe t ~cpu f v =
+  match t.obs with None -> () | Some o -> Metrics.Registry.observe (f o) ~cpu v
 
 (* One option match when tracing is off: the zero-cost-when-disabled sink. *)
 let emit t ~cpu kind =
@@ -117,7 +135,7 @@ and sync_curr t core =
       core.seg_run_start <- now_
     end;
     if now_ > core.seg_busy_from then begin
-      Metrics.add_busy t.metrics ~cpu:core.id ~group:task.group (now_ - core.seg_busy_from);
+      Accounting.add_busy t.metrics ~cpu:core.id ~group:task.group (now_ - core.seg_busy_from);
       core.seg_busy_from <- now_
     end
 
@@ -225,7 +243,8 @@ and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
     then begin
       let from_cpu = task.cpu in
       task.cpu <- to_cpu;
-      Metrics.count_migration t.metrics;
+      Accounting.count_migration t.metrics;
+      obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
       charge t ~cpu:to_cpu t.costs.migration;
       emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
       cl.migrate_task_rq task ~from_cpu ~to_cpu
@@ -269,7 +288,8 @@ and do_schedule t cpu =
       | None -> ()
     end
   | None -> ());
-  Metrics.count_schedule t.metrics ~cpu;
+  Accounting.count_schedule t.metrics ~cpu;
+  obs_incr t ~cpu (fun o -> o.o_schedules);
   (* balance + pick, classes in priority order, until a task sticks *)
   let rec pick_loop () =
     let chosen = ref None in
@@ -286,7 +306,7 @@ and do_schedule t cpu =
             else begin
               (* a native class returning an unrunnable task is the kernel
                  crash the paper describes; surface it loudly *)
-              Metrics.count_pick_violation t.metrics;
+              Accounting.count_pick_violation t.metrics;
               invalid_arg
                 (Printf.sprintf "Machine: class %s picked invalid pid %d (%s, cpu %d vs %d)"
                    cl.name pid
@@ -309,7 +329,10 @@ and do_schedule t cpu =
     (* charge pending overhead + context switch before the task computes *)
     let now_ = Sim.now t.sim in
     let switch_cost = if core.last_pid <> task.pid then t.costs.context_switch else 0 in
-    if switch_cost > 0 then Metrics.count_context_switch t.metrics;
+    if switch_cost > 0 then begin
+      Accounting.count_context_switch t.metrics;
+      obs_incr t ~cpu (fun o -> o.o_ctx_switches)
+    end;
     let wake_cost =
       if core.in_idle then
         if now_ - core.idle_since >= t.costs.deep_idle_after then t.costs.deep_idle_exit
@@ -328,7 +351,8 @@ and do_schedule t cpu =
     let run_start = now_ + overhead in
     if task.wake_pending then begin
       task.wake_pending <- false;
-      Metrics.record_wakeup_latency t.metrics ~group:task.group (run_start - task.last_wake)
+      Accounting.record_wakeup_latency t.metrics ~group:task.group (run_start - task.last_wake);
+      obs_observe t ~cpu (fun o -> o.o_wakeup_lat) (run_start - task.last_wake)
     end;
     (* the behaviour advances only once the dispatch costs have elapsed;
        a task with no compute left runs its next actions at [run_start] *)
@@ -434,8 +458,25 @@ let rec arm_tick t =
 
 (* ---------- construction ---------- *)
 
-let create ?(costs = Costs.default) ?tracer ~topology ~classes () =
+let create ?(costs = Costs.default) ?registry ?tracer ~topology ~classes () =
   let nr = Topology.nr_cpus topology in
+  let obs =
+    Option.map
+      (fun reg ->
+        {
+          o_schedules =
+            Metrics.Registry.counter reg ~help:"schedule operations" "sched_schedules_total";
+          o_ctx_switches =
+            Metrics.Registry.counter reg ~help:"context switches charged"
+              "sched_context_switches_total";
+          o_migrations =
+            Metrics.Registry.counter reg ~help:"task migrations" "sched_migrations_total";
+          o_wakeup_lat =
+            Metrics.Registry.histogram reg ~help:"wakeup-to-dispatch latency (ns)"
+              "sched_wakeup_latency_ns";
+        })
+      registry
+  in
   let cores =
     Array.init nr (fun id ->
         {
@@ -457,7 +498,8 @@ let create ?(costs = Costs.default) ?tracer ~topology ~classes () =
       sim = Sim.create ();
       topo = topology;
       costs;
-      metrics = Metrics.create ~nr_cpus:nr;
+      metrics = Accounting.create ~nr_cpus:nr;
+      obs;
       tracer;
       cores;
       classes = [||];
@@ -528,6 +570,28 @@ let create ?(costs = Costs.default) ?tracer ~topology ~classes () =
       classes
   in
   t.classes <- Array.of_list instantiated;
+  (* Probes read machine state at sample/export time; they never run on a
+     scheduling path, so they may fold over the task table freely. *)
+  (match registry with
+  | Some reg ->
+    Metrics.Registry.gauge_probe reg ~help:"runnable tasks (queued or running)"
+      "machine_runq_depth" (fun () ->
+        float_of_int
+          (Hashtbl.fold
+             (fun _ (task : Task.t) acc -> if task.state = Task.Runnable then acc + 1 else acc)
+             t.tasks 0));
+    Metrics.Registry.gauge_probe reg ~help:"tasks not yet exited" "machine_tasks_alive"
+      (fun () ->
+        float_of_int
+          (Hashtbl.fold
+             (fun _ (task : Task.t) acc -> if task.state = Task.Dead then acc else acc + 1)
+             t.tasks 0));
+    Metrics.Registry.gauge_probe reg ~help:"cumulative busy ns across cpus"
+      "machine_busy_ns_total" (fun () -> float_of_int (Accounting.total_busy t.metrics));
+    Metrics.Registry.gauge_probe reg ~help:"cumulative idle ns across cpus"
+      "machine_idle_ns_total" (fun () ->
+        float_of_int ((nr * Sim.now t.sim) - Accounting.total_busy t.metrics))
+  | None -> ());
   arm_tick t;
   t
 
@@ -555,7 +619,8 @@ let rec enforce_affinity t pid =
         let to_cpu = first_allowed t task in
         let from_cpu = task.cpu in
         task.cpu <- to_cpu;
-        Metrics.count_migration t.metrics;
+        Accounting.count_migration t.metrics;
+        obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
         emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
         cl.migrate_task_rq task ~from_cpu ~to_cpu;
         if cpu_idle t to_cpu then resched_cpu t to_cpu

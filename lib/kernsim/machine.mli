@@ -22,9 +22,14 @@ type ns = Time.ns
     schedtrace sink: the machine then emits a typed event for every
     wakeup, dispatch, context switch, preemption, block/yield/exit,
     migration, tick, and idle transition; with no tracer each emit site is
-    a single [option] match. *)
+    a single [option] match.  [registry] attaches a metrics registry: the
+    machine then keeps schedule/context-switch/migration counters, a
+    wakeup-latency histogram, and runqueue-depth / busy-idle gauge probes
+    in it — recording never charges simulated time, so an attached
+    registry cannot change scheduling decisions. *)
 val create :
   ?costs:Costs.t ->
+  ?registry:Metrics.Registry.t ->
   ?tracer:Trace.Tracer.t ->
   topology:Topology.t ->
   classes:Sched_class.factory list ->
@@ -37,7 +42,7 @@ val costs : t -> Costs.t
 
 val now : t -> ns
 
-val metrics : t -> Metrics.t
+val metrics : t -> Accounting.t
 
 (** Allocate a wait channel (counting semaphore) for task behaviours. *)
 val new_chan : t -> int

@@ -1,0 +1,121 @@
+(* Prometheus metric names admit [a-zA-Z0-9_:] only. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = ':'
+      then c
+      else '_')
+    name
+
+let prometheus reg =
+  let buf = Buffer.create 4096 in
+  Registry.iter reg (fun ~name ~help v ->
+      let name = sanitize name in
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      match v with
+      | Registry.Counter_v n ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name n)
+      | Registry.Gauge_v g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" name name g)
+      | Registry.Histogram_v h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        let cum = ref 0 in
+        List.iter
+          (fun (upper, count) ->
+            cum := !cum + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name upper !cum))
+          (Stats.Histogram.to_buckets h);
+        Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %.0f\n" name
+             (Stats.Histogram.mean h *. float_of_int (Stats.Histogram.count h)));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name (Stats.Histogram.count h)));
+  Buffer.contents buf
+
+let csv sampler =
+  let samples = Sampler.samples sampler in
+  (* column order: first appearance across the run, so metrics created
+     mid-run (per-callback counters) append on the right *)
+  let cols = ref [] in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Sampler.sample) ->
+      List.iter
+        (fun (k, _) ->
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.replace seen k ();
+            cols := k :: !cols
+          end)
+        s.values)
+    samples;
+  let cols = List.rev !cols in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," ("ts_ns" :: cols));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (s : Sampler.sample) ->
+      Buffer.add_string buf (string_of_int s.ts);
+      List.iter
+        (fun col ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt col s.values with
+          | Some v ->
+            Buffer.add_string buf
+              (if Float.is_integer v && Float.abs v < 1e15 then
+                 string_of_int (int_of_float v)
+               else Printf.sprintf "%g" v)
+          | None -> ())
+        cols;
+      Buffer.add_char buf '\n')
+    samples;
+  Buffer.contents buf
+
+let percentiles_json h =
+  let p q = Json.Int (Stats.Histogram.percentile h q) in
+  Json.Obj
+    [
+      ("count", Json.Int (Stats.Histogram.count h));
+      ("min", Json.Int (Stats.Histogram.min h));
+      ("max", Json.Int (Stats.Histogram.max h));
+      ("mean", Json.Float (Stats.Histogram.mean h));
+      ("p50", p 50.0);
+      ("p95", p 95.0);
+      ("p99", p 99.0);
+      ("p999", p 99.9);
+    ]
+
+let json_summary ?(extra = []) reg =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Registry.iter reg (fun ~name ~help:_ v ->
+      match v with
+      | Registry.Counter_v n -> counters := (name, Json.Int n) :: !counters
+      | Registry.Gauge_v g -> gauges := (name, Json.Float g) :: !gauges
+      | Registry.Histogram_v h -> histograms := (name, percentiles_json h) :: !histograms);
+  Json.Obj
+    (extra
+    @ [
+        ("counters", Json.Obj (List.rev !counters));
+        ("gauges", Json.Obj (List.rev !gauges));
+        ("histograms", Json.Obj (List.rev !histograms));
+      ])
+
+type format = Prometheus | Csv | Json_summary
+
+let format_of_path path =
+  if Filename.check_suffix path ".prom" || Filename.check_suffix path ".txt" then Prometheus
+  else if Filename.check_suffix path ".csv" then Csv
+  else Json_summary
+
+let save ~path ?sampler format reg =
+  let contents =
+    match format with
+    | Prometheus -> prometheus reg
+    | Json_summary -> Json.to_string ~pretty:true (json_summary reg) ^ "\n"
+    | Csv -> (
+      match sampler with
+      | Some s -> csv s
+      | None -> invalid_arg "Export.save: csv output needs the sampler")
+  in
+  let oc = open_out path in
+  Fun.protect (fun () -> output_string oc contents) ~finally:(fun () -> close_out oc)

@@ -1,0 +1,29 @@
+(** Exporters for the metrics registry and the sampled time series.
+
+    Three formats, matching the three consumers of the observability
+    layer: Prometheus text exposition (scrapers, Grafana), CSV time
+    series (plotting the trajectory of a run), and a JSON summary (the
+    benchmark harness and the regression gate). *)
+
+(** Prometheus text exposition format.  Counters export as [name]
+    [value]; histograms as cumulative [_bucket{le="..."}] series plus
+    [_sum]/[_count], the shape [histogram_quantile()] expects. *)
+val prometheus : Registry.t -> string
+
+(** CSV time series of the sampler's snapshots: one row per tick, one
+    column per metric (union across ticks; metrics created mid-run leave
+    early cells empty). *)
+val csv : Sampler.t -> string
+
+(** JSON summary: every counter and gauge, plus
+    count/min/max/mean/p50/p95/p99/p999 per histogram. *)
+val json_summary : ?extra:(string * Json.t) list -> Registry.t -> Json.t
+
+type format = Prometheus | Csv | Json_summary
+
+(** Pick a format from a path extension: [.prom] / [.csv] / anything
+    else JSON. *)
+val format_of_path : string -> format
+
+(** Render [format] and write it to [path].  [Csv] requires the sampler. *)
+val save : path:string -> ?sampler:Sampler.t -> format -> Registry.t -> unit

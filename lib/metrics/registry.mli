@@ -1,0 +1,74 @@
+(** The always-on scheduler metrics registry.
+
+    Everything the machine, the Enoki-C boundary, the trace layer and the
+    workload generators count or time flows through one of three metric
+    shapes:
+
+    - {b counters}: monotonically increasing integers, sharded per cpu so
+      hot paths touch only their own slot (context switches, migrations,
+      boundary crossings, panics);
+    - {b gauges}: point-in-time floats, either set explicitly or computed
+      by a probe at read time (runqueue depth, tracer ring drops);
+    - {b histograms}: per-cpu-sharded log-linear latency histograms
+      (reusing {!Stats.Histogram}) merged at read time (wakeup latency,
+      per-callback latency, request latency).
+
+    Recording never allocates after metric creation and never touches
+    simulated time — observability must not perturb scheduling decisions
+    (the zero-perturbation contract tested in [test_metrics.ml]). *)
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : ?nr_cpus:int -> unit -> t
+
+val nr_cpus : t -> int
+
+(** Get-or-create by name.  Re-registering an existing name returns the
+    existing metric; a name registered under a different shape raises
+    [Invalid_argument]. *)
+
+val counter : t -> ?help:string -> string -> counter
+
+val gauge : t -> ?help:string -> string -> gauge
+
+(** A gauge evaluated on demand: the probe runs at sample/export time. *)
+val gauge_probe : t -> ?help:string -> string -> (unit -> float) -> unit
+
+val histogram : t -> ?help:string -> string -> histogram
+
+(** Recording. [cpu] out of range is folded onto shard 0, mirroring the
+    tracer's discipline. *)
+
+val incr : counter -> ?cpu:int -> ?n:int -> unit -> unit
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> ?cpu:int -> int -> unit
+
+(** Reading. *)
+
+val counter_value : counter -> int
+
+val gauge_value : gauge -> float
+
+(** Merge the per-cpu shards into a fresh histogram (the shards are
+    untouched). *)
+val merged : histogram -> Stats.Histogram.t
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Stats.Histogram.t
+
+(** Iterate name/help/current value in registration order. *)
+val iter : t -> (name:string -> help:string -> value -> unit) -> unit
+
+val find_counter : t -> string -> counter option
+
+val find_histogram : t -> string -> histogram option

@@ -1,0 +1,63 @@
+type cell = { mutable count : int; mutable sim_ns : int; mutable wall_ns : float }
+
+type t = {
+  cells : (string * string, cell) Hashtbl.t; (* (sched, call) -> totals *)
+  mutable total : int;
+}
+
+type row = { sched : string; call : string; count : int; sim_ns : int; wall_ns : float }
+
+let create () = { cells = Hashtbl.create 32; total = 0 }
+
+let now_wall () = Unix.gettimeofday () *. 1e9
+
+let record t ~sched ~call ~sim_ns ~wall_ns =
+  let cell =
+    match Hashtbl.find_opt t.cells (sched, call) with
+    | Some c -> c
+    | None ->
+      let c = { count = 0; sim_ns = 0; wall_ns = 0.0 } in
+      Hashtbl.add t.cells (sched, call) c;
+      c
+  in
+  cell.count <- cell.count + 1;
+  cell.sim_ns <- cell.sim_ns + sim_ns;
+  cell.wall_ns <- cell.wall_ns +. Float.max 0.0 wall_ns;
+  t.total <- t.total + 1
+
+let crossings t = t.total
+
+let rows t =
+  Hashtbl.fold
+    (fun (sched, call) (c : cell) acc ->
+      { sched; call; count = c.count; sim_ns = c.sim_ns; wall_ns = c.wall_ns } :: acc)
+    t.cells []
+  |> List.sort (fun a b ->
+         match String.compare a.sched b.sched with
+         | 0 -> (
+           match Int.compare b.count a.count with
+           | 0 -> String.compare a.call b.call
+           | c -> c)
+         | c -> c)
+
+let table_header = [ "scheduler"; "callback"; "crossings"; "sim ns/call"; "wall ns/call"; "share" ]
+
+let table_rows t =
+  let rs = rows t in
+  let total = float_of_int (Stdlib.max 1 t.total) in
+  List.map
+    (fun r ->
+      let n = float_of_int (Stdlib.max 1 r.count) in
+      [
+        r.sched;
+        r.call;
+        string_of_int r.count;
+        Printf.sprintf "%.0f" (float_of_int r.sim_ns /. n);
+        Printf.sprintf "%.0f" (r.wall_ns /. n);
+        Printf.sprintf "%.1f%%" (100.0 *. float_of_int r.count /. total);
+      ])
+    rs
+
+let clear t =
+  Hashtbl.reset t.cells;
+  t.total <- 0

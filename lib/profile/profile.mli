@@ -1,0 +1,48 @@
+(** Self-profiler for the Enoki-C message boundary.
+
+    Reproduces the paper's Table-3-style breakdown: for every
+    {!Enoki.Sched_trait} callback kind, per scheduler module, it
+    attributes
+
+    - the number of boundary crossings (dispatches),
+    - {e simulated} nanoseconds the module charged during those calls
+      (via [Ctx.charge]), and
+    - {e host wall-clock} nanoseconds the OCaml callback actually took —
+      the real cost of our reproduction's dispatch path.
+
+    Recording mutates plain OCaml state and never touches simulated time,
+    so profiling cannot perturb scheduling decisions (wall-clock reads
+    happen outside the simulator's universe entirely). *)
+
+type t
+
+type row = {
+  sched : string;  (** scheduler module name *)
+  call : string;  (** callback kind, e.g. ["pick_next_task"] *)
+  count : int;  (** boundary crossings *)
+  sim_ns : int;  (** total simulated ns charged by the module *)
+  wall_ns : float;  (** total host wall-clock ns spent in the callback *)
+}
+
+val create : unit -> t
+
+(** Host wall clock in nanoseconds (monotonicity not guaranteed; only
+    differences are meaningful). *)
+val now_wall : unit -> float
+
+val record : t -> sched:string -> call:string -> sim_ns:int -> wall_ns:float -> unit
+
+(** Total boundary crossings across all callbacks and modules. *)
+val crossings : t -> int
+
+(** All rows, grouped by scheduler, busiest callback first. *)
+val rows : t -> row list
+
+(** Table-3-style rendering: one row per (scheduler, callback) with
+    crossings, mean simulated ns/call and mean wall ns/call; feed to
+    [Report.table]. *)
+val table_header : string list
+
+val table_rows : t -> string list list
+
+val clear : t -> unit

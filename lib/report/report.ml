@@ -4,6 +4,18 @@ let section title =
 
 let note s = Printf.printf "  %s\n" s
 
+(* A cell counts as numeric for alignment purposes when it carries a digit
+   and only number-shaped characters around it ("3.6", "+0.74%", "1.5x",
+   "12us", "(74/320)"); "-" placeholders don't break a numeric column. *)
+let numeric_cell cell =
+  cell = "-"
+  || (String.exists (fun c -> c >= '0' && c <= '9') cell
+     && String.for_all
+          (fun c ->
+            (c >= '0' && c <= '9')
+            || String.contains "+-.%/()xkMGuns " c)
+          cell)
+
 let table ~header rows =
   let all = header :: rows in
   let arity = List.length header in
@@ -15,18 +27,27 @@ let table ~header rows =
   List.iter
     (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
     all;
-  let print_row row =
+  (* right-align a column when every data cell in it is number-shaped *)
+  let right = Array.make arity (rows <> []) in
+  List.iter
+    (List.iteri (fun i cell -> if not (numeric_cell cell) then right.(i) <- false))
+    rows;
+  let print_row ?(pad_right = false) row =
     print_string "  ";
     List.iteri
       (fun i cell ->
+        let gap = widths.(i) - String.length cell in
+        if right.(i) && pad_right then print_string (String.make gap ' ');
         print_string cell;
-        if i < arity - 1 then print_string (String.make (widths.(i) - String.length cell + 2) ' '))
+        if i < arity - 1 then
+          print_string
+            (String.make ((if right.(i) && pad_right then 0 else gap) + 2) ' '))
       row;
     print_newline ()
   in
   print_row header;
   print_row (List.mapi (fun i _ -> String.make widths.(i) '-') header);
-  List.iter print_row rows;
+  List.iter (print_row ~pad_right:true) rows;
   flush stdout
 
 let kv pairs =
@@ -35,7 +56,14 @@ let kv pairs =
   | _ ->
     let width = List.fold_left (fun w (k, _) -> max w (String.length k)) 0 pairs in
     List.iter
-      (fun (k, v) -> Printf.printf "  %s%s  %s\n" k (String.make (width - String.length k) ' ') v)
+      (fun (k, v) ->
+        (* continuation lines of a multi-line value stay aligned under the
+           value column instead of jumping back to column zero *)
+        match String.split_on_char '\n' v with
+        | [] -> Printf.printf "  %s%s\n" k (String.make (width - String.length k) ' ')
+        | first :: rest ->
+          Printf.printf "  %s%s  %s\n" k (String.make (width - String.length k) ' ') first;
+          List.iter (fun line -> Printf.printf "  %s  %s\n" (String.make width ' ') line) rest)
       pairs;
     flush stdout
 

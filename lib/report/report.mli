@@ -7,11 +7,13 @@ val section : string -> unit
 val note : string -> unit
 
 (** [table ~header rows] prints an aligned table; every row must have the
-    same arity as [header]. *)
+    same arity as [header].  Columns whose data cells are all
+    number-shaped are right-aligned so magnitudes line up. *)
 val table : header:string list -> string list list -> unit
 
 (** Aligned key/value lines (violation breakdowns, failover counters,
-    upgrade stats); prints nothing for an empty list. *)
+    upgrade stats); prints nothing for an empty list.  Continuation lines
+    of multi-line values stay aligned under the value column. *)
 val kv : (string * string) list -> unit
 
 val fmt_f : float -> string

@@ -78,6 +78,15 @@ let percentile t p =
     go 0 0
   end
 
+(* Non-empty buckets as (inclusive upper bound, count), ascending.  The
+   shard aggregation and the CSV exporter both consume this shape. *)
+let to_buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_upper i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
 let clear t =
   Array.fill t.counts 0 n_buckets 0;
   t.total <- 0;

@@ -28,6 +28,10 @@ val mean : t -> float
     bound of the bucket containing the requested rank. *)
 val percentile : t -> float -> int
 
+(** Non-empty buckets as [(inclusive upper bound, count)] pairs in
+    ascending value order.  [count t] equals the sum of the counts. *)
+val to_buckets : t -> (int * int) list
+
 val clear : t -> unit
 
 (** Merge [src] into [dst]. *)

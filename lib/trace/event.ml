@@ -19,6 +19,7 @@ type kind =
   | Failover of { fallback : string }
   | Overrun of { call : string; charged : ns; budget : ns }
   | Watchdog_fire of { reason : string }
+  | Metric_flush of { tick : int }
 
 type t = { ts : ns; cpu : int; kind : kind }
 
@@ -41,6 +42,7 @@ let name = function
   | Failover _ -> "failover"
   | Overrun _ -> "overrun"
   | Watchdog_fire _ -> "watchdog_fire"
+  | Metric_flush _ -> "metric_flush"
 
 let pid_of = function
   | Wakeup { pid; _ }
@@ -53,7 +55,7 @@ let pid_of = function
   | Pnt_err { pid; _ } -> Some pid
   | Sched_switch { next = Some pid; _ } -> Some pid
   | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ | Panic _
-  | Failover _ | Overrun _ | Watchdog_fire _ -> None
+  | Failover _ | Overrun _ | Watchdog_fire _ | Metric_flush _ -> None
 
 let opt_pid = function None -> "idle" | Some p -> string_of_int p
 
@@ -78,6 +80,7 @@ let args = function
   | Overrun { call; charged; budget } ->
     [ ("call", call); ("charged", string_of_int charged); ("budget", string_of_int budget) ]
   | Watchdog_fire { reason } -> [ ("reason", reason) ]
+  | Metric_flush { tick } -> [ ("tick", string_of_int tick) ]
 
 let pp fmt t =
   Format.fprintf fmt "[%d] %d %s" t.cpu t.ts (name t.kind);

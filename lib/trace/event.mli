@@ -43,6 +43,9 @@ type kind =
   | Watchdog_fire of { reason : string }
       (** the fault watchdog tripped on the event stream (panic burst,
           call-budget overrun, sanitizer starvation) *)
+  | Metric_flush of { tick : int }
+      (** the metrics sampler took periodic snapshot number [tick]; an
+          observability marker the sanitizer ignores in invariant checks *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 

@@ -53,6 +53,7 @@ let run (b : Setup.built) (p : params) =
   let req_chan = M.new_chan m in
   let latencies = Stats.Histogram.create () in
   let measuring = ref false in
+  let observe = Setup.request_observer b in
   let completed = ref 0 in
   let arrivals = ref 0 in
   let rate_per_ns = p.load_kreqs *. 1000.0 /. 1e9 in
@@ -93,6 +94,7 @@ let run (b : Setup.built) (p : params) =
   let record (ctx : T.ctx) req =
     if !measuring then begin
       Stats.Histogram.record latencies (ctx.T.now - req.enqueued);
+      observe (ctx.T.now - req.enqueued);
       incr completed
     end
   in
@@ -226,10 +228,10 @@ let run (b : Setup.built) (p : params) =
            affinity = Some [ 0 ];
          }));
   M.at m ~delay:p.warmup (fun () ->
-      Kernsim.Metrics.reset (M.metrics m);
+      Kernsim.Accounting.reset (M.metrics m);
       measuring := true);
   M.run_for m (p.warmup + p.duration);
-  let busy = Kernsim.Metrics.busy_of_group (M.metrics m) "memcached" in
+  let busy = Kernsim.Accounting.busy_of_group (M.metrics m) "memcached" in
   {
     offered_kreqs = p.load_kreqs;
     achieved_kreqs = float_of_int !completed /. Kernsim.Time.to_sec p.duration /. 1000.0;

@@ -17,10 +17,14 @@ let run (b : Setup.built) ?(same_core = false) ?(messages = 50_000) ?(work = def
   let ch_ab = M.new_chan m and ch_ba = M.new_chan m in
   let affinity = if same_core then Some [ 0 ] else None in
   let finished = ref 0 in
+  let observe = Setup.request_observer b in
   (* sender: work, signal the peer, wait for the reply *)
   let peer ~send ~recv ~first =
     let n = ref 0 and st = ref (if first then `Work else `Recv0) in
-    fun (_ : T.ctx) ->
+    (* round-trip stamp: taken when this peer signals, closed when the
+       reply wakes it back up *)
+    let t0 = ref (-1) in
+    fun (ctx : T.ctx) ->
       match !st with
       | `Recv0 ->
         st := `Work;
@@ -30,8 +34,11 @@ let run (b : Setup.built) ?(same_core = false) ?(messages = 50_000) ?(work = def
         T.Compute work
       | `Send ->
         st := `Recv;
+        t0 := ctx.T.now;
         T.Wake send
       | `Recv ->
+        if !t0 >= 0 then observe (ctx.T.now - !t0);
+        t0 := -1;
         incr n;
         if !n >= messages then begin
           incr finished;

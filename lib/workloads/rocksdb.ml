@@ -51,6 +51,7 @@ let run (b : Setup.built) (p : params) =
   let req_chan = M.new_chan m in
   let latencies = Stats.Histogram.create () in
   let measuring = ref false in
+  let observe = Setup.request_observer b in
   let completed = ref 0 in
   (* open-loop Poisson load generator, pinned to its reserved core *)
   let rate_per_ns = p.load_kreqs *. 1000.0 /. 1e9 in
@@ -108,6 +109,7 @@ let run (b : Setup.built) (p : params) =
         | `Done req ->
           if !measuring then begin
             Stats.Histogram.record latencies (ctx.T.now - req.enqueued);
+            observe (ctx.T.now - req.enqueued);
             incr completed
           end;
           st := `Work;
@@ -173,10 +175,10 @@ let run (b : Setup.built) (p : params) =
            })
     done;
   M.at m ~delay:p.warmup (fun () ->
-      Kernsim.Metrics.reset (M.metrics m);
+      Kernsim.Accounting.reset (M.metrics m);
       measuring := true);
   M.run_for m (p.warmup + p.duration);
-  let batch_busy = Kernsim.Metrics.busy_of_group (M.metrics m) "batch" in
+  let batch_busy = Kernsim.Accounting.busy_of_group (M.metrics m) "batch" in
   {
     offered_kreqs = p.load_kreqs;
     achieved_kreqs = float_of_int !completed /. Kernsim.Time.to_sec p.duration /. 1000.0;

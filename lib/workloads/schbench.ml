@@ -35,7 +35,7 @@ let default_params =
 let wake_syscall = 900 (* futex syscall cost in the waker *)
 
 (* One worker: wait for a ping, record its wakeup latency, work, reply. *)
-let worker_beh ~ping ~reply ~work ~stamp ~hist ~measuring =
+let worker_beh ~ping ~reply ~work ~stamp ~hist ~measuring ~observe =
   let st = ref `Wait in
   fun (ctx : T.ctx) ->
     match !st with
@@ -43,7 +43,10 @@ let worker_beh ~ping ~reply ~work ~stamp ~hist ~measuring =
       st := `Work;
       T.Block ping
     | `Work ->
-      if !measuring && !stamp >= 0 then Stats.Histogram.record hist (ctx.T.now - !stamp);
+      if !measuring && !stamp >= 0 then begin
+        Stats.Histogram.record hist (ctx.T.now - !stamp);
+        observe (ctx.T.now - !stamp)
+      end;
       stamp := -1;
       st := `Reply;
       T.Compute work
@@ -104,6 +107,7 @@ let run (b : Setup.built) (p : params) =
   let affinity = if p.pin_one_core then Some [ 0 ] else None in
   let hist = Stats.Histogram.create () in
   let measuring = ref false in
+  let observe = Setup.request_observer b in
   let rng0 = Stats.Prng.create ~seed:p.seed in
   for i = 0 to p.messages - 1 do
     let rng = Stats.Prng.split rng0 in
@@ -118,7 +122,7 @@ let run (b : Setup.built) (p : params) =
             {
               (T.default_spec
                  ~name:(Printf.sprintf "worker-%d-%d" i j)
-                 (worker_beh ~ping ~reply ~work:p.worker_work ~stamp ~hist ~measuring))
+                 (worker_beh ~ping ~reply ~work:p.worker_work ~stamp ~hist ~measuring ~observe))
               with
               T.policy = b.policy;
               group = "worker";
@@ -140,7 +144,7 @@ let run (b : Setup.built) (p : params) =
          })
   done;
   M.at m ~delay:p.warmup (fun () ->
-      Kernsim.Metrics.reset (M.metrics m);
+      Kernsim.Accounting.reset (M.metrics m);
       measuring := true);
   M.run_for m (p.warmup + p.duration);
   {

@@ -9,30 +9,47 @@ type built = {
   cfs_policy : int;
   enoki : Enoki.Enoki_c.t option;
   agent_core : int option;
+  registry : Metrics.Registry.t option;
 }
 
-let build ?costs ?record ?tracer ?isolate ?call_budget ~topology kind =
+(* Tracer ring accounting surfaces in the registry as probes: reads at
+   sample/export time, nothing on the emit path. *)
+let register_tracer_probes reg tracer =
+  Metrics.Registry.gauge_probe reg ~help:"trace events accepted into rings" "trace_emitted_total"
+    (fun () -> float_of_int (Trace.Tracer.emitted tracer));
+  Metrics.Registry.gauge_probe reg ~help:"trace events dropped on ring overrun"
+    "trace_dropped_total" (fun () -> float_of_int (Trace.Tracer.dropped tracer));
+  Metrics.Registry.gauge_probe reg ~help:"trace events currently buffered" "trace_buffered"
+    (fun () -> float_of_int (Trace.Tracer.buffered tracer))
+
+let build ?costs ?record ?tracer ?registry ?profile ?isolate ?call_budget ~topology kind =
   Schedulers.Hints.register_codecs ();
   (* the lock tap is process-global: clear any tap a previous machine
      installed so its (now stale) tracer stops receiving events *)
   Enoki.Lock.set_trace_tap None;
+  (match (registry, tracer) with
+  | Some reg, Some tr -> register_tracer_probes reg tr
+  | _ -> ());
   match kind with
   | Cfs ->
     let machine =
-      Kernsim.Machine.create ?costs ?tracer ~topology ~classes:[ Kernsim.Cfs.factory () ] ()
+      Kernsim.Machine.create ?costs ?registry ?tracer ~topology
+        ~classes:[ Kernsim.Cfs.factory () ] ()
     in
-    { machine; policy = 0; cfs_policy = 0; enoki = None; agent_core = None }
+    { machine; policy = 0; cfs_policy = 0; enoki = None; agent_core = None; registry }
   | Enoki_sched m ->
-    let enoki = Enoki.Enoki_c.create ?record ?tracer ?isolate ?call_budget ~policy:0 m in
+    let enoki =
+      Enoki.Enoki_c.create ?record ?tracer ?registry ?profile ?isolate ?call_budget ~policy:0 m
+    in
     let machine =
-      Kernsim.Machine.create ?costs ?tracer ~topology
+      Kernsim.Machine.create ?costs ?registry ?tracer ~topology
         ~classes:[ Enoki.Enoki_c.factory enoki; Kernsim.Cfs.factory () ]
         ()
     in
-    { machine; policy = 0; cfs_policy = 1; enoki = Some enoki; agent_core = None }
+    { machine; policy = 0; cfs_policy = 1; enoki = Some enoki; agent_core = None; registry }
   | Ghost policy ->
     let machine =
-      Kernsim.Machine.create ?costs ?tracer ~topology
+      Kernsim.Machine.create ?costs ?registry ?tracer ~topology
         ~classes:[ Schedulers.Ghost_sim.factory policy; Kernsim.Cfs.factory () ]
         ()
     in
@@ -44,7 +61,21 @@ let build ?costs ?record ?tracer ?isolate ?call_budget ~topology kind =
       agent_core =
         Schedulers.Ghost_sim.agent_cpu policy
           ~nr_cpus:(Kernsim.Topology.nr_cpus topology);
+      registry;
     }
+
+(* Workload generators record end-to-end request/wakeup latencies through
+   this: a registry histogram when one is attached, a no-op otherwise, so
+   call sites stay unconditional. *)
+let request_observer b =
+  match b.registry with
+  | None -> fun _ -> ()
+  | Some reg ->
+    let h =
+      Metrics.Registry.histogram reg ~help:"workload request/wakeup latency (ns)"
+        "workload_request_latency_ns"
+    in
+    fun v -> Metrics.Registry.observe h v
 
 let label = function
   | Cfs -> "cfs"

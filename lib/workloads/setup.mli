@@ -19,21 +19,35 @@ type built = {
       (** core occupied by a spinning userspace scheduling agent (ghOSt
           global policies); workloads spawn the spinner so the core is
           really consumed *)
+  registry : Metrics.Registry.t option;
+      (** the metrics registry handed to [build], so workloads can record
+          request latencies into it *)
 }
 
 (** [tracer] attaches a schedtrace sink to both the machine and (for
     [Enoki_sched]) the Enoki-C layer; building a machine always resets the
     process-global lock trace tap first, so at most one machine traces lock
-    events at a time. *)
+    events at a time.  [registry] threads a metrics registry through the
+    machine and the Enoki-C boundary (and, when a tracer is also given,
+    registers ring drop/emit probes); [profile] arms the Enoki-C
+    self-profiler. *)
 val build :
   ?costs:Kernsim.Costs.t ->
   ?record:Enoki.Record.t ->
   ?tracer:Trace.Tracer.t ->
+  ?registry:Metrics.Registry.t ->
+  ?profile:Profile.t ->
   ?isolate:bool ->
   ?call_budget:Kernsim.Time.ns ->
   topology:Kernsim.Topology.t ->
   kind ->
   built
+
+(** An observation function for workload request latencies: records into
+    the built machine's registry histogram
+    ([workload_request_latency_ns]) when a registry is attached, and is a
+    no-op otherwise. *)
+val request_observer : built -> int -> unit
 
 (** Short label for tables ("cfs", "enoki:wfq", "ghost-sol", ...). *)
 val label : kind -> string

@@ -38,7 +38,7 @@ let cores_touched (b : Workloads.Setup.built) ~group =
   let mets = M.metrics b.machine in
   List.length
     (List.filter
-       (fun c -> Kernsim.Metrics.busy_of_cpu mets c > Kernsim.Time.us 50)
+       (fun c -> Kernsim.Accounting.busy_of_cpu mets c > Kernsim.Time.us 50)
        (List.init 8 Fun.id))
 
 (* ---------- Nest ---------- *)

@@ -211,14 +211,14 @@ let test_wakeup_latency_recorded () =
   let m = make_machine () in
   ignore (M.spawn m (T.default_spec ~name:"s" (one_shot (Kernsim.Time.us 100))));
   M.run_for m (Kernsim.Time.ms 2);
-  let h = Kernsim.Metrics.wakeup_latency (M.metrics m) in
+  let h = Kernsim.Accounting.wakeup_latency (M.metrics m) in
   check Alcotest.bool "samples exist" true (Stats.Histogram.count h >= 1)
 
 let test_busy_accounting () =
   let m = make_machine () in
   ignore (M.spawn m (T.default_spec ~name:"x" (one_shot (Kernsim.Time.ms 2)))) ;
   M.run_for m (Kernsim.Time.ms 10);
-  let busy = Kernsim.Metrics.total_busy (M.metrics m) in
+  let busy = Kernsim.Accounting.total_busy (M.metrics m) in
   check Alcotest.bool "~2ms busy" true (busy >= Kernsim.Time.ms 2 && busy < Kernsim.Time.ms 3)
 
 let test_set_nice_applies () =

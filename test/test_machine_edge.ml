@@ -40,7 +40,7 @@ let wakeup_p50_with_sleep sleep =
   in
   ignore (M.spawn m (T.default_spec ~name:"sleeper" beh));
   M.run_for m (Kernsim.Time.sec 1);
-  Stats.Histogram.percentile (Kernsim.Metrics.wakeup_latency (M.metrics m)) 50.0
+  Stats.Histogram.percentile (Kernsim.Accounting.wakeup_latency (M.metrics m)) 50.0
 
 let test_deep_idle_costs_more () =
   (* short sleeps keep the core shallow; long sleeps hit the deep state *)
@@ -70,7 +70,7 @@ let test_costs_are_configurable () =
   in
   ignore (M.spawn m (T.default_spec ~name:"s" beh));
   M.run_for m (Kernsim.Time.sec 1);
-  let p50 = Stats.Histogram.percentile (Kernsim.Metrics.wakeup_latency (M.metrics m)) 50.0 in
+  let p50 = Stats.Histogram.percentile (Kernsim.Accounting.wakeup_latency (M.metrics m)) 50.0 in
   check Alcotest.bool "flattened idle exit flattens wakeups" true (p50 < Kernsim.Time.us 5)
 
 (* ---------- custom per-cpu timers through the Enoki ctx ---------- *)
@@ -235,12 +235,12 @@ let test_metrics_reset_clears_window () =
   ignore (M.spawn m (T.default_spec ~name:"a" (one_shot (Kernsim.Time.ms 1))));
   M.run_for m (Kernsim.Time.ms 5);
   let mets = M.metrics m in
-  check Alcotest.bool "activity recorded" true (Kernsim.Metrics.schedules mets > 0);
-  Kernsim.Metrics.reset mets;
-  check Alcotest.int "schedules cleared" 0 (Kernsim.Metrics.schedules mets);
-  check Alcotest.int "busy cleared" 0 (Kernsim.Metrics.total_busy mets);
+  check Alcotest.bool "activity recorded" true (Kernsim.Accounting.schedules mets > 0);
+  Kernsim.Accounting.reset mets;
+  check Alcotest.int "schedules cleared" 0 (Kernsim.Accounting.schedules mets);
+  check Alcotest.int "busy cleared" 0 (Kernsim.Accounting.total_busy mets);
   check Alcotest.int "wakeup samples cleared" 0
-    (Stats.Histogram.count (Kernsim.Metrics.wakeup_latency mets))
+    (Stats.Histogram.count (Kernsim.Accounting.wakeup_latency mets))
 
 let test_busy_by_group_partitions () =
   let m = machine () in
@@ -252,11 +252,11 @@ let test_busy_by_group_partitions () =
   ignore (spawn "b" "beta");
   M.run_for m (Kernsim.Time.ms 10);
   let mets = M.metrics m in
-  let alpha = Kernsim.Metrics.busy_of_group mets "alpha" in
-  let beta = Kernsim.Metrics.busy_of_group mets "beta" in
+  let alpha = Kernsim.Accounting.busy_of_group mets "alpha" in
+  let beta = Kernsim.Accounting.busy_of_group mets "beta" in
   check Alcotest.bool "both groups measured" true
     (alpha >= Kernsim.Time.ms 2 && beta >= Kernsim.Time.ms 2);
-  check Alcotest.int "groups sum to total" (Kernsim.Metrics.total_busy mets) (alpha + beta)
+  check Alcotest.int "groups sum to total" (Kernsim.Accounting.total_busy mets) (alpha + beta)
 
 (* ---------- blocked-state policy switch ---------- *)
 
