@@ -23,8 +23,6 @@ let two_socket = Kernsim.Topology.two_socket
    machine the experiments build; traces are exported and the sanitizer
    verdicts reported after the experiments finish. *)
 
-let trace_path : string option ref = ref None
-
 let trace_format = ref Trace.Export.Chrome
 
 let sanitize = ref false
@@ -46,7 +44,58 @@ let rocksdb_params ~load_kreqs ~with_batch =
 let memcached_params ~mode ~load_kreqs =
   Workloads.Memcached.default_params ?seed:!seed ~mode ~load_kreqs ()
 
+(* ---------- -j N: the domain pool ----------
+
+   Bench cells are independent simulations — each builds its own machine,
+   registry and tracer, and the Lock shim's mode/tap/id state is
+   domain-local — so the matrix experiments (perf, speed, sanity, chaos)
+   compute their rows with a small pool of domains and print them in input
+   order afterwards.  Tables are byte-identical to a sequential run (the
+   simulations are deterministic); only wall clock changes.  Trace export
+   (--trace=) names files by registration order, so tracing forces the
+   pool down to one domain. *)
+
+let jobs = ref 1
+
+let trace_path : string option ref = ref None
+
+let effective_jobs () = if !trace_path <> None then 1 else max 1 !jobs
+
+(* bytes allocated inside worker domains, for the per-experiment footer
+   (Gc.allocated_bytes is domain-local) *)
+let cells_allocated = Atomic.make 0
+
+let parallel_map (xs : 'a list) ~(f : 'a -> 'b) : 'b list =
+  let n = List.length xs in
+  let j = min (effective_jobs ()) n in
+  if j <= 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let a0 = Gc.allocated_bytes () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (f inputs.(i));
+          loop ()
+        end
+      in
+      loop ();
+      ignore
+        (Atomic.fetch_and_add cells_allocated (int_of_float (Gc.allocated_bytes () -. a0)))
+    in
+    let doms = List.init (j - 1) (fun _ -> Domain.spawn worker) in
+    Fun.protect worker ~finally:(fun () -> List.iter Domain.join doms);
+    Array.to_list (Array.map Option.get out)
+  end
+
 let traced : (string * Trace.Tracer.t * Trace.Sanitizer.t option) list ref = ref []
+
+let traced_mutex = Mutex.create ()
+
+let add_traced entry = Mutex.protect traced_mutex (fun () -> traced := entry :: !traced)
 
 let build ?costs ?record ~topology kind =
   if !trace_path = None && not !sanitize then
@@ -62,7 +111,7 @@ let build ?costs ?record ~topology kind =
       end
       else None
     in
-    traced := (Workloads.Setup.label kind, tracer, sanitizer) :: !traced;
+    add_traced (Workloads.Setup.label kind, tracer, sanitizer);
     Workloads.Setup.build ?costs ?record ~tracer ~topology kind
   end
 
@@ -726,9 +775,8 @@ let sanity () =
       (Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku, pipe, all);
     ]
   in
-  let rows =
-    List.map
-      (fun (kind, workload, config) ->
+  let cells =
+    parallel_map kinds ~f:(fun (kind, workload, config) ->
         let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
         let tracer = Trace.Tracer.create ~nr_cpus () in
         let s = Trace.Sanitizer.create ~config ~nr_cpus () in
@@ -736,22 +784,26 @@ let sanity () =
         (* register for --trace= export; sanitizer stays local so the row
            verdict below is the single report *)
         if !trace_path <> None then
-          traced := (Workloads.Setup.label kind, tracer, None) :: !traced;
+          add_traced (Workloads.Setup.label kind, tracer, None);
         let b = Workloads.Setup.build ~tracer ~topology:one_socket kind in
         workload b;
         let verdict =
           if Trace.Sanitizer.ok s then "clean"
           else Printf.sprintf "%d VIOLATIONS" (List.length (Trace.Sanitizer.violations s))
         in
-        if not (Trace.Sanitizer.ok s) then print_endline (Trace.Sanitizer.report_string s);
-        [
-          Workloads.Setup.label kind;
-          string_of_int (Trace.Sanitizer.events_seen s);
-          string_of_int (Trace.Tracer.dropped tracer);
-          verdict;
-        ])
-      kinds
+        let report =
+          if Trace.Sanitizer.ok s then None else Some (Trace.Sanitizer.report_string s)
+        in
+        ( [
+            Workloads.Setup.label kind;
+            string_of_int (Trace.Sanitizer.events_seen s);
+            string_of_int (Trace.Tracer.dropped tracer);
+            verdict;
+          ],
+          report ))
   in
+  List.iter (fun (_, report) -> Option.iter print_endline report) cells;
+  let rows = List.map fst cells in
   Report.table ~header:[ "scheduler"; "events checked"; "ring drops"; "verdict" ] rows;
   Report.note "invariants: no double-run, no starvation, work conservation,";
   Report.note "Schedulable token discipline, lock acquire/release pairing."
@@ -800,7 +852,7 @@ let chaos () =
     let s = Trace.Sanitizer.create ~config ~nr_cpus () in
     Trace.Sanitizer.attach s tracer;
     if !trace_path <> None then
-      traced := (Printf.sprintf "chaos-%s-%s" name plan_name, tracer, None) :: !traced;
+      add_traced (Printf.sprintf "chaos-%s-%s" name plan_name, tracer, None);
     let plan =
       match Fault.Plan.parse spec with Ok p -> p | Error m -> failwith ("chaos: " ^ m)
     in
@@ -868,21 +920,28 @@ let chaos () =
       (if completed then "yes" else "NO");
     ]
   in
-  let rows =
+  let cells =
     List.concat_map
       (fun (name, m, workload, config) ->
         List.map
           (fun (plan_name, spec, budget, watchdog) ->
-            run_one name m workload config ~plan_name ~spec ~budget ~watchdog)
+            `Inject (name, m, workload, config, plan_name, spec, budget, watchdog))
           plans)
       mods
-    @ List.map control
+    @ List.map
+        (fun c -> `Control c)
         [
           ("cfs", Workloads.Setup.Cfs);
           ("ghost-sol", Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol);
           ("ghost-fifo", Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu);
           ("ghost-shinjuku", Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku);
         ]
+  in
+  let rows =
+    parallel_map cells ~f:(function
+      | `Inject (name, m, workload, config, plan_name, spec, budget, watchdog) ->
+        run_one name m workload config ~plan_name ~spec ~budget ~watchdog
+      | `Control c -> control c)
   in
   Report.table
     ~header:
@@ -1020,8 +1079,7 @@ let perf_suite () = if !quick then "quick" else "perf"
 
 let perf_collect () =
   let messages = if !quick then 2_000 else 20_000 in
-  List.map
-    (fun (name, kind) ->
+  parallel_map perf_matrix ~f:(fun (name, kind) ->
       let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
       let reg = Metrics.Registry.create ~nr_cpus () in
       let prof = Profile.create () in
@@ -1052,7 +1110,6 @@ let perf_collect () =
         | None -> Stats.Histogram.create ()
       in
       { pr_name = name; pr_workload; pr_wakeup; pr_throughput; pr_callbacks = Profile.rows prof })
-    perf_matrix
 
 let perf_json results =
   let open Metrics.Json in
@@ -1200,6 +1257,288 @@ let regress () =
     if !regress_failed then print_endline "regress: FAIL (see verdicts above)"
     else print_endline "regress: ok"
 
+(* ---------- speed: simulator-throughput suite ----------
+
+   `speed` measures the simulator itself, not the schedulers: how many
+   simulated events the machine dispatches per host second, host ns per
+   event, and allocated bytes per event.  Two kinds of rows:
+
+   - machine rows: the full machine running pipe-bench per scheduler
+     (best-of-N wall clock; bytes and event counts are deterministic);
+   - core rows: the bare event loop at fixed queue depth, timer wheel vs
+     the reference heap.  The heap degrades with depth (O(log n) sift),
+     the wheel stays flat, so deep queues are where the wheel's >= 3x
+     shows up; at depth 1 the heap's tiny constant wins.
+
+   The snapshot goes to BENCH_speed.json; `speedgate` diffs a committed
+   baseline.  Wall-clock columns are recorded but never gated — the gate
+   holds only the deterministic columns (events, bytes/event) and the
+   wheel-vs-heap ratio (measured under identical conditions in the same
+   process). *)
+
+type speed_machine_row = {
+  sm_name : string;
+  sm_events : int;
+  sm_wall_s : float; (* best of N, recorded, never gated *)
+  sm_bytes_per_event : float; (* deterministic, gated *)
+}
+
+type speed_core_row = {
+  sc_depth : int;
+  sc_wheel_ns : float;
+  sc_heap_ns : float;
+  sc_wheel_bytes : float;
+  sc_heap_bytes : float;
+}
+
+let speed_matrix = List.filter (fun (n, _) -> n <> "arachne") perf_matrix
+
+let speed_machine_cell (name, kind) =
+  let messages = if !quick then 10_000 else 50_000 in
+  let runs = if !quick then 1 else 3 in
+  let best_wall = ref infinity and bytes = ref 0. and events = ref 0 in
+  for _ = 1 to runs do
+    let b = Workloads.Setup.build ~topology:one_socket kind in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Workloads.Pipe_bench.run b ~messages ());
+    let wall = Unix.gettimeofday () -. t0 in
+    (* bytes and events are identical across runs (the simulation is
+       deterministic); wall clock takes the best *)
+    bytes := Gc.allocated_bytes () -. a0;
+    events := M.events_dispatched b.Workloads.Setup.machine;
+    if wall < !best_wall then best_wall := wall
+  done;
+  {
+    sm_name = name;
+    sm_events = !events;
+    sm_wall_s = !best_wall;
+    sm_bytes_per_event = !bytes /. float_of_int (max 1 !events);
+  }
+
+(* Steady-state event loop at fixed queue depth: [depth] self-rescheduling
+   events, each firing re-arms itself one horizon ahead, so the queue
+   holds exactly [depth] events throughout. *)
+let speed_core_cycle backend ~depth ~cycles =
+  let sim = Kernsim.Sim.create ~backend () in
+  let remaining = ref cycles in
+  let rec fire () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Kernsim.Sim.after sim ~delay:(depth * 100) fire
+    end
+  in
+  for i = 1 to depth do
+    Kernsim.Sim.at sim ~time:(i * 100) fire
+  done;
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  Kernsim.Sim.run sim;
+  let wall = Unix.gettimeofday () -. t0 in
+  let bytes = Gc.allocated_bytes () -. a0 in
+  let n = float_of_int (Kernsim.Sim.dispatched sim) in
+  (wall *. 1e9 /. n, bytes /. n)
+
+let speed_core_depths = [ 1; 64; 512; 4096; 32768 ]
+
+let speed_core_cell depth =
+  let cycles = if !quick then 200_000 else 1_000_000 in
+  (* alternate and take the best of 3 interleaved pairs, so transient host
+     noise hits both backends alike *)
+  let best = ref (infinity, 0., infinity, 0.) in
+  for _ = 1 to (if !quick then 1 else 3) do
+    let w_ns, w_b = speed_core_cycle `Wheel ~depth ~cycles in
+    let h_ns, h_b = speed_core_cycle `Heap ~depth ~cycles in
+    let bw, _, bh, _ = !best in
+    best := (min bw w_ns, w_b, min bh h_ns, h_b)
+  done;
+  let w_ns, w_b, h_ns, h_b = !best in
+  { sc_depth = depth; sc_wheel_ns = w_ns; sc_heap_ns = h_ns; sc_wheel_bytes = w_b; sc_heap_bytes = h_b }
+
+let speed_collect () =
+  let machine = parallel_map speed_matrix ~f:speed_machine_cell in
+  (* core rows run sequentially: they are pure wall-clock measurements and
+     competing domains would perturb them *)
+  let core = List.map speed_core_cell speed_core_depths in
+  (machine, core)
+
+let speed_suite () = if !quick then "speed-quick" else "speed"
+
+let speed_json (machine, core) =
+  let open Metrics.Json in
+  let core_speedup_max =
+    List.fold_left (fun acc r -> Float.max acc (r.sc_heap_ns /. r.sc_wheel_ns)) 0. core
+  in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("suite", String (speed_suite ()));
+      ("git_rev", String (git_rev ()));
+      ( "machine",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("scheduler", String r.sm_name);
+                   ("events", Int r.sm_events);
+                   ("wall_s", Float r.sm_wall_s);
+                   ("ns_per_event", Float (r.sm_wall_s *. 1e9 /. float_of_int (max 1 r.sm_events)));
+                   ("events_per_s", Float (float_of_int r.sm_events /. r.sm_wall_s));
+                   ("bytes_per_event", Float r.sm_bytes_per_event);
+                 ])
+             machine) );
+      ( "core",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("depth", Int r.sc_depth);
+                   ("wheel_ns_per_event", Float r.sc_wheel_ns);
+                   ("heap_ns_per_event", Float r.sc_heap_ns);
+                   ("wheel_bytes_per_event", Float r.sc_wheel_bytes);
+                   ("heap_bytes_per_event", Float r.sc_heap_bytes);
+                   ("speedup", Float (r.sc_heap_ns /. r.sc_wheel_ns));
+                 ])
+             core) );
+      ("core_speedup_max", Float core_speedup_max);
+    ]
+
+let speed_table (machine, core) =
+  Report.note "machine rows: full machine + scheduler running pipe-bench;";
+  Report.note "wall/ns columns are host measurements (never gated), events and";
+  Report.note "bytes/event are deterministic.";
+  Report.table
+    ~header:[ "scheduler"; "events"; "wall (s)"; "ns/event"; "events/s"; "B/event" ]
+    (List.map
+       (fun r ->
+         [
+           r.sm_name;
+           string_of_int r.sm_events;
+           Printf.sprintf "%.3f" r.sm_wall_s;
+           Printf.sprintf "%.0f" (r.sm_wall_s *. 1e9 /. float_of_int (max 1 r.sm_events));
+           Printf.sprintf "%.0f" (float_of_int r.sm_events /. r.sm_wall_s);
+           Printf.sprintf "%.1f" r.sm_bytes_per_event;
+         ])
+       machine);
+  Report.note "";
+  Report.note "core rows: bare event loop at steady queue depth, wheel vs heap:";
+  Report.table
+    ~header:[ "queue depth"; "wheel ns/ev"; "heap ns/ev"; "speedup"; "wheel B/ev"; "heap B/ev" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.sc_depth;
+           Printf.sprintf "%.0f" r.sc_wheel_ns;
+           Printf.sprintf "%.0f" r.sc_heap_ns;
+           Printf.sprintf "%.2fx" (r.sc_heap_ns /. r.sc_wheel_ns);
+           Printf.sprintf "%.1f" r.sc_wheel_bytes;
+           Printf.sprintf "%.1f" r.sc_heap_bytes;
+         ])
+       core);
+  Report.note "expected shape: heap ns/ev grows with depth (log n sift), wheel stays";
+  Report.note "flat; the crossover sits near depth 64 and deep queues reach >= 3x."
+
+let speed () =
+  Report.section (Printf.sprintf "Speed suite (%s): simulator throughput" (speed_suite ()));
+  let results = speed_collect () in
+  speed_table results;
+  let path = Option.value !bench_out ~default:(Printf.sprintf "BENCH_%s.json" (speed_suite ())) in
+  Metrics.Json.save ~path (speed_json results);
+  Printf.printf "wrote %s (git %s)\n" path (git_rev ())
+
+(* The speed gate: diff against a committed BENCH_speed baseline.  Gated
+   columns only — machine [events] (exact-ish: drift > 1%% means the event
+   stream changed) and [bytes_per_event] (allocation regressions), plus
+   the deep-queue wheel-vs-heap speedup floor.  Wall-derived columns are
+   reported, never gated. *)
+let default_bytes_tolerance = 20.0
+
+let speedgate () =
+  Report.section (Printf.sprintf "Speed gate (%s suite)" (speed_suite ()));
+  let path =
+    Option.value !baseline_path
+      ~default:(Printf.sprintf "bench/baselines/BENCH_%s.json" (speed_suite ()))
+  in
+  match Metrics.Json.parse_file ~path with
+  | Error msg ->
+    Printf.eprintf "speedgate: cannot read baseline %s: %s\n" path msg;
+    regress_failed := true
+  | Ok base ->
+    let tol_bytes = Option.value !tolerance ~default:default_bytes_tolerance in
+    let machine, core = speed_collect () in
+    let base_machine =
+      Option.value ~default:[]
+        Option.(bind (Metrics.Json.member "machine" base) Metrics.Json.to_list)
+    in
+    let find_base name =
+      List.find_opt
+        (fun j ->
+          Option.(bind (Metrics.Json.member "scheduler" j) Metrics.Json.to_str) = Some name)
+        base_machine
+    in
+    let rows =
+      List.map
+        (fun r ->
+          match find_base r.sm_name with
+          | None -> [ r.sm_name; "-"; "-"; "-"; "-"; "new (no baseline)" ]
+          | Some bj ->
+            let get k = Option.bind (Metrics.Json.member k bj) Metrics.Json.to_float in
+            let verdicts = ref [] in
+            (match get "events" with
+            | Some be when be > 0. ->
+              let drift =
+                100. *. Float.abs ((float_of_int r.sm_events /. be) -. 1.)
+              in
+              if drift > 1. then
+                verdicts := Printf.sprintf "events drifted %.1f%%" drift :: !verdicts
+            | _ -> ());
+            (match get "bytes_per_event" with
+            | Some bb when bb > 0. && r.sm_bytes_per_event > bb *. (1. +. (tol_bytes /. 100.)) ->
+              verdicts :=
+                Printf.sprintf "bytes/event +%.1f%%" (100. *. ((r.sm_bytes_per_event /. bb) -. 1.))
+                :: !verdicts
+            | _ -> ());
+            if !verdicts <> [] then regress_failed := true;
+            [
+              r.sm_name;
+              (match get "events" with Some b -> Printf.sprintf "%.0f" b | None -> "-");
+              string_of_int r.sm_events;
+              (match get "bytes_per_event" with Some b -> Printf.sprintf "%.1f" b | None -> "-");
+              Printf.sprintf "%.1f" r.sm_bytes_per_event;
+              (if !verdicts = [] then "ok" else "REGRESSED: " ^ String.concat ", " !verdicts);
+            ])
+        machine
+    in
+    Report.table
+      ~header:[ "scheduler"; "base events"; "now"; "base B/ev"; "now"; "verdict" ]
+      rows;
+    (* deep-queue speedup floor: the wheel must keep beating the heap where
+       it matters.  The best ratio across the deep rows (depth >= 512) and
+       generous slack absorb host noise; a real backend regression (the
+       wheel degrading to heap-like behaviour) trips it. *)
+    let now_ratio =
+      List.fold_left
+        (fun acc r ->
+          if r.sc_depth >= 512 then Float.max acc (r.sc_heap_ns /. r.sc_wheel_ns) else acc)
+        0. core
+    in
+    let base_floor =
+      Option.value ~default:3.0
+        Option.(bind (Metrics.Json.member "core_speedup_max" base) Metrics.Json.to_float)
+    in
+    let floor = Float.max 2.0 (base_floor *. 0.5) in
+    if now_ratio < floor then begin
+      regress_failed := true;
+      Printf.printf "deep-queue core speedup: %.2fx < floor %.2fx REGRESSED\n" now_ratio floor
+    end
+    else Printf.printf "deep-queue core speedup: %.2fx (floor %.2fx) ok\n" now_ratio floor;
+    Report.note (Printf.sprintf "baseline %s; bytes tolerance %.0f%%; wall columns never gated"
+                   path tol_bytes);
+    if !regress_failed then print_endline "speedgate: FAIL (see verdicts above)"
+    else print_endline "speedgate: ok"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -1221,6 +1560,8 @@ let experiments =
     ("chaos", chaos);
     ("perf", perf);
     ("regress", regress);
+    ("speed", speed);
+    ("speedgate", speedgate);
   ]
 
 let () =
@@ -1228,9 +1569,15 @@ let () =
     String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
   in
   let cut ~prefix s = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+  (* a bare -j defaults to the host's domain count, but may be refined by a
+     following integer argument ("-j 4"), matching make/dune convention *)
+  let jobs_pending = ref false in
+  let unknown_name = ref false in
   let names =
     List.filter
       (fun arg ->
+        let was_jobs_arg = !jobs_pending in
+        jobs_pending := false;
         if arg = "--sanitize" then begin
           sanitize := true;
           false
@@ -1255,6 +1602,30 @@ let () =
           quick := true;
           false
         end
+        else if arg = "-j" then begin
+          (* bare -j: size the pool to the host *)
+          jobs := Domain.recommended_domain_count ();
+          jobs_pending := true;
+          false
+        end
+        else if was_jobs_arg && int_of_string_opt arg <> None then begin
+          (match int_of_string_opt arg with
+          | Some n when n >= 1 -> jobs := n
+          | _ -> Printf.eprintf "bad job count in -j %s\n" arg);
+          false
+        end
+        else if has_prefix ~prefix:"--jobs=" arg then begin
+          (match int_of_string_opt (cut ~prefix:"--jobs=" arg) with
+          | Some n when n >= 1 -> jobs := n
+          | _ -> Printf.eprintf "bad job count in %s\n" arg);
+          false
+        end
+        else if has_prefix ~prefix:"-j" arg then begin
+          (match int_of_string_opt (cut ~prefix:"-j" arg) with
+          | Some n when n >= 1 -> jobs := n
+          | _ -> Printf.eprintf "bad job count in %s (try -jN or --jobs=N)\n" arg);
+          false
+        end
         else if has_prefix ~prefix:"--bench-out=" arg then begin
           bench_out := Some (cut ~prefix:"--bench-out=" arg);
           false
@@ -1275,25 +1646,44 @@ let () =
   (* perf and regress are explicit gating targets, not part of "run
      everything" (regress needs a committed baseline to diff against) *)
   let default_set =
-    List.filter (fun n -> n <> "perf" && n <> "regress") (List.map fst experiments)
+    List.filter
+      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate" ]))
+      (List.map fst experiments)
   in
   let requested = match names with [] -> default_set | ns -> ns in
   Printf.printf "workload seed: %s\n"
     (match !seed with
     | Some n -> string_of_int n
     | None -> "per-workload defaults (schbench 42, rocksdb 7, memcached 11)");
+  if !jobs > 1 then
+    Printf.printf "job pool: %d domains%s\n" (effective_jobs ())
+      (if effective_jobs () = 1 then " requested, forced sequential by --trace=" else "");
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
         let t = Unix.gettimeofday () in
+        let a0 = Gc.allocated_bytes () and c0 = Atomic.get cells_allocated in
+        let g0 = Gc.quick_stat () in
         f ();
-        Printf.printf "  [%s took %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+        (* allocation aggregated across the main domain and the pool *)
+        let mb =
+          (Gc.allocated_bytes () -. a0 +. float_of_int (Atomic.get cells_allocated - c0))
+          /. 1e6
+        in
+        let g1 = Gc.quick_stat () in
+        Printf.printf "  [%s took %.1fs, %.0f MB allocated, %d minor / %d major gcs]\n%!" name
+          (Unix.gettimeofday () -. t)
+          mb
+          (g1.Gc.minor_collections - g0.Gc.minor_collections)
+          (g1.Gc.major_collections - g0.Gc.major_collections)
       | None ->
+        unknown_name := true;
         Printf.eprintf "unknown experiment %s; available: %s\n" name
           (String.concat " " (List.map fst experiments)))
     requested;
   finish_tracing ();
   Printf.printf "\nall requested experiments done in %.1fs\n" (Unix.gettimeofday () -. t0);
+  if !unknown_name then exit 2;
   if !regress_failed then exit 4

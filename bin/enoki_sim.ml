@@ -77,6 +77,16 @@ let topology_of_cores = function
   | 8 -> Kernsim.Topology.one_socket
   | n -> Kernsim.Topology.create ~cores:n ~cores_per_llc:n ~cores_per_node:n
 
+let core_arg =
+  Arg.(
+    value
+    & opt (enum [ ("wheel", `Wheel); ("heap", `Heap) ]) `Wheel
+    & info [ "core" ] ~docv:"BACKEND"
+        ~doc:
+          "Event-queue backend for the simulator core: $(b,wheel) (hierarchical timing \
+           wheel, the default) or $(b,heap) (the reference binary heap).  Both dispatch \
+           the identical event stream; only speed differs.")
+
 let trace_arg =
   Arg.(
     value
@@ -217,8 +227,8 @@ let run_workload (b : Workloads.Setup.built) workload ~load ~seed =
       r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
 
 let run_cmd =
-  let run sched workload load cores trace_path trace_format sanitize seed fault_plan fault_seed
-      call_budget watchdog metrics_out metrics_interval profile =
+  let run sched workload load cores sim_backend trace_path trace_format sanitize seed fault_plan
+      fault_seed call_budget watchdog metrics_out metrics_interval profile =
     let topology = topology_of_cores cores in
     let registry =
       if metrics_out <> None then
@@ -259,7 +269,10 @@ let run_cmd =
         exit 2
       | None, _ -> kind_of_sched sched
     in
-    let b = Workloads.Setup.build ?tracer ?registry ?profile:prof ?call_budget ~topology kind in
+    let b =
+      Workloads.Setup.build ?tracer ?registry ?profile:prof ?call_budget ~sim_backend ~topology
+        kind
+    in
     let sampler =
       Option.map
         (fun reg ->
@@ -371,7 +384,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a scheduler and print its metrics.")
     Term.(
-      const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ trace_arg
+      const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ core_arg $ trace_arg
       $ trace_format_arg $ sanitize_arg $ seed_arg $ fault_plan_arg $ fault_seed_arg
       $ call_budget_arg $ watchdog_arg $ metrics_out_arg $ metrics_interval_arg $ profile_arg)
 

@@ -19,7 +19,11 @@ type t = {
   policy : int;
   mutable packed : Sched_trait.packed option;
   mutable ops : Ops.kernel_ops option;
-  gens : (int, int) Hashtbl.t; (* pid -> latest Schedulable generation *)
+  (* pid -> latest Schedulable generation, dense (pids are small and
+     contiguous).  0 means "no outstanding capability"; minted generations
+     start at 1.  [ngens] counts live (non-zero) entries. *)
+  mutable gens : int array;
+  mutable ngens : int;
   hint_ring : (int * Kernsim.Task.hint) Ds.Ring_buffer.t;
   record : Record.t option;
   tracer : Trace.Tracer.t option;
@@ -73,7 +77,8 @@ let create ?(policy = 0) ?record ?tracer ?registry ?profile ?(hint_capacity = 10
     policy;
     packed = None;
     ops = None;
-    gens = Hashtbl.create 64;
+    gens = Array.make 64 0;
+    ngens = 0;
     hint_ring = Ds.Ring_buffer.create ~capacity:hint_capacity;
     record;
     tracer;
@@ -155,21 +160,43 @@ let previous t = match t.history with m :: _ -> Some m | [] -> None
 
 (* ---------- capabilities ---------- *)
 
+let ensure_gens t pid =
+  let n = Array.length t.gens in
+  if pid >= n then begin
+    let a = Array.make (max (n * 2) (pid + 1)) 0 in
+    Array.blit t.gens 0 a 0 n;
+    t.gens <- a
+  end
+
+(* Bump pid's generation; both minting and invalidation go through here
+   (a fresh pid starts at 1, exactly as the hash-table version did). *)
+let bump_gen t pid =
+  ensure_gens t pid;
+  let g = Array.unsafe_get t.gens pid in
+  if g = 0 then t.ngens <- t.ngens + 1;
+  Array.unsafe_set t.gens pid (g + 1);
+  g + 1
+
+let forget_gen t pid =
+  if pid < Array.length t.gens then begin
+    if Array.unsafe_get t.gens pid <> 0 then t.ngens <- t.ngens - 1;
+    Array.unsafe_set t.gens pid 0
+  end
+
 let mint t ~pid ~cpu =
-  let gen = (match Hashtbl.find_opt t.gens pid with Some g -> g | None -> 0) + 1 in
-  Hashtbl.replace t.gens pid gen;
+  let gen = bump_gen t pid in
   Schedulable.Private.create ~pid ~cpu ~gen
 
 (* Any kernel state transition supersedes outstanding tokens. *)
-let invalidate t ~pid =
-  match Hashtbl.find_opt t.gens pid with
-  | Some g -> Hashtbl.replace t.gens pid (g + 1)
-  | None -> Hashtbl.replace t.gens pid 1
+let invalidate t ~pid = ignore (bump_gen t pid)
 
 let token_valid t token ~cpu =
   Schedulable.is_live token
   && Schedulable.cpu token = cpu
-  && Hashtbl.find_opt t.gens (Schedulable.pid token) = Some (Schedulable.generation token)
+  &&
+  let pid = Schedulable.pid token in
+  pid < Array.length t.gens
+  && Array.unsafe_get t.gens pid = Schedulable.generation token
 
 (* ---------- dispatch ---------- *)
 
@@ -286,7 +313,7 @@ let task_preempt t (task : Kernsim.Task.t) ~cpu =
 
 let task_dead t (task : Kernsim.Task.t) ~cpu =
   invalidate t ~pid:task.pid;
-  Hashtbl.remove t.gens task.pid;
+  forget_gen t task.pid;
   unit_reply (dispatch t ~cpu (Task_dead { pid = task.pid }))
 
 let task_departed t (task : Kernsim.Task.t) ~cpu =
@@ -296,7 +323,7 @@ let task_departed t (task : Kernsim.Task.t) ~cpu =
     Option.iter Schedulable.Private.consume tok
   | r -> invalid_arg ("Enoki_c: bad task_departed reply " ^ Message.encode_reply r));
   invalidate t ~pid:task.pid;
-  Hashtbl.remove t.gens task.pid
+  forget_gen t task.pid
 
 let task_tick t ~cpu ~queued = unit_reply (dispatch t ~cpu (Task_tick { cpu; queued }))
 
@@ -605,7 +632,7 @@ let upgrade t (module New : Sched_trait.S) =
     (* acquire the per-scheduler lock in write mode: in the simulator all
        calls are instantaneous, so quiescing is immediate *)
     assert (t.readers = 0);
-    let tasks_carried = Hashtbl.length t.gens in
+    let tasks_carried = t.ngens in
     let was_quarantined = t.quarantined <> None in
     match
       (* prepare in the old version, init in the new one, swap the pointer.

@@ -16,23 +16,33 @@ type mode =
   | Record of { sink : event -> unit; tid : unit -> int }
   | Replay of { order : int -> int list; tid : unit -> int }
 
-let mode = ref Passthrough
+(* Mode, tap and the id counter are domain-local, not process-global:
+   the bench harness runs independent machines in parallel domains, and
+   each domain's machine must see only its own tap and id sequence. *)
+let mode_key = Domain.DLS.new_key (fun () -> Passthrough)
+
+let mode () = Domain.DLS.get mode_key
 
 (* Tracing tap, orthogonal to record/replay: fires in every mode so the
    sanitizer can check acquire/release pairing online. *)
-let trace_tap : (op -> lock_id:int -> unit) option ref = ref None
+let tap_key : (op -> lock_id:int -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_trace_tap f = trace_tap := f
+let set_trace_tap f = Domain.DLS.set tap_key f
 
-let tap op lock_id = match !trace_tap with None -> () | Some f -> f op ~lock_id
+let tap op lock_id =
+  match Domain.DLS.get tap_key with None -> () | Some f -> f op ~lock_id
 
-let next_id = ref 0
+let next_id_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_ids () = next_id := 0
+let next_id () = Domain.DLS.get next_id_key
+
+let reset_ids () = next_id () := 0
 
 let create ?(name = "lock") () =
-  let lock_id = !next_id in
-  incr next_id;
+  let ids = next_id () in
+  let lock_id = !ids in
+  incr ids;
   let t =
     {
       lock_id;
@@ -43,7 +53,7 @@ let create ?(name = "lock") () =
       expected_loaded = false;
     }
   in
-  (match !mode with
+  (match mode () with
   | Record { sink; tid } -> sink { lock_id; op = Create; tid = tid () }
   | Passthrough | Replay _ -> ());
   tap Create lock_id;
@@ -54,9 +64,9 @@ let id t = t.lock_id
 let name t = t.lock_name
 
 let with_lock t f =
-  match !mode with
+  match mode () with
   | Passthrough -> (
-    match !trace_tap with
+    match Domain.DLS.get tap_key with
     | None -> f ()
     | Some _ ->
       tap Acquire t.lock_id;
@@ -94,8 +104,8 @@ let with_lock t f =
     in
     Fun.protect f ~finally
 
-let set_record_mode ~sink ~tid = mode := Record { sink; tid }
+let set_record_mode ~sink ~tid = Domain.DLS.set mode_key (Record { sink; tid })
 
-let set_replay_mode ~order ~tid = mode := Replay { order; tid }
+let set_replay_mode ~order ~tid = Domain.DLS.set mode_key (Replay { order; tid })
 
-let set_passthrough_mode () = mode := Passthrough
+let set_passthrough_mode () = Domain.DLS.set mode_key Passthrough

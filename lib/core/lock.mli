@@ -11,8 +11,10 @@
     Scheduler modules must guard all shared state with these locks (as the
     paper's schedulers guard theirs with the kernel spinlock wrappers).
 
-    Modes are process-global: the simulator runs in [Passthrough] (or
-    [Record]); the replay harness switches to [Replay]. *)
+    Modes are domain-local: the simulator runs in [Passthrough] (or
+    [Record]); the replay harness switches to [Replay].  Each domain has
+    its own mode, trace tap, and lock-id sequence, so the bench harness
+    can run independent machines in parallel domains. *)
 
 type t
 

@@ -1,0 +1,304 @@
+(* Hierarchical timing wheel, Linux-style, specialised for a discrete-event
+   simulator: a strict priority queue over [(time, seq)] keys where [time]
+   only moves forward (the popper's clock is monotone) and ties are broken
+   FIFO by [seq].
+
+   Layout: 4 levels x 256 slots.  An event whose time differs from the
+   cursor first in byte [l] (little-endian byte of the int) lives at level
+   [l], slot [byte_l time].  Events differing in bits >= 32 go to an
+   overflow binary heap.  Invariants maintained by [place]:
+
+   - every stored time is >= cursor;
+   - wheel events agree with the cursor on bits >= 32 (so everything in
+     the overflow tier is strictly later than everything in the wheel);
+   - at level l >= 1, occupied digits are > byte_l cursor; at level 0 the
+     digits are >= byte_0 cursor, and all events sharing a level-0 slot
+     have exactly the same time.
+
+   Advancing works like Linux's cascade: when level 0 is empty, the lowest
+   occupied (level, digit) is opened, the cursor jumps to the start of that
+   range (lower bytes zeroed), and its list is re-placed one level down in
+   order.  When the whole wheel is empty the cursor jumps to the overflow
+   minimum and every overflow event now within the 2^32 horizon migrates in
+   heap order — which is exactly (time, seq) order, so FIFO stability
+   survives the tier change.
+
+   Slots are sentinel-headed intrusive doubly-linked lists; one-shot nodes
+   are recycled through a free list so steady-state [add]/[pop_exn] does
+   not allocate.  [make_timer]/[arm]/[cancel] give callers a reusable,
+   O(1)-cancellable cell for recurring timers. *)
+
+type 'a node = {
+  mutable time : int;
+  mutable seq : int;
+  mutable value : 'a;
+  mutable prev : 'a node;
+  mutable next : 'a node;
+  (* -3 sentinel, -2 detached, -1 overflow heap, >= 0 slot index *)
+  mutable where : int;
+  mutable heap_idx : int;
+  pooled : bool;
+}
+
+type 'a timer = 'a node
+
+type 'a t = {
+  dummy : 'a;
+  mutable cursor : int;
+  slots : 'a node array; (* 1024 sentinels, index = level*256 + digit *)
+  bitmap : int array; (* 4 levels x 8 words x 32 bits *)
+  overflow : 'a node Heap.t;
+  nil : 'a node;
+  mutable pool : 'a node; (* free list chained through [next]; [nil] = empty *)
+  mutable count : int;
+  occ : int array; (* per-level count of occupied slots *)
+  (* No occupied level-0 digit is < [l0from]: pops sweep it forward, so
+     the level-0 bitmap scan usually starts at the right word. *)
+  mutable l0from : int;
+}
+
+let levels = 4
+let horizon_bits = 32
+
+let cmp_node a b =
+  if a.time < b.time then -1
+  else if a.time > b.time then 1
+  else if a.seq < b.seq then -1
+  else if a.seq > b.seq then 1
+  else 0
+
+let make_sentinel dummy =
+  let rec s =
+    { time = 0; seq = 0; value = dummy; prev = s; next = s; where = -3;
+      heap_idx = -1; pooled = false }
+  in
+  s
+
+let create ~dummy () =
+  let nil = make_sentinel dummy in
+  { dummy;
+    cursor = 0;
+    slots = Array.init (levels * 256) (fun _ -> make_sentinel dummy);
+    bitmap = Array.make (levels * 8) 0;
+    overflow = Heap.create ~on_move:(fun n i -> n.heap_idx <- i) ~compare:cmp_node ();
+    nil;
+    pool = nil;
+    count = 0;
+    occ = Array.make levels 0;
+    l0from = 0 }
+
+let length t = t.count
+let is_empty t = t.count = 0
+
+(* Only called on empty<->nonempty slot transitions, so [occ] counts
+   occupied slots exactly. *)
+let set_bit t level digit =
+  let i = (level lsl 3) + (digit lsr 5) in
+  t.bitmap.(i) <- t.bitmap.(i) lor (1 lsl (digit land 31));
+  t.occ.(level) <- t.occ.(level) + 1
+
+let clear_bit t level digit =
+  let i = (level lsl 3) + (digit lsr 5) in
+  t.bitmap.(i) <- t.bitmap.(i) land lnot (1 lsl (digit land 31));
+  t.occ.(level) <- t.occ.(level) - 1
+
+(* Index of the lowest set bit of a non-zero 32-bit word, via the classic
+   De Bruijn multiply — branch- and allocation-free (this runs on every
+   bitmap scan of the pop hot path). *)
+let debruijn32 =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let ctz32 x = Array.unsafe_get debruijn32 ((((x land (-x)) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+(* Lowest occupied digit at [level], or -1.  [first_from] is toplevel on
+   purpose: a local recursive closure here would allocate on every bitmap
+   scan of the pop hot path. *)
+let rec first_from bitmap base w =
+  if w = 8 then -1
+  else
+    let word = Array.unsafe_get bitmap (base + w) in
+    if word <> 0 then (w lsl 5) + ctz32 word else first_from bitmap base (w + 1)
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
+
+let append sent n =
+  n.prev <- sent.prev;
+  n.next <- sent;
+  sent.prev.next <- n;
+  sent.prev <- n
+
+(* File [n] under its level/slot (or overflow) relative to the current
+   cursor.  Assumes n.time >= cursor. *)
+let place t n =
+  let x = n.time lxor t.cursor in
+  if x lsr horizon_bits <> 0 then begin
+    n.where <- -1;
+    Heap.add t.overflow n
+  end
+  else begin
+    let level =
+      if x >= 0x100_0000 then 3
+      else if x >= 0x1_0000 then 2
+      else if x >= 0x100 then 1
+      else 0
+    in
+    let digit = (n.time lsr (level lsl 3)) land 0xff in
+    let w = (level lsl 8) lor digit in
+    let sent = t.slots.(w) in
+    if sent.next == sent then set_bit t level digit;
+    if level = 0 && digit < t.l0from then t.l0from <- digit;
+    append sent n;
+    n.where <- w
+  end
+
+(* Lowest occupied (level >= 1, digit), encoded level*256+digit, or -1. *)
+let rec lowest_upper_from t l =
+  if l >= levels then -1
+  else if t.occ.(l) = 0 then lowest_upper_from t (l + 1)
+  else (l lsl 8) lor first_from t.bitmap (l lsl 3) 0
+
+let lowest_upper_slot t = lowest_upper_from t 1
+
+(* Cursor value that opening slot [w] commits to: higher bytes kept, the
+   slot's digit installed, lower bytes zeroed — the start of the slot's
+   time range, hence a lower bound on every event inside it. *)
+let cascade_target t w =
+  let level = w lsr 8 and digit = w land 0xff in
+  let keep = t.cursor land lnot ((1 lsl ((level + 1) lsl 3)) - 1) in
+  keep lor (digit lsl (level lsl 3))
+
+let rec drain_replace t sent =
+  let n = sent.next in
+  if n != sent then begin
+    unlink n;
+    place t n;
+    drain_replace t sent
+  end
+
+(* Open slot [w]: move the cursor to the start of its range and re-place
+   its events (order-preserving, so same-time events keep their FIFO
+   order). *)
+let cascade t w =
+  t.cursor <- cascade_target t w;
+  clear_bit t (w lsr 8) (w land 0xff);
+  drain_replace t t.slots.(w)
+
+let rec migrate_overflow t =
+  match Heap.peek t.overflow with
+  | Some n when (n.time lxor t.cursor) lsr horizon_bits = 0 ->
+      ignore (Heap.pop t.overflow);
+      place t n;
+      migrate_overflow t
+  | _ -> ()
+
+(* The wheel proper is empty: jump the cursor to the overflow minimum and
+   migrate everything now inside the horizon.  Heap pop order is (time,
+   seq) order, so migrated ties land in their slots FIFO-stable. *)
+let jump t m =
+  t.cursor <- m;
+  migrate_overflow t
+
+(* Advance the structure until the minimum event sits in a level-0 slot
+   (where all events share one exact time) and its time is <= [until];
+   returns that time, or [max_int] if the earliest event is later than
+   [until] (or the wheel is empty).
+
+   The gate matters for correctness, not just cost: the cursor never
+   advances past [until], so a caller who learns "nothing before [until]"
+   can still insert at any time >= [until] without being clamped forward.
+   Cursor moves (cascade targets, the overflow minimum, popped times) are
+   all lower bounds on the remaining events, so the cursor also never
+   overtakes a pending event. *)
+let rec next_before t ~until =
+  if t.occ.(0) > 0 then begin
+    (* fast path: level-0 events are globally earliest, and exact *)
+    let d0 = first_from t.bitmap 0 (t.l0from lsr 5) in
+    let tn = t.slots.(d0).next.time in
+    if tn > until then max_int else tn
+  end
+  else if t.count = 0 then max_int
+  else if t.count - Heap.length t.overflow = 0 then begin
+    let m = match Heap.peek t.overflow with Some n -> n.time | None -> assert false in
+    if m > until then max_int else (jump t m; next_before t ~until)
+  end
+  else begin
+    let w = lowest_upper_slot t in
+    if cascade_target t w > until then max_int
+    else (cascade t w; next_before t ~until)
+  end
+
+let next_time t = next_before t ~until:max_int
+
+let pop_exn t =
+  if t.occ.(0) = 0 && next_time t = max_int then
+    invalid_arg "Timer_wheel.pop_exn: empty";
+  let s = first_from t.bitmap 0 (t.l0from lsr 5) in
+  let sent = t.slots.(s) in
+  let n = sent.next in
+  unlink n;
+  if sent.next == sent then begin
+    clear_bit t 0 s;
+    t.l0from <- s + 1
+  end
+  else t.l0from <- s;
+  t.cursor <- n.time;
+  t.count <- t.count - 1;
+  n.where <- -2;
+  let v = n.value in
+  if n.pooled then begin
+    n.value <- t.dummy;
+    n.next <- t.pool;
+    t.pool <- n
+  end;
+  v
+
+let add t ~time ~seq v =
+  let time = if time < t.cursor then t.cursor else time in
+  let n =
+    if t.pool != t.nil then begin
+      let n = t.pool in
+      t.pool <- n.next;
+      n.time <- time;
+      n.seq <- seq;
+      n.value <- v;
+      n
+    end
+    else
+      { time; seq; value = v; prev = t.nil; next = t.nil; where = -2;
+        heap_idx = -1; pooled = true }
+  in
+  t.count <- t.count + 1;
+  place t n
+
+let make_timer t v =
+  { time = 0; seq = 0; value = v; prev = t.nil; next = t.nil; where = -2;
+    heap_idx = -1; pooled = false }
+
+let pending n = n.where <> -2
+
+let cancel t n =
+  if n.where = -1 then begin
+    ignore (Heap.remove_at t.overflow n.heap_idx);
+    n.where <- -2;
+    t.count <- t.count - 1
+  end
+  else if n.where >= 0 then begin
+    let w = n.where in
+    unlink n;
+    let sent = t.slots.(w) in
+    if sent.next == sent then clear_bit t (w lsr 8) (w land 0xff);
+    n.where <- -2;
+    t.count <- t.count - 1
+  end
+
+let arm t n ~time ~seq =
+  if pending n then cancel t n;
+  n.time <- (if time < t.cursor then t.cursor else time);
+  n.seq <- seq;
+  t.count <- t.count + 1;
+  place t n

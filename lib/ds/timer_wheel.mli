@@ -1,0 +1,65 @@
+(** Hierarchical timing wheel — a strict priority queue over [(time, seq)]
+    keys for monotone discrete-event simulation.
+
+    Semantically identical to a binary min-heap ordered by [(time, seq)]
+    (FIFO-stable for equal times), but O(1) amortised for the simulator's
+    hot operations: insert near the cursor, pop-min, and — the reason it
+    exists — {e cancellation}, which is O(1) instead of a tombstone
+    dispatch.
+
+    Layout is the classic Linux timer wheel: 4 levels of 256 slots (8 bits
+    per level, 2^32 horizon) with sentinel-headed intrusive lists, per-level
+    occupancy bitmaps, and an overflow binary heap for events beyond the
+    horizon.  One-shot nodes are pooled, so steady-state [add]/[pop_exn]
+    does not allocate.
+
+    The one contract the caller must respect: times passed to {!add} and
+    {!arm} must be >= the time of the last popped event (they are clamped
+    up to it otherwise).  The simulator guarantees this — events are only
+    scheduled at or after the current clock. *)
+
+type 'a t
+
+(** A caller-owned, reusable, cancellable cell (an intrusive list node).
+    Arming an already-pending timer first cancels the previous arm. *)
+type 'a timer
+
+(** [create ~dummy ()] makes an empty wheel.  [dummy] is a throwaway value
+    of the element type used to fill sentinels and recycled pool slots (so
+    popped payloads don't leak). *)
+val create : dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [add t ~time ~seq v] schedules one-shot [v].  [seq] must be unique and
+    increasing across all inserts (the simulator's global event sequence);
+    it breaks ties between equal times, FIFO. *)
+val add : 'a t -> time:int -> seq:int -> 'a -> unit
+
+(** Earliest pending [time], or [max_int] when empty. *)
+val next_time : 'a t -> int
+
+(** [next_before t ~until] is the earliest pending time if it is
+    [<= until], and [max_int] otherwise.  Unlike {!next_time} it never
+    advances the internal cursor past [until], so later inserts at any
+    time [>= until] keep their requested time — this is what a simulator's
+    bounded [run_until] must use. *)
+val next_before : 'a t -> until:int -> int
+
+(** Remove and return the payload of the earliest [(time, seq)] event.
+    Raises [Invalid_argument] when empty. *)
+val pop_exn : 'a t -> 'a
+
+(** [make_timer t v] allocates a detached reusable cell carrying [v].
+    Armed cells pop exactly like {!add}ed events. *)
+val make_timer : 'a t -> 'a -> 'a timer
+
+(** Arm (or re-arm) a timer cell.  O(1) amortised; never allocates. *)
+val arm : 'a t -> 'a timer -> time:int -> seq:int -> unit
+
+(** O(1) disarm; no-op when not pending. *)
+val cancel : 'a t -> 'a timer -> unit
+
+(** True while armed and not yet popped. *)
+val pending : 'a timer -> bool

@@ -21,25 +21,14 @@ let create ~nr_cpus =
     context_switches = 0;
   }
 
-let record_wakeup_latency t ~group lat =
-  Stats.Histogram.record t.wakeup lat;
-  let h =
-    match Hashtbl.find_opt t.wakeup_by_group group with
-    | Some h -> h
-    | None ->
-      let h = Stats.Histogram.create () in
-      Hashtbl.add t.wakeup_by_group group h;
-      h
-  in
-  Stats.Histogram.record h lat
+(* Resolved handles for one group: callers on hot paths (the machine's
+   per-segment accounting) resolve once and skip the string hash. [reset]
+   clears cell contents in place, so cached handles stay live across
+   metric-window resets. *)
+type cells = { c_busy : int ref; c_wake : Stats.Histogram.t }
 
-let wakeup_latency t = t.wakeup
-
-let wakeup_latency_of_group t group = Hashtbl.find_opt t.wakeup_by_group group
-
-let add_busy t ~cpu ~group ns =
-  t.busy_cpu.(cpu) <- t.busy_cpu.(cpu) + ns;
-  let r =
+let cells t ~group =
+  let c_busy =
     match Hashtbl.find_opt t.busy_group group with
     | Some r -> r
     | None ->
@@ -47,7 +36,32 @@ let add_busy t ~cpu ~group ns =
       Hashtbl.add t.busy_group group r;
       r
   in
+  let c_wake =
+    match Hashtbl.find_opt t.wakeup_by_group group with
+    | Some h -> h
+    | None ->
+      let h = Stats.Histogram.create () in
+      Hashtbl.add t.wakeup_by_group group h;
+      h
+  in
+  { c_busy; c_wake }
+
+let record_wakeup_fast t c lat =
+  Stats.Histogram.record t.wakeup lat;
+  Stats.Histogram.record c.c_wake lat
+
+let add_busy_fast t c ~cpu ns =
+  t.busy_cpu.(cpu) <- t.busy_cpu.(cpu) + ns;
+  let r = c.c_busy in
   r := !r + ns
+
+let record_wakeup_latency t ~group lat = record_wakeup_fast t (cells t ~group) lat
+
+let wakeup_latency t = t.wakeup
+
+let wakeup_latency_of_group t group = Hashtbl.find_opt t.wakeup_by_group group
+
+let add_busy t ~cpu ~group ns = add_busy_fast t (cells t ~group) ~cpu ns
 
 let busy_of_cpu t cpu = t.busy_cpu.(cpu)
 
@@ -74,9 +88,10 @@ let context_switches t = t.context_switches
 
 let reset t =
   Stats.Histogram.clear t.wakeup;
-  Hashtbl.reset t.wakeup_by_group;
+  (* clear in place, not [Hashtbl.reset]: cached {!cells} stay attached *)
+  Hashtbl.iter (fun _ h -> Stats.Histogram.clear h) t.wakeup_by_group;
   Array.fill t.busy_cpu 0 (Array.length t.busy_cpu) 0;
-  Hashtbl.reset t.busy_group;
+  Hashtbl.iter (fun _ r -> r := 0) t.busy_group;
   t.schedules <- 0;
   t.migrations <- 0;
   t.pick_violations <- 0;

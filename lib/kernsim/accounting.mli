@@ -12,6 +12,17 @@ val create : nr_cpus:int -> t
 
 val record_wakeup_latency : t -> group:string -> Time.ns -> unit
 
+(** Resolved per-group handles for hot paths: one string hash at
+    resolution, none per record.  Handles stay attached across {!reset}
+    (reset clears their contents in place). *)
+type cells
+
+val cells : t -> group:string -> cells
+
+val record_wakeup_fast : t -> cells -> Time.ns -> unit
+
+val add_busy_fast : t -> cells -> cpu:int -> Time.ns -> unit
+
 val wakeup_latency : t -> Stats.Histogram.t
 
 val wakeup_latency_of_group : t -> string -> Stats.Histogram.t option

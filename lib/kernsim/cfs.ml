@@ -64,13 +64,33 @@ type t = {
   ops : Sched_class.kernel_ops;
   params : params;
   rqs : cfs_rq array;
-  ents : (int, ent) Hashtbl.t;
-  tasks : (int, Task.t) Hashtbl.t; (* pid -> task_struct view *)
+  (* Dense pid-indexed views of the adopted tasks: machine pids are handed
+     out contiguously, so a bounds check plus an array load replaces the
+     hash of every entity lookup on the pick/tick/dequeue hot paths. *)
+  mutable ents : ent option array;
+  mutable tasks : Task.t option array; (* pid -> task_struct view *)
   mutable last_periodic_check : Time.ns;
 }
 
+let find_ent t pid =
+  if pid >= 0 && pid < Array.length t.ents then Array.unsafe_get t.ents pid else None
+
+let find_ctask t pid =
+  if pid >= 0 && pid < Array.length t.tasks then Array.unsafe_get t.tasks pid else None
+
+let ensure_cap t pid =
+  if pid >= Array.length t.ents then begin
+    let n = max (pid + 1) (2 * Array.length t.ents) in
+    let ents = Array.make n None in
+    Array.blit t.ents 0 ents 0 (Array.length t.ents);
+    t.ents <- ents;
+    let tasks = Array.make n None in
+    Array.blit t.tasks 0 tasks 0 (Array.length t.tasks);
+    t.tasks <- tasks
+  end
+
 let ent_of t (task : Task.t) =
-  match Hashtbl.find_opt t.ents task.pid with
+  match find_ent t task.pid with
   | Some e -> e
   | None ->
     let e =
@@ -84,14 +104,15 @@ let ent_of t (task : Task.t) =
         slice_start_exec = 0;
       }
     in
-    Hashtbl.replace t.ents task.pid e;
-    Hashtbl.replace t.tasks task.pid task;
+    ensure_cap t task.pid;
+    t.ents.(task.pid) <- Some e;
+    t.tasks.(task.pid) <- Some task;
     e
 
 let curr_weight t rq =
   match rq.curr with
   | None -> 0
-  | Some pid -> ( match Hashtbl.find_opt t.ents pid with Some e -> e.weight | None -> 0)
+  | Some pid -> ( match find_ent t pid with Some e -> e.weight | None -> 0)
 
 let nr_waiting rq = Rq_tree.cardinal rq.tree
 
@@ -108,12 +129,12 @@ let update_min_vruntime t rq =
     | Some ((v, _), ()) -> (
       match rq.curr with
       | Some pid -> (
-        match Hashtbl.find_opt t.ents pid with Some e -> min v e.vruntime | None -> v)
+        match find_ent t pid with Some e -> min v e.vruntime | None -> v)
       | None -> v)
     | None -> (
       match rq.curr with
       | Some pid -> (
-        match Hashtbl.find_opt t.ents pid with Some e -> e.vruntime | None -> rq.min_vruntime)
+        match find_ent t pid with Some e -> e.vruntime | None -> rq.min_vruntime)
       | None -> rq.min_vruntime)
   in
   if candidate > rq.min_vruntime then rq.min_vruntime <- candidate
@@ -167,8 +188,15 @@ let place_entity t rq (e : ent) ~newly_woken =
 
 let allowed (task : Task.t) cpu = Task.allowed_cpu task cpu
 
-let find_idle_in t (task : Task.t) cpus =
-  List.find_opt (fun c -> allowed task c && t.ops.cpu_is_idle c && t.rqs.(c).curr = None && nr_waiting t.rqs.(c) = 0) cpus
+let rec find_idle_in t (task : Task.t) cpus =
+  match cpus with
+  | [] -> None
+  | c :: tl ->
+    if
+      allowed task c && t.ops.cpu_is_idle c && t.rqs.(c).curr = None
+      && nr_waiting t.rqs.(c) = 0
+    then Some c
+    else find_idle_in t task tl
 
 (* weight-based, like find_idlest_cpu: a cpu running only nice-19 batch
    work is much less loaded than one stacked with high-priority tasks *)
@@ -212,7 +240,7 @@ let steal_candidate t ~from ~to_cpu =
   let found = ref None in
   Rq_tree.iter
     (fun (_, pid) () ->
-      match Hashtbl.find_opt t.tasks pid with
+      match find_ctask t pid with
       | Some task when allowed task to_cpu -> found := Some pid (* keep last = largest *)
       | Some _ | None -> ())
     rq.tree;
@@ -227,18 +255,20 @@ let pullable t c =
   let w = nr_waiting rq in
   if rq.curr <> None then w else if w >= 2 then w else 0
 
-let busiest_cpu t ~among ~excluding =
-  let best = ref None in
-  List.iter
-    (fun c ->
-      if c <> excluding then begin
-        let w = pullable t c in
-        match !best with
-        | Some (_, bw) when bw >= w -> ()
-        | _ -> if w > 0 then best := Some (c, w)
-      end)
-    among;
-  !best
+(* First maximum wins, matching the old fold; toplevel recursion so the
+   per-schedule balance scan allocates nothing but its final result. *)
+let rec busiest_from t ~excluding cs best_c best_w =
+  match cs with
+  | [] -> if best_w > 0 then Some (best_c, best_w) else None
+  | c :: tl ->
+    if c <> excluding then begin
+      let w = pullable t c in
+      if w > best_w then busiest_from t ~excluding tl c w
+      else busiest_from t ~excluding tl best_c best_w
+    end
+    else busiest_from t ~excluding tl best_c best_w
+
+let busiest_cpu t ~among ~excluding = busiest_from t ~excluding among (-1) 0
 
 let balance t ~cpu =
   let rq = t.rqs.(cpu) in
@@ -290,7 +320,7 @@ let task_wakeup t (task : Task.t) ~cpu ~waker_cpu =
   (* wakeup preemption *)
   match rq.curr with
   | Some curr_pid -> (
-    match Hashtbl.find_opt t.ents curr_pid with
+    match find_ent t curr_pid with
     | Some curr_e ->
       (* granularity scales with the woken entity's weight, as in
          wakeup_gran(): heavy (high-priority) wakers preempt sooner *)
@@ -307,17 +337,20 @@ let dequeue_running t (task : Task.t) ~cpu =
 
 let task_blocked t (task : Task.t) ~cpu = dequeue_running t task ~cpu
 
+let forget t pid =
+  t.ents.(pid) <- None;
+  t.tasks.(pid) <- None
+
 let task_dead t (task : Task.t) ~cpu =
   dequeue_running t task ~cpu;
-  Hashtbl.remove t.ents task.pid;
-  Hashtbl.remove t.tasks task.pid
+  forget t task.pid
 
 let task_departed t (task : Task.t) ~cpu =
-  if Hashtbl.mem t.ents task.pid then begin
+  match find_ent t task.pid with
+  | None -> ()
+  | Some _ ->
     (if Task.is_runnable task then dequeue_running t task ~cpu);
-    Hashtbl.remove t.ents task.pid;
-    Hashtbl.remove t.tasks task.pid
-  end
+    forget t task.pid
 
 let requeue_preempted t (task : Task.t) ~cpu =
   let rq = t.rqs.(cpu) in
@@ -338,12 +371,12 @@ let pick_next_task t ~cpu =
   match Rq_tree.min_binding_opt rq.tree with
   | None -> None
   | Some ((_, pid), ()) -> (
-    match Hashtbl.find_opt t.ents pid with
+    match find_ent t pid with
     | None -> None
     | Some e ->
       tree_remove rq e;
       rq.curr <- Some pid;
-      (match Hashtbl.find_opt t.tasks pid with
+      (match find_ctask t pid with
       | Some task ->
         e.last_sum_exec <- task.sum_exec;
         e.slice_start_exec <- task.sum_exec
@@ -355,7 +388,7 @@ let task_tick t ~cpu ~queued =
   let rq = t.rqs.(cpu) in
   (match rq.curr with
   | Some pid -> (
-    match (Hashtbl.find_opt t.tasks pid, Hashtbl.find_opt t.ents pid) with
+    match (find_ctask t pid, find_ent t pid) with
     | Some task, Some e ->
       update_curr t rq task;
       if nr_waiting rq > 0 then begin
@@ -403,9 +436,12 @@ let task_prio_changed t (task : Task.t) =
    runnable, non-running task must sit in exactly the tree of its run-queue
    under its current key. *)
 let check_consistency t ~hook =
-  Hashtbl.iter
+  let iter_tasks f =
+    Array.iteri (fun pid task -> match task with Some task -> f pid task | None -> ()) t.tasks
+  in
+  iter_tasks
     (fun pid (task : Task.t) ->
-      match Hashtbl.find_opt t.ents pid with
+      match find_ent t pid with
       | None -> ()
       | Some e ->
         let in_tree rq = Rq_tree.find_opt (e.vruntime, e.pid) rq.tree <> None in
@@ -423,12 +459,11 @@ let check_consistency t ~hook =
             failwith
               (Printf.sprintf "cfs[%s]: pid %d (v=%d) missing from tree on cpu %d" hook pid
                  e.vruntime e.rq_cpu)
-        end)
-    t.tasks;
+        end);
   (* a task the kernel is running must be this class's curr on its cpu *)
-  Hashtbl.iter
+  iter_tasks
     (fun pid (task : Task.t) ->
-      if task.state = Task.Running && Hashtbl.mem t.ents pid then
+      if task.state = Task.Running && find_ent t pid <> None then
         match t.rqs.(task.cpu).curr with
         | Some c when c = pid -> ()
         | other ->
@@ -436,7 +471,6 @@ let check_consistency t ~hook =
             (Printf.sprintf "cfs[%s]: pid %d running on cpu %d but rq.curr=%s" hook pid
                task.cpu
                (match other with Some c -> string_of_int c | None -> "none")))
-    t.tasks
 
 let factory ?(params = default_params) ?(debug_checks = false) () : Sched_class.factory =
  fun ops ->
@@ -447,8 +481,8 @@ let factory ?(params = default_params) ?(debug_checks = false) () : Sched_class.
       rqs =
         Array.init ops.nr_cpus (fun _ ->
             { tree = Rq_tree.empty; min_vruntime = 0; load_waiting = 0; curr = None });
-      ents = Hashtbl.create 64;
-      tasks = Hashtbl.create 64;
+      ents = Array.make 64 None;
+      tasks = Array.make 64 None;
       last_periodic_check = 0;
     }
   in

@@ -1,17 +1,29 @@
 type ns = Time.ns
 
+let nothing () = ()
+
 type core = {
   id : int;
   mutable curr : int option; (* pid currently dispatched *)
   mutable last_pid : int; (* previously dispatched pid, for switch cost *)
-  mutable seg_seq : int; (* invalidates stale run-end events *)
   mutable seg_run_start : ns; (* when the current task's compute started *)
   mutable seg_busy_from : ns; (* busy-time accounting start (incl. overhead) *)
   mutable pending_charge : ns; (* overhead to pay before the next dispatch *)
   mutable resched_queued : bool;
-  mutable timer_seq : int; (* invalidates stale custom timers *)
   mutable in_idle : bool; (* the core entered the idle loop *)
   mutable idle_since : ns;
+  (* Pre-bound per-core event cells: the run-end timer ends the current
+     task's compute segment and the custom timer carries a class's
+     [set_timer] request.  Both are reusable [Sim.timer]s, so descheduling
+     cancels in O(1) instead of leaving a tombstone event to dead-dispatch,
+     and re-arming allocates nothing. *)
+  mutable run_end : Sim.timer;
+  mutable custom_timer : Sim.timer;
+  (* the class slot whose [set_timer] armed [custom_timer] last *)
+  mutable timer_slot : Sched_class.t option ref;
+  (* one shared closure per core: resched events are never cancelled, so
+     they don't need a cell, just an allocation-free thunk *)
+  mutable resched_thunk : unit -> unit;
 }
 
 type chan = { mutable count : int; waiters : int Ds.Deque.t }
@@ -32,14 +44,21 @@ type t = {
   metrics : Accounting.t;
   obs : obs option;
   tracer : Trace.Tracer.t option;
+  tr_on : bool; (* guards event construction, not just the emit *)
   cores : core array;
   mutable classes : Sched_class.t array;
-  tasks : (int, Task.t) Hashtbl.t;
-  mutable task_order : int list; (* pids, reverse spawn order *)
+  (* Dense pid-indexed task table: pids are handed out contiguously from 1,
+     so lookup is a bounds check plus an array load and iterating ascending
+     indices is exactly spawn order (which keeps failover adoption and
+     [tasks] deterministic). *)
+  mutable task_arr : Task.t option array;
   mutable next_pid : int;
   mutable chans : chan array;
   mutable nr_chans : int;
   mutable ctx_cpu : int; (* cpu whose kernel context is executing *)
+  (* last accounting group touched: segments overwhelmingly repeat one
+     group, so this memo makes per-segment accounting hash-free *)
+  mutable acct_memo : (string * Accounting.cells) option;
 }
 
 let topology t = t.topo
@@ -50,7 +69,12 @@ let now t = Sim.now t.sim
 
 let metrics t = t.metrics
 
-let find_task t pid = Hashtbl.find_opt t.tasks pid
+let sim_backend t = Sim.backend t.sim
+
+let events_dispatched t = Sim.dispatched t.sim
+
+let find_task t pid =
+  if pid >= 0 && pid < t.next_pid then Array.unsafe_get t.task_arr pid else None
 
 let get_task t pid =
   match find_task t pid with
@@ -74,7 +98,9 @@ let obs_incr t ~cpu f =
 let obs_observe t ~cpu f v =
   match t.obs with None -> () | Some o -> Metrics.Registry.observe (f o) ~cpu v
 
-(* One option match when tracing is off: the zero-cost-when-disabled sink. *)
+(* Every call site is guarded by [if t.tr_on then ...] so that with no
+   tracer attached the event payload is never even constructed — emits are
+   allocation-free, not merely cheap. *)
 let emit t ~cpu kind =
   match t.tracer with
   | None -> ()
@@ -110,19 +136,29 @@ let charge t ~cpu ns =
   let core = t.cores.(cpu) in
   if ns > 0 && not core.in_idle then core.pending_charge <- core.pending_charge + ns
 
-let rec resched_cpu t cpu =
+let resched_cpu t cpu =
   let core = t.cores.(cpu) in
   if not core.resched_queued then begin
     core.resched_queued <- true;
     let delay = if cpu = t.ctx_cpu then 0 else t.costs.ipi_latency in
-    Sim.after t.sim ~delay (fun () -> do_schedule t cpu)
+    Sim.after t.sim ~delay core.resched_thunk
   end
 
 (* ---------- accounting ---------- *)
 
+(* [==] on the group string: a hit is definitely the same group, a miss
+   merely re-resolves, so the memo can never record into the wrong cell. *)
+let group_cells t (task : Task.t) =
+  match t.acct_memo with
+  | Some (g, c) when g == task.group -> c
+  | _ ->
+    let c = Accounting.cells t.metrics ~group:task.group in
+    t.acct_memo <- Some (task.group, c);
+    c
+
 (* Checkpoint the running task's consumed cpu time without ending its
    segment, so classes observing [sum_exec] (e.g. at tick) see fresh data. *)
-and sync_curr t core =
+let sync_curr t core =
   match core.curr with
   | None -> ()
   | Some pid ->
@@ -135,13 +171,14 @@ and sync_curr t core =
       core.seg_run_start <- now_
     end;
     if now_ > core.seg_busy_from then begin
-      Accounting.add_busy t.metrics ~cpu:core.id ~group:task.group (now_ - core.seg_busy_from);
+      Accounting.add_busy_fast t.metrics (group_cells t task) ~cpu:core.id
+        (now_ - core.seg_busy_from);
       core.seg_busy_from <- now_
     end
 
 (* ---------- wakeups ---------- *)
 
-and wake_task t (task : Task.t) ~waker_cpu =
+let rec wake_task t (task : Task.t) ~waker_cpu =
   match task.state with
   | Task.Blocked ->
     let now_ = Sim.now t.sim in
@@ -152,7 +189,8 @@ and wake_task t (task : Task.t) ~waker_cpu =
     let cpu = cl.select_task_rq task ~waker_cpu in
     let cpu = if Task.allowed_cpu task cpu then cpu else first_allowed t task in
     task.cpu <- cpu;
-    emit t ~cpu (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
+    if t.tr_on then
+      emit t ~cpu (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
     cl.task_wakeup task ~cpu ~waker_cpu;
     charge t ~cpu:waker_cpu t.costs.wakeup_path;
     if cpu_idle t cpu then resched_cpu t cpu
@@ -213,9 +251,13 @@ and next_actions t core (task : Task.t) =
 and spawn t (spec : Task.spec) =
   let pid = t.next_pid in
   t.next_pid <- t.next_pid + 1;
+  if pid >= Array.length t.task_arr then begin
+    let bigger = Array.make (max 64 (2 * Array.length t.task_arr)) None in
+    Array.blit t.task_arr 0 bigger 0 (Array.length t.task_arr);
+    t.task_arr <- bigger
+  end;
   let task = Task.make spec ~pid ~now:(Sim.now t.sim) in
-  Hashtbl.replace t.tasks pid task;
-  t.task_order <- pid :: t.task_order;
+  t.task_arr.(pid) <- Some task;
   let cl = class_of_task t task in
   let waker_cpu = t.ctx_cpu in
   let cpu = cl.select_task_rq task ~waker_cpu in
@@ -224,8 +266,8 @@ and spawn t (spec : Task.spec) =
   task.state <- Task.Runnable;
   task.last_wake <- Sim.now t.sim;
   task.wake_pending <- true;
-  emit t ~cpu
-    (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
+  if t.tr_on then
+    emit t ~cpu (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
   cl.task_new task ~cpu;
   if cpu_idle t cpu then resched_cpu t cpu;
   pid
@@ -246,7 +288,8 @@ and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
       Accounting.count_migration t.metrics;
       obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
       charge t ~cpu:to_cpu t.costs.migration;
-      emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
+      if t.tr_on then
+        emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
       cl.migrate_task_rq task ~from_cpu ~to_cpu
     end
     else cl.balance_err task ~cpu:to_cpu
@@ -266,22 +309,27 @@ and apply_policy_change t (task : Task.t) ~policy =
 
 (* ---------- the schedule operation ---------- *)
 
+(* [pick_from], [dispatch] and [start_segment] are toplevel functions in
+   the recursion, not closures inside [do_schedule]: a schedule operation
+   is the hottest machine path and must not allocate its own loop. *)
+
 and do_schedule t cpu =
   let core = t.cores.(cpu) in
   core.resched_queued <- false;
   let prev_ctx = t.ctx_cpu in
   t.ctx_cpu <- cpu;
   let prev_pid = core.curr in
-  (* deschedule the current task, if any *)
+  (* deschedule the current task, if any; the pending run-end event is
+     truly cancelled (O(1)), not invalidated-and-dead-dispatched *)
   (match core.curr with
   | Some pid ->
     sync_curr t core;
-    core.seg_seq <- core.seg_seq + 1;
+    Sim.cancel t.sim core.run_end;
     let task = get_task t pid in
     core.curr <- None;
     if task.state = Task.Running then begin
       task.state <- Task.Runnable;
-      emit t ~cpu (Trace.Event.Preempt { pid });
+      if t.tr_on then emit t ~cpu (Trace.Event.Preempt { pid });
       (class_of_task t task).task_preempt task ~cpu;
       match task.pending_policy with
       | Some policy -> apply_policy_change t task ~policy
@@ -290,82 +338,83 @@ and do_schedule t cpu =
   | None -> ());
   Accounting.count_schedule t.metrics ~cpu;
   obs_incr t ~cpu (fun o -> o.o_schedules);
-  (* balance + pick, classes in priority order, until a task sticks *)
-  let rec pick_loop () =
-    let chosen = ref None in
-    Array.iter
-      (fun (cl : Sched_class.t) ->
-        if !chosen = None then begin
-          (match cl.balance ~cpu with
-          | Some pid -> try_migrate t pid ~to_cpu:cpu cl
-          | None -> ());
-          match cl.pick_next_task ~cpu with
-          | Some pid ->
-            let task = get_task t pid in
-            if task.state = Task.Runnable && task.cpu = cpu then chosen := Some task
-            else begin
-              (* a native class returning an unrunnable task is the kernel
-                 crash the paper describes; surface it loudly *)
-              Accounting.count_pick_violation t.metrics;
-              invalid_arg
-                (Printf.sprintf "Machine: class %s picked invalid pid %d (%s, cpu %d vs %d)"
-                   cl.name pid
-                   (Format.asprintf "%a" Task.pp_state task.state)
-                   task.cpu cpu)
-            end
-          | None -> ()
-        end)
-      t.classes;
-    match !chosen with
-    | None ->
-      if not core.in_idle then begin
-        core.in_idle <- true;
-        core.idle_since <- Sim.now t.sim;
+  (match pick_from t cpu 0 with
+  | None ->
+    if not core.in_idle then begin
+      core.in_idle <- true;
+      core.idle_since <- Sim.now t.sim;
+      if t.tr_on then begin
         emit t ~cpu (Trace.Event.Sched_switch { prev = prev_pid; next = None });
         emit t ~cpu Trace.Event.Idle
       end
-    | Some task -> dispatch_loop task
-  and dispatch_loop (task : Task.t) =
-    (* charge pending overhead + context switch before the task computes *)
-    let now_ = Sim.now t.sim in
-    let switch_cost = if core.last_pid <> task.pid then t.costs.context_switch else 0 in
-    if switch_cost > 0 then begin
-      Accounting.count_context_switch t.metrics;
-      obs_incr t ~cpu (fun o -> o.o_ctx_switches)
-    end;
-    let wake_cost =
-      if core.in_idle then
-        if now_ - core.idle_since >= t.costs.deep_idle_after then t.costs.deep_idle_exit
-        else t.costs.idle_exit
-      else 0
-    in
-    core.in_idle <- false;
-    let overhead = core.pending_charge + switch_cost + wake_cost in
-    core.pending_charge <- 0;
-    core.seg_busy_from <- now_;
-    core.curr <- Some task.pid;
-    core.last_pid <- task.pid;
-    task.state <- Task.Running;
-    emit t ~cpu (Trace.Event.Sched_switch { prev = prev_pid; next = Some task.pid });
-    emit t ~cpu (Trace.Event.Dispatch { pid = task.pid });
-    let run_start = now_ + overhead in
-    if task.wake_pending then begin
-      task.wake_pending <- false;
-      Accounting.record_wakeup_latency t.metrics ~group:task.group (run_start - task.last_wake);
-      obs_observe t ~cpu (fun o -> o.o_wakeup_lat) (run_start - task.last_wake)
-    end;
-    (* the behaviour advances only once the dispatch costs have elapsed;
-       a task with no compute left runs its next actions at [run_start] *)
-    start_segment task ~run_start
-  and start_segment (task : Task.t) ~run_start =
-    core.seg_run_start <- run_start;
-    core.seg_seq <- core.seg_seq + 1;
-    let seq = core.seg_seq in
-    Sim.at t.sim ~time:(run_start + task.remaining) (fun () ->
-        if core.seg_seq = seq && core.curr = Some task.pid then segment_end t cpu task)
-  in
-  pick_loop ();
+    end
+  | Some task -> dispatch t core task ~prev:prev_pid);
   t.ctx_cpu <- prev_ctx
+
+(* balance + pick, classes in priority order, until a task sticks *)
+and pick_from t cpu i =
+  if i >= Array.length t.classes then None
+  else begin
+    let cl = t.classes.(i) in
+    (match cl.balance ~cpu with
+    | Some pid -> try_migrate t pid ~to_cpu:cpu cl
+    | None -> ());
+    match cl.pick_next_task ~cpu with
+    | Some pid ->
+      let task = get_task t pid in
+      if task.state = Task.Runnable && task.cpu = cpu then Some task
+      else begin
+        (* a native class returning an unrunnable task is the kernel
+           crash the paper describes; surface it loudly *)
+        Accounting.count_pick_violation t.metrics;
+        invalid_arg
+          (Printf.sprintf "Machine: class %s picked invalid pid %d (%s, cpu %d vs %d)"
+             cl.name pid
+             (Format.asprintf "%a" Task.pp_state task.state)
+             task.cpu cpu)
+      end
+    | None -> pick_from t cpu (i + 1)
+  end
+
+and dispatch t core (task : Task.t) ~prev =
+  let cpu = core.id in
+  (* charge pending overhead + context switch before the task computes *)
+  let now_ = Sim.now t.sim in
+  let switch_cost = if core.last_pid <> task.pid then t.costs.context_switch else 0 in
+  if switch_cost > 0 then begin
+    Accounting.count_context_switch t.metrics;
+    obs_incr t ~cpu (fun o -> o.o_ctx_switches)
+  end;
+  let wake_cost =
+    if core.in_idle then
+      if now_ - core.idle_since >= t.costs.deep_idle_after then t.costs.deep_idle_exit
+      else t.costs.idle_exit
+    else 0
+  in
+  core.in_idle <- false;
+  let overhead = core.pending_charge + switch_cost + wake_cost in
+  core.pending_charge <- 0;
+  core.seg_busy_from <- now_;
+  core.curr <- Some task.pid;
+  core.last_pid <- task.pid;
+  task.state <- Task.Running;
+  if t.tr_on then begin
+    emit t ~cpu (Trace.Event.Sched_switch { prev; next = Some task.pid });
+    emit t ~cpu (Trace.Event.Dispatch { pid = task.pid })
+  end;
+  let run_start = now_ + overhead in
+  if task.wake_pending then begin
+    task.wake_pending <- false;
+    Accounting.record_wakeup_fast t.metrics (group_cells t task) (run_start - task.last_wake);
+    obs_observe t ~cpu (fun o -> o.o_wakeup_lat) (run_start - task.last_wake)
+  end;
+  (* the behaviour advances only once the dispatch costs have elapsed;
+     a task with no compute left runs its next actions at [run_start] *)
+  start_segment t core task ~run_start
+
+and start_segment t core (task : Task.t) ~run_start =
+  core.seg_run_start <- run_start;
+  Sim.arm_at t.sim core.run_end ~time:(run_start + task.remaining)
 
 (* What to do when a task's behaviour stopped computing. *)
 and apply_verdict t core (task : Task.t) verdict =
@@ -375,11 +424,11 @@ and apply_verdict t core (task : Task.t) verdict =
   | `Run _ -> assert false
   | `Blocked ->
     task.state <- Task.Blocked;
-    emit t ~cpu (Trace.Event.Block { pid = task.pid });
+    if t.tr_on then emit t ~cpu (Trace.Event.Block { pid = task.pid });
     cl.task_blocked task ~cpu
   | `Sleep d ->
     task.state <- Task.Blocked;
-    emit t ~cpu (Trace.Event.Block { pid = task.pid });
+    if t.tr_on then emit t ~cpu (Trace.Event.Block { pid = task.pid });
     cl.task_blocked task ~cpu;
     let pid = task.pid in
     Sim.after t.sim ~delay:d (fun () ->
@@ -393,12 +442,12 @@ and apply_verdict t core (task : Task.t) verdict =
         | Some _ | None -> ())
   | `Yield ->
     task.state <- Task.Runnable;
-    emit t ~cpu (Trace.Event.Yield { pid = task.pid });
+    if t.tr_on then emit t ~cpu (Trace.Event.Yield { pid = task.pid });
     cl.task_yield task ~cpu
   | `Exit ->
     task.state <- Task.Dead;
     task.exited_at <- Some (Sim.now t.sim);
-    emit t ~cpu (Trace.Event.Exit { pid = task.pid });
+    if t.tr_on then emit t ~cpu (Trace.Event.Exit { pid = task.pid });
     cl.task_dead task ~cpu
 
 (* The running task finished its compute quantum: advance its behaviour. *)
@@ -410,14 +459,10 @@ and segment_end t cpu (task : Task.t) =
   (match next_actions t core task with
   | `Run d ->
     task.remaining <- d;
-    (* continue on-cpu without a context switch *)
+    (* continue on-cpu without a context switch: re-arm the same cell *)
     core.seg_run_start <- Sim.now t.sim;
-    core.seg_seq <- core.seg_seq + 1;
-    let seq = core.seg_seq in
-    Sim.at t.sim ~time:(Sim.now t.sim + d) (fun () ->
-        if core.seg_seq = seq && core.curr = Some task.pid then segment_end t cpu task)
+    Sim.arm_at t.sim core.run_end ~time:(Sim.now t.sim + d)
   | verdict ->
-    core.seg_seq <- core.seg_seq + 1;
     core.curr <- None;
     apply_verdict t core task verdict;
     do_schedule t cpu);
@@ -430,7 +475,7 @@ let tick t =
   (* refresh accounting so classes see up-to-date runtimes *)
   for cpu = 0 to nr - 1 do
     sync_curr t t.cores.(cpu);
-    emit t ~cpu Trace.Event.Tick
+    if t.tr_on then emit t ~cpu Trace.Event.Tick
   done;
   Array.iter
     (fun (cl : Sched_class.t) ->
@@ -451,14 +496,9 @@ let tick t =
     end
   done
 
-let rec arm_tick t =
-  Sim.after t.sim ~delay:t.costs.tick_period (fun () ->
-      tick t;
-      arm_tick t)
-
 (* ---------- construction ---------- *)
 
-let create ?(costs = Costs.default) ?registry ?tracer ~topology ~classes () =
+let create ?(costs = Costs.default) ?registry ?tracer ?sim_backend ~topology ~classes () =
   let nr = Topology.nr_cpus topology in
   let obs =
     Option.map
@@ -477,40 +517,70 @@ let create ?(costs = Costs.default) ?registry ?tracer ~topology ~classes () =
         })
       registry
   in
+  let sim = Sim.create ?backend:sim_backend () in
+  (* placeholder cell, replaced per core below; never armed *)
+  let dummy_tm = Sim.timer sim nothing in
   let cores =
     Array.init nr (fun id ->
         {
           id;
           curr = None;
           last_pid = -1;
-          seg_seq = 0;
           seg_run_start = 0;
           seg_busy_from = 0;
           pending_charge = 0;
           resched_queued = false;
-          timer_seq = 0;
           in_idle = true;
           idle_since = 0;
+          run_end = dummy_tm;
+          custom_timer = dummy_tm;
+          timer_slot = ref None;
+          resched_thunk = nothing;
         })
   in
   let t =
     {
-      sim = Sim.create ();
+      sim;
       topo = topology;
       costs;
       metrics = Accounting.create ~nr_cpus:nr;
       obs;
       tracer;
+      tr_on = (match tracer with Some _ -> true | None -> false);
       cores;
       classes = [||];
-      tasks = Hashtbl.create 64;
-      task_order = [];
+      task_arr = Array.make 64 None;
       next_pid = 1;
       chans = [||];
       nr_chans = 0;
       ctx_cpu = 0;
+      acct_memo = None;
     }
   in
+  (* Bind each core's event cells and thunks exactly once: every schedule,
+     segment end, resched and class timer after this point reuses them. *)
+  Array.iter
+    (fun core ->
+      let cpu = core.id in
+      core.resched_thunk <- (fun () -> do_schedule t cpu);
+      core.run_end <-
+        Sim.timer sim (fun () ->
+            (* armed only while a task is dispatched; cancelled on
+               deschedule, so firing means [curr] is the segment's task *)
+            match core.curr with
+            | Some pid -> segment_end t cpu (get_task t pid)
+            | None -> ());
+      core.custom_timer <-
+        Sim.timer sim (fun () ->
+            match !(core.timer_slot) with
+            | Some cl ->
+              let prev = t.ctx_cpu in
+              t.ctx_cpu <- cpu;
+              sync_curr t core;
+              cl.task_tick ~cpu ~queued:(core.curr <> None);
+              t.ctx_cpu <- prev
+            | None -> ()))
+    cores;
   let make_ops (slot : Sched_class.t option ref) : Sched_class.kernel_ops =
     {
       now = (fun () -> Sim.now t.sim);
@@ -523,20 +593,11 @@ let create ?(costs = Costs.default) ?registry ?tracer ~topology ~classes () =
         (fun ~cpu delay ->
           let core = t.cores.(cpu) in
           charge t ~cpu costs.timer_arm;
-          core.timer_seq <- core.timer_seq + 1;
-          let seq = core.timer_seq in
-          Sim.after t.sim ~delay (fun () ->
-              if t.cores.(cpu).timer_seq = seq then
-                match !slot with
-                | Some cl ->
-                  let prev = t.ctx_cpu in
-                  t.ctx_cpu <- cpu;
-                  sync_curr t t.cores.(cpu);
-                  cl.task_tick ~cpu ~queued:(t.cores.(cpu).curr <> None);
-                  t.ctx_cpu <- prev
-                | None -> ()))
-      ;
-      cancel_timer = (fun ~cpu -> t.cores.(cpu).timer_seq <- t.cores.(cpu).timer_seq + 1);
+          (* last arm wins, exactly like the kernel's per-cpu hrtimer; the
+             firing callback reads the arming class's slot *)
+          core.timer_slot <- slot;
+          Sim.arm_after t.sim core.custom_timer ~delay);
+      cancel_timer = (fun ~cpu -> Sim.cancel t.sim t.cores.(cpu).custom_timer);
       charge = (fun ~cpu ns -> charge t ~cpu ns);
       send_user =
         (fun ~pid hint ->
@@ -549,15 +610,17 @@ let create ?(costs = Costs.default) ?registry ?tracer ~topology ~classes () =
       find_task = (fun pid -> find_task t pid);
       live_tasks =
         (fun ~policy ->
-          (* spawn order keeps failover adoption deterministic *)
-          List.rev
-            (List.filter_map
-               (fun pid ->
-                 match find_task t pid with
-                 | Some (task : Task.t) when task.policy = policy && task.state <> Task.Dead ->
-                   Some task
-                 | Some _ | None -> None)
-               t.task_order));
+          (* ascending pid = spawn order keeps failover adoption deterministic *)
+          let rec collect pid acc =
+            if pid = 0 then acc
+            else
+              collect (pid - 1)
+                (match t.task_arr.(pid) with
+                | Some (task : Task.t) when task.policy = policy && task.state <> Task.Dead ->
+                  task :: acc
+                | Some _ | None -> acc)
+          in
+          collect (t.next_pid - 1) []);
     }
   in
   let instantiated =
@@ -571,36 +634,57 @@ let create ?(costs = Costs.default) ?registry ?tracer ~topology ~classes () =
   in
   t.classes <- Array.of_list instantiated;
   (* Probes read machine state at sample/export time; they never run on a
-     scheduling path, so they may fold over the task table freely. *)
+     scheduling path, so they may sweep the task table freely. *)
+  let count_tasks f =
+    let n = ref 0 in
+    for pid = 1 to t.next_pid - 1 do
+      match Array.unsafe_get t.task_arr pid with
+      | Some task -> if f task then incr n
+      | None -> ()
+    done;
+    !n
+  in
   (match registry with
   | Some reg ->
     Metrics.Registry.gauge_probe reg ~help:"runnable tasks (queued or running)"
       "machine_runq_depth" (fun () ->
-        float_of_int
-          (Hashtbl.fold
-             (fun _ (task : Task.t) acc -> if task.state = Task.Runnable then acc + 1 else acc)
-             t.tasks 0));
+        float_of_int (count_tasks (fun (task : Task.t) -> task.state = Task.Runnable)));
     Metrics.Registry.gauge_probe reg ~help:"tasks not yet exited" "machine_tasks_alive"
       (fun () ->
-        float_of_int
-          (Hashtbl.fold
-             (fun _ (task : Task.t) acc -> if task.state = Task.Dead then acc else acc + 1)
-             t.tasks 0));
+        float_of_int (count_tasks (fun (task : Task.t) -> task.state <> Task.Dead)));
     Metrics.Registry.gauge_probe reg ~help:"cumulative busy ns across cpus"
       "machine_busy_ns_total" (fun () -> float_of_int (Accounting.total_busy t.metrics));
     Metrics.Registry.gauge_probe reg ~help:"cumulative idle ns across cpus"
       "machine_idle_ns_total" (fun () ->
         float_of_int ((nr * Sim.now t.sim) - Accounting.total_busy t.metrics))
   | None -> ());
-  arm_tick t;
+  (* the periodic tick re-arms itself: one closure for the whole run *)
+  let rec tick_fire () =
+    tick t;
+    Sim.after t.sim ~delay:t.costs.tick_period tick_fire
+  in
+  Sim.after t.sim ~delay:t.costs.tick_period tick_fire;
   t
 
 (* ---------- public control ---------- *)
 
-let tasks t = List.rev_map (get_task t) t.task_order
+let tasks t =
+  let rec collect t pid acc =
+    if pid = 0 then acc
+    else
+      collect t (pid - 1)
+        (match t.task_arr.(pid) with Some task -> task :: acc | None -> acc)
+  in
+  collect t (t.next_pid - 1) []
 
 let alive_tasks t =
-  Hashtbl.fold (fun _ (task : Task.t) acc -> if task.state = Task.Dead then acc else acc + 1) t.tasks 0
+  let n = ref 0 in
+  for pid = 1 to t.next_pid - 1 do
+    match Array.unsafe_get t.task_arr pid with
+    | Some (task : Task.t) -> if task.state <> Task.Dead then incr n
+    | None -> ()
+  done;
+  !n
 
 let set_nice t ~pid ~nice =
   let task = get_task t pid in
@@ -621,7 +705,8 @@ let rec enforce_affinity t pid =
         task.cpu <- to_cpu;
         Accounting.count_migration t.metrics;
         obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
-        emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
+        if t.tr_on then
+          emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
         cl.migrate_task_rq task ~from_cpu ~to_cpu;
         if cpu_idle t to_cpu then resched_cpu t to_cpu
       | Task.Running ->

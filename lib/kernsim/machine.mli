@@ -26,17 +26,27 @@ type ns = Time.ns
     machine then keeps schedule/context-switch/migration counters, a
     wakeup-latency histogram, and runqueue-depth / busy-idle gauge probes
     in it — recording never charges simulated time, so an attached
-    registry cannot change scheduling decisions. *)
+    registry cannot change scheduling decisions.  [sim_backend] selects
+    the event-queue backend (default: the timer wheel); both backends
+    dispatch identical event streams (see [test_core_equiv]). *)
 val create :
   ?costs:Costs.t ->
   ?registry:Metrics.Registry.t ->
   ?tracer:Trace.Tracer.t ->
+  ?sim_backend:Sim.backend ->
   topology:Topology.t ->
   classes:Sched_class.factory list ->
   unit ->
   t
 
 val topology : t -> Topology.t
+
+(** Which event-queue backend this machine's simulator runs on. *)
+val sim_backend : t -> Sim.backend
+
+(** Simulator events dispatched so far — the denominator for the
+    events/sec and bytes/event figures in [bench speed]. *)
+val events_dispatched : t -> int
 
 val costs : t -> Costs.t
 

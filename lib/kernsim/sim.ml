@@ -1,42 +1,158 @@
-type event = { time : Time.ns; seq : int; thunk : unit -> unit }
+type backend = [ `Heap | `Wheel ]
 
-type t = { events : event Ds.Heap.t; mutable clock : Time.ns; mutable next_seq : int }
+(* Heap-backend event.  [hpos] is maintained by the heap's [on_move] hook
+   so armed timers can be cancelled in O(log n) instead of tombstoned. *)
+type event = {
+  mutable time : Time.ns;
+  mutable seq : int;
+  mutable thunk : unit -> unit;
+  mutable hpos : int;
+}
+
+type impl =
+  | W of (unit -> unit) Ds.Timer_wheel.t
+  | H of event Ds.Heap.t
+
+type t = {
+  impl : impl;
+  mutable clock : Time.ns;
+  mutable next_seq : int;
+  mutable dispatched : int;
+}
+
+type timer =
+  | TW of (unit -> unit) Ds.Timer_wheel.timer
+  | TH of th
+
+and th = { th_ev : event; mutable th_armed : bool }
 
 let compare_event a b =
   match Int.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
 
-let create () = { events = Ds.Heap.create ~compare:compare_event; clock = 0; next_seq = 0 }
+let nothing () = ()
+
+let create ?(backend = `Wheel) () =
+  let impl =
+    match backend with
+    | `Wheel -> W (Ds.Timer_wheel.create ~dummy:nothing ())
+    | `Heap -> H (Ds.Heap.create ~on_move:(fun e i -> e.hpos <- i) ~compare:compare_event ())
+  in
+  { impl; clock = 0; next_seq = 0; dispatched = 0 }
+
+let backend t = match t.impl with W _ -> `Wheel | H _ -> `Heap
 
 let now t = t.clock
 
+let dispatched t = t.dispatched
+
+let next_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
 let at t ~time f =
   let time = max time t.clock in
-  Ds.Heap.add t.events { time; seq = t.next_seq; thunk = f };
-  t.next_seq <- t.next_seq + 1
+  let seq = next_seq t in
+  match t.impl with
+  | W w -> Ds.Timer_wheel.add w ~time ~seq f
+  | H h -> Ds.Heap.add h { time; seq; thunk = f; hpos = -1 }
 
 let after t ~delay f = at t ~time:(t.clock + max 0 delay) f
 
-let run_until t ~until =
-  let rec loop () =
-    match Ds.Heap.peek t.events with
-    | Some ev when ev.time <= until ->
-      ignore (Ds.Heap.pop t.events);
+let timer t f =
+  match t.impl with
+  | W w -> TW (Ds.Timer_wheel.make_timer w f)
+  | H _ ->
+      let rec th =
+        { th_ev =
+            { time = 0; seq = 0;
+              thunk = (fun () -> th.th_armed <- false; f ());
+              hpos = -1 };
+          th_armed = false }
+      in
+      TH th
+
+let arm_at t tm ~time =
+  let time = max time t.clock in
+  let seq = next_seq t in
+  match t.impl, tm with
+  | W w, TW n -> Ds.Timer_wheel.arm w n ~time ~seq
+  | H h, TH th ->
+      if th.th_armed then ignore (Ds.Heap.remove_at h th.th_ev.hpos);
+      th.th_ev.time <- time;
+      th.th_ev.seq <- seq;
+      th.th_armed <- true;
+      Ds.Heap.add h th.th_ev
+  | _ -> invalid_arg "Sim.arm_at: timer from another backend"
+
+let arm_after t tm ~delay = arm_at t tm ~time:(t.clock + max 0 delay)
+
+let cancel t tm =
+  match t.impl, tm with
+  | W w, TW n -> Ds.Timer_wheel.cancel w n
+  | H h, TH th ->
+      if th.th_armed then begin
+        ignore (Ds.Heap.remove_at h th.th_ev.hpos);
+        th.th_armed <- false
+      end
+  | _ -> invalid_arg "Sim.cancel: timer from another backend"
+
+let timer_pending = function
+  | TW n -> Ds.Timer_wheel.pending n
+  | TH th -> th.th_armed
+
+(* The dispatch loops are toplevel recursive functions, not local
+   closures: locals capturing [t]/[until] would allocate per call. *)
+let rec run_wheel t w until =
+  let tn = Ds.Timer_wheel.next_before w ~until in
+  if tn <> max_int then begin
+    t.clock <- tn;
+    let f = Ds.Timer_wheel.pop_exn w in
+    t.dispatched <- t.dispatched + 1;
+    f ();
+    run_wheel t w until
+  end
+  else if t.clock < until then t.clock <- until
+
+let rec run_heap t h until =
+  match Ds.Heap.peek h with
+  | Some ev when ev.time <= until ->
+      ignore (Ds.Heap.pop h);
       t.clock <- ev.time;
+      t.dispatched <- t.dispatched + 1;
       ev.thunk ();
-      loop ()
-    | Some _ | None -> t.clock <- max t.clock until
-  in
-  loop ()
+      run_heap t h until
+  | Some _ | None -> if t.clock < until then t.clock <- until
+
+let run_until t ~until =
+  match t.impl with
+  | W w -> run_wheel t w until
+  | H h -> run_heap t h until
+
+let rec run_wheel_all t w =
+  if not (Ds.Timer_wheel.is_empty w) then begin
+    t.clock <- Ds.Timer_wheel.next_time w;
+    let f = Ds.Timer_wheel.pop_exn w in
+    t.dispatched <- t.dispatched + 1;
+    f ();
+    run_wheel_all t w
+  end
+
+let rec run_heap_all t h =
+  match Ds.Heap.pop h with
+  | Some ev ->
+      t.clock <- ev.time;
+      t.dispatched <- t.dispatched + 1;
+      ev.thunk ();
+      run_heap_all t h
+  | None -> ()
 
 let run t =
-  let rec loop () =
-    match Ds.Heap.pop t.events with
-    | Some ev ->
-      t.clock <- ev.time;
-      ev.thunk ();
-      loop ()
-    | None -> ()
-  in
-  loop ()
+  match t.impl with
+  | W w -> run_wheel_all t w
+  | H h -> run_heap_all t h
 
-let pending t = Ds.Heap.length t.events
+let pending t =
+  match t.impl with
+  | W w -> Ds.Timer_wheel.length w
+  | H h -> Ds.Heap.length h

@@ -3,11 +3,23 @@
 
     Events at equal timestamps fire in scheduling order (a monotonically
     increasing sequence number breaks ties), which makes whole simulations
-    deterministic. *)
+    deterministic.
+
+    Two interchangeable queue backends exist: the default hierarchical
+    {!Ds.Timer_wheel} (O(1) insert/pop/cancel near the cursor, pooled
+    nodes) and the original binary heap, kept as the semantic reference —
+    both dispatch the exact same event stream for the same calls (see
+    [test_core_equiv]). *)
 
 type t
 
-val create : unit -> t
+type backend = [ `Heap | `Wheel ]
+
+(** [create ()] uses the timer-wheel backend; pass [~backend:`Heap] for
+    the reference heap. *)
+val create : ?backend:backend -> unit -> t
+
+val backend : t -> backend
 
 val now : t -> Time.ns
 
@@ -18,6 +30,30 @@ val at : t -> time:Time.ns -> (unit -> unit) -> unit
 (** [after t ~delay f] is [at t ~time:(now t + delay) f]. *)
 val after : t -> delay:Time.ns -> (unit -> unit) -> unit
 
+(** A reusable cancellable event cell.  One allocation at {!timer} time;
+    re-arming and firing are allocation-free on the wheel backend, and
+    {!cancel} actually removes the event instead of leaving a tombstone
+    to be dead-dispatched. *)
+type timer
+
+(** [timer t f] makes a detached timer that runs [f] when it fires.
+    The cell is tied to [t]'s backend. *)
+val timer : t -> (unit -> unit) -> timer
+
+(** Arm (or re-arm, replacing the previous arm) at an absolute time,
+    clamped to [now].  Each arm takes a fresh tie-break sequence number,
+    exactly as a fresh {!at} would. *)
+val arm_at : t -> timer -> time:Time.ns -> unit
+
+(** [arm_after t tm ~delay] is [arm_at t tm ~time:(now t + delay)]. *)
+val arm_after : t -> timer -> delay:Time.ns -> unit
+
+(** Disarm; no-op when not armed. *)
+val cancel : t -> timer -> unit
+
+(** True while armed and not yet fired. *)
+val timer_pending : timer -> bool
+
 (** Run events until the clock passes [until] or the queue empties.
     Events scheduled exactly at [until] are executed. *)
 val run_until : t -> until:Time.ns -> unit
@@ -26,3 +62,7 @@ val run_until : t -> until:Time.ns -> unit
 val run : t -> unit
 
 val pending : t -> int
+
+(** Number of events dispatched so far — the denominator for events/sec
+    and bytes/event in [bench speed]. *)
+val dispatched : t -> int

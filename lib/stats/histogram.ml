@@ -11,13 +11,13 @@ type t = {
   mutable total : int;
   mutable min_v : int;
   mutable max_v : int;
-  mutable sum : float;
+  mutable sum : int; (* int, not float: a float field would box on every record *)
 }
 
 let n_buckets = 64 * sub
 
 let create () =
-  { counts = Array.make n_buckets 0; total = 0; min_v = max_int; max_v = 0; sum = 0.0 }
+  { counts = Array.make n_buckets 0; total = 0; min_v = max_int; max_v = 0; sum = 0 }
 
 let bucket_of_value v =
   let v = if v < 1 then 1 else v in
@@ -50,7 +50,7 @@ let record_n t v n =
     t.total <- t.total + n;
     if v' < t.min_v then t.min_v <- v';
     if v' > t.max_v then t.max_v <- v';
-    t.sum <- t.sum +. (float_of_int v' *. float_of_int n)
+    t.sum <- t.sum + (v' * n)
   end
 
 let record t v = record_n t v 1
@@ -61,7 +61,7 @@ let min t = if t.total = 0 then 0 else t.min_v
 
 let max t = t.max_v
 
-let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
 
 let percentile t p =
   if t.total = 0 then 0
@@ -92,7 +92,7 @@ let clear t =
   t.total <- 0;
   t.min_v <- max_int;
   t.max_v <- 0;
-  t.sum <- 0.0
+  t.sum <- 0
 
 let merge ~dst ~src =
   for i = 0 to n_buckets - 1 do
@@ -102,5 +102,5 @@ let merge ~dst ~src =
   if src.total > 0 then begin
     if src.min_v < dst.min_v then dst.min_v <- src.min_v;
     if src.max_v > dst.max_v then dst.max_v <- src.max_v;
-    dst.sum <- dst.sum +. src.sum
+    dst.sum <- dst.sum + src.sum
   end

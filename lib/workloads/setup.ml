@@ -22,7 +22,8 @@ let register_tracer_probes reg tracer =
   Metrics.Registry.gauge_probe reg ~help:"trace events currently buffered" "trace_buffered"
     (fun () -> float_of_int (Trace.Tracer.buffered tracer))
 
-let build ?costs ?record ?tracer ?registry ?profile ?isolate ?call_budget ~topology kind =
+let build ?costs ?record ?tracer ?registry ?profile ?isolate ?call_budget ?sim_backend ~topology
+    kind =
   Schedulers.Hints.register_codecs ();
   (* the lock tap is process-global: clear any tap a previous machine
      installed so its (now stale) tracer stops receiving events *)
@@ -33,7 +34,7 @@ let build ?costs ?record ?tracer ?registry ?profile ?isolate ?call_budget ~topol
   match kind with
   | Cfs ->
     let machine =
-      Kernsim.Machine.create ?costs ?registry ?tracer ~topology
+      Kernsim.Machine.create ?costs ?registry ?tracer ?sim_backend ~topology
         ~classes:[ Kernsim.Cfs.factory () ] ()
     in
     { machine; policy = 0; cfs_policy = 0; enoki = None; agent_core = None; registry }
@@ -42,14 +43,14 @@ let build ?costs ?record ?tracer ?registry ?profile ?isolate ?call_budget ~topol
       Enoki.Enoki_c.create ?record ?tracer ?registry ?profile ?isolate ?call_budget ~policy:0 m
     in
     let machine =
-      Kernsim.Machine.create ?costs ?registry ?tracer ~topology
+      Kernsim.Machine.create ?costs ?registry ?tracer ?sim_backend ~topology
         ~classes:[ Enoki.Enoki_c.factory enoki; Kernsim.Cfs.factory () ]
         ()
     in
     { machine; policy = 0; cfs_policy = 1; enoki = Some enoki; agent_core = None; registry }
   | Ghost policy ->
     let machine =
-      Kernsim.Machine.create ?costs ?registry ?tracer ~topology
+      Kernsim.Machine.create ?costs ?registry ?tracer ?sim_backend ~topology
         ~classes:[ Schedulers.Ghost_sim.factory policy; Kernsim.Cfs.factory () ]
         ()
     in

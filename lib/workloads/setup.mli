@@ -30,7 +30,9 @@ type built = {
     events at a time.  [registry] threads a metrics registry through the
     machine and the Enoki-C boundary (and, when a tracer is also given,
     registers ring drop/emit probes); [profile] arms the Enoki-C
-    self-profiler. *)
+    self-profiler.  [sim_backend] selects the machine's event-queue
+    backend (timer wheel by default, [`Heap] for the reference heap) —
+    both produce the same event stream. *)
 val build :
   ?costs:Kernsim.Costs.t ->
   ?record:Enoki.Record.t ->
@@ -39,6 +41,7 @@ val build :
   ?profile:Profile.t ->
   ?isolate:bool ->
   ?call_budget:Kernsim.Time.ns ->
+  ?sim_backend:Kernsim.Sim.backend ->
   topology:Kernsim.Topology.t ->
   kind ->
   built

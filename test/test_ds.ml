@@ -176,14 +176,14 @@ let prop_ring_fifo pushes =
 (* ---------- Heap ---------- *)
 
 let test_heap_order () =
-  let h = Ds.Heap.create ~compare:Int.compare in
+  let h = Ds.Heap.create ~compare:Int.compare () in
   List.iter (Ds.Heap.add h) [ 5; 1; 4; 2; 3 ];
   let out = List.filter_map (fun _ -> Ds.Heap.pop h) [ 1; 2; 3; 4; 5 ] in
   check Alcotest.(list int) "sorted pops" [ 1; 2; 3; 4; 5 ] out;
   check Alcotest.bool "empty" true (Ds.Heap.is_empty h)
 
 let test_heap_peek () =
-  let h = Ds.Heap.create ~compare:Int.compare in
+  let h = Ds.Heap.create ~compare:Int.compare () in
   check Alcotest.(option int) "peek empty" None (Ds.Heap.peek h);
   Ds.Heap.add h 3;
   Ds.Heap.add h 1;
@@ -191,19 +191,220 @@ let test_heap_peek () =
   check Alcotest.int "len" 2 (Ds.Heap.length h)
 
 let test_heap_remove_if () =
-  let h = Ds.Heap.create ~compare:Int.compare in
+  let h = Ds.Heap.create ~compare:Int.compare () in
   List.iter (Ds.Heap.add h) [ 1; 2; 3; 4; 5; 6 ];
   Ds.Heap.remove_if h (fun x -> x mod 2 = 0);
   let out = List.filter_map (fun _ -> Ds.Heap.pop h) [ 1; 2; 3 ] in
   check Alcotest.(list int) "odds remain" [ 1; 3; 5 ] out
 
 let prop_heap_sorts l =
-  let h = Ds.Heap.create ~compare:Int.compare in
+  let h = Ds.Heap.create ~compare:Int.compare () in
   List.iter (Ds.Heap.add h) l;
   let rec drain acc =
     match Ds.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
   in
   drain [] = List.sort Int.compare l
+
+(* heap growth past the initial capacity, with stable (key, seq) ordering *)
+let test_heap_growth_stability () =
+  let cmp (t1, s1) (t2, s2) = if t1 <> t2 then Int.compare t1 t2 else Int.compare s1 s2 in
+  let h = Ds.Heap.create ~compare:cmp () in
+  let n = 10_000 in
+  (* many duplicate keys inserted with increasing seq, in a scrambled order *)
+  for i = 0 to n - 1 do
+    Ds.Heap.add h ((i * 7919) mod 97, i)
+  done;
+  check Alcotest.int "length" n (Ds.Heap.length h);
+  let rec drain prev count =
+    match Ds.Heap.pop h with
+    | None -> count
+    | Some ((t, s) as e) ->
+      if cmp prev e > 0 then
+        Alcotest.failf "out of order: (%d,%d) after (%d,%d)" t s (fst prev) (snd prev);
+      drain e (count + 1)
+  in
+  check Alcotest.int "drained all" n (drain (min_int, min_int) 0)
+
+(* on_move position tracking + remove_at cancellation *)
+let test_heap_remove_at () =
+  let pos = Hashtbl.create 16 in
+  let h =
+    Ds.Heap.create
+      ~on_move:(fun x i -> Hashtbl.replace pos x i)
+      ~compare:Int.compare ()
+  in
+  List.iter (Ds.Heap.add h) [ 50; 10; 40; 20; 30; 60 ];
+  (* cancel 40 via its tracked index *)
+  let removed = Ds.Heap.remove_at h (Hashtbl.find pos 40) in
+  check Alcotest.int "removed the tracked element" 40 removed;
+  Hashtbl.remove pos 40;
+  (* remaining elements pop in order, and the index map stays consistent *)
+  let rec drain acc =
+    match Ds.Heap.peek h with
+    | None -> List.rev acc
+    | Some x ->
+      check Alcotest.int "tracked index of min is 0" 0 (Hashtbl.find pos x);
+      ignore (Ds.Heap.pop h);
+      drain (x :: acc)
+  in
+  check Alcotest.(list int) "rest sorted" [ 10; 20; 30; 50; 60 ] (drain []);
+  check Alcotest.bool "remove_at out of bounds raises" true
+    (try
+       ignore (Ds.Heap.remove_at h 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Timer wheel ---------- *)
+
+module W = Ds.Timer_wheel
+
+let test_wheel_fifo_ties () =
+  let w = W.create ~dummy:(-1) () in
+  List.iteri (fun i v -> W.add w ~time:100 ~seq:i v) [ 10; 11; 12 ];
+  W.add w ~time:50 ~seq:3 9;
+  let out = List.init 4 (fun _ -> W.pop_exn w) in
+  check Alcotest.(list int) "fifo at equal time" [ 9; 10; 11; 12 ] out;
+  check Alcotest.bool "empty" true (W.is_empty w)
+
+let test_wheel_cancel () =
+  let w = W.create ~dummy:(-1) () in
+  let t1 = W.make_timer w 1 in
+  let t2 = W.make_timer w 2 in
+  W.arm w t1 ~time:10 ~seq:0;
+  W.arm w t2 ~time:20 ~seq:1;
+  check Alcotest.bool "t1 pending" true (W.pending t1);
+  W.cancel w t1;
+  check Alcotest.bool "t1 cancelled" false (W.pending t1);
+  check Alcotest.int "one left" 1 (W.length w);
+  check Alcotest.int "t2 pops" 2 (W.pop_exn w);
+  check Alcotest.bool "fired timer not pending" false (W.pending t2);
+  (* cancel after fire and double-cancel are no-ops *)
+  W.cancel w t2;
+  W.cancel w t1;
+  check Alcotest.bool "empty" true (W.is_empty w)
+
+let test_wheel_rearm_replaces () =
+  let w = W.create ~dummy:(-1) () in
+  let t1 = W.make_timer w 7 in
+  W.arm w t1 ~time:500 ~seq:0;
+  (* re-arming replaces the previous arm entirely *)
+  W.arm w t1 ~time:5 ~seq:1;
+  W.add w ~time:50 ~seq:2 8;
+  check Alcotest.int "rearmed fires at new time" 7 (W.pop_exn w);
+  check Alcotest.int "then the one-shot" 8 (W.pop_exn w);
+  check Alcotest.bool "nothing at the old time" true (W.is_empty w)
+
+let test_wheel_overflow () =
+  (* events beyond the 2^32 horizon land in the overflow heap and still
+     pop in global (time, seq) order *)
+  let w = W.create ~dummy:(-1) () in
+  let far = 1 lsl 33 in
+  W.add w ~time:far ~seq:0 1;
+  W.add w ~time:5 ~seq:1 2;
+  W.add w ~time:(far + 1) ~seq:2 3;
+  W.add w ~time:far ~seq:3 4;
+  check Alcotest.int "near first" 2 (W.pop_exn w);
+  check Alcotest.int "far" 1 (W.pop_exn w);
+  check Alcotest.int "far ties fifo" 4 (W.pop_exn w);
+  check Alcotest.int "far+1" 3 (W.pop_exn w)
+
+let test_wheel_cascade_boundaries () =
+  (* times straddling every level boundary (2^8, 2^16, 2^24) pop sorted:
+     cascading from upper levels re-files into lower slots correctly *)
+  let times =
+    [ 254; 255; 256; 257; 65535; 65536; 65537; 16777215; 16777216; 16777217; 511; 1 ]
+  in
+  let w = W.create ~dummy:(-1) () in
+  List.iteri (fun i t -> W.add w ~time:t ~seq:i t) times;
+  let rec drain acc = if W.is_empty w then List.rev acc else drain (W.pop_exn w :: acc) in
+  check Alcotest.(list int) "sorted across boundaries" (List.sort Int.compare times) (drain [])
+
+let test_wheel_next_before () =
+  let w = W.create ~dummy:(-1) () in
+  W.add w ~time:1000 ~seq:0 1;
+  (* probing below the earliest event must not move the cursor past it *)
+  check Alcotest.int "nothing before 500" max_int (W.next_before w ~until:500);
+  W.add w ~time:400 ~seq:1 2;
+  check Alcotest.int "new earlier event visible" 400 (W.next_before w ~until:2000);
+  check Alcotest.int "earlier event pops first" 2 (W.pop_exn w);
+  check Alcotest.int "then the original" 1 (W.pop_exn w)
+
+(* The wheel against a sorted-list model, under random interleavings of
+   one-shot inserts, pops, timer arms, re-arms, and cancels — including
+   far-future times that exercise the overflow heap. *)
+let prop_wheel_model ops =
+  let w = W.create ~dummy:(-1) () in
+  let timers = Array.init 4 (fun i -> W.make_timer w (1000 + i)) in
+  let timer_seq = Array.make 4 None in
+  (* model: (time, seq, v) list, min by (time, seq) *)
+  let model = ref [] in
+  let seq = ref 0 and clock = ref 0 and next_v = ref 0 and ok = ref true in
+  let fresh_seq () =
+    let s = !seq in
+    incr seq;
+    s
+  in
+  let offset arg =
+    let base = (arg * 37) mod 100_000 in
+    if arg mod 13 = 0 then base + (1 lsl 33) else base
+  in
+  let m_insert time s v = model := (time, s, v) :: !model in
+  let m_remove_seq s = model := List.filter (fun (_, s', _) -> s' <> s) !model in
+  let pop_both () =
+    let m = List.fold_left (fun acc e -> if acc <= e then acc else e) (max_int, max_int, 0) !model in
+    if m = (max_int, max_int, 0) && !model = [] then begin
+      if not (W.is_empty w) then ok := false
+    end
+    else begin
+      let ((t, s, v) as e) = m in
+      model := List.filter (fun e' -> e' <> e) !model;
+      clock := t;
+      let got = W.pop_exn w in
+      if got <> v then ok := false;
+      ignore s;
+      if v >= 1000 then timer_seq.(v - 1000) <- None
+    end
+  in
+  List.iter
+    (fun (k, arg) ->
+      match k mod 5 with
+      | 0 | 1 ->
+        let s = fresh_seq () in
+        let time = !clock + offset arg in
+        let v = !next_v in
+        next_v := (!next_v + 1) mod 1000;
+        W.add w ~time ~seq:s v;
+        m_insert time s v
+      | 2 -> pop_both ()
+      | 3 ->
+        (* toggle: cancel when pending, arm when idle *)
+        let i = arg mod 4 in
+        (match timer_seq.(i) with
+        | Some s ->
+          W.cancel w timers.(i);
+          m_remove_seq s;
+          timer_seq.(i) <- None
+        | None ->
+          let s = fresh_seq () in
+          let time = !clock + offset arg in
+          W.arm w timers.(i) ~time ~seq:s;
+          m_insert time s (1000 + i);
+          timer_seq.(i) <- Some s)
+      | _ ->
+        (* unconditional (re-)arm: replaces any previous arm *)
+        let i = arg mod 4 in
+        (match timer_seq.(i) with Some s -> m_remove_seq s | None -> ());
+        let s = fresh_seq () in
+        let time = !clock + offset arg in
+        W.arm w timers.(i) ~time ~seq:s;
+        m_insert time s (1000 + i);
+        timer_seq.(i) <- Some s)
+    ops;
+  if W.length w <> List.length !model then ok := false;
+  while !model <> [] do
+    pop_both ()
+  done;
+  !ok && W.is_empty w
 
 (* ---------- Deque ---------- *)
 
@@ -489,7 +690,20 @@ let () =
           Alcotest.test_case "pop order" `Quick test_heap_order;
           Alcotest.test_case "peek" `Quick test_heap_peek;
           Alcotest.test_case "remove_if" `Quick test_heap_remove_if;
+          Alcotest.test_case "growth + stability" `Quick test_heap_growth_stability;
+          Alcotest.test_case "remove_at" `Quick test_heap_remove_at;
           qtest "heapsort" QCheck.(list small_int) prop_heap_sorts;
+        ] );
+      ( "timer_wheel",
+        [
+          Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "rearm replaces" `Quick test_wheel_rearm_replaces;
+          Alcotest.test_case "overflow horizon" `Quick test_wheel_overflow;
+          Alcotest.test_case "cascade boundaries" `Quick test_wheel_cascade_boundaries;
+          Alcotest.test_case "next_before gating" `Quick test_wheel_next_before;
+          qtest "wheel = sorted-list model" QCheck.(list (pair small_int small_int))
+            prop_wheel_model;
         ] );
       ( "deque",
         [
