@@ -187,6 +187,46 @@ let watchdog_arg =
           "Arm the recovery watchdog: on panic bursts, call-budget overruns or sanitizer \
            starvation it live-upgrades back to the last-known-good scheduler version.")
 
+(* Shared by the replay subcommand and `run --replay`.  Exit codes: 3 for
+   an incomplete (dropped-events) log, 5 for a divergent replay. *)
+let do_replay (module S : Enoki.Sched_trait.S) ~path ~allow_drops ~bisect ~window =
+  let contents = Enoki.Record.load_file ~path in
+  let info = Enoki.Replay.info contents in
+  if info.Enoki.Replay.truncated then
+    print_endline "note: log is cut off mid-frame; replaying the complete prefix";
+  (match info.Enoki.Replay.dropped with
+  | Some d when d > 0 ->
+    Printf.printf "WARNING: recording dropped %d events to ring overrun\n" d
+  | _ -> ());
+  match Enoki.Replay.run ~allow_drops (module S) ~log:contents with
+  | exception Enoki.Replay.Incomplete_log { dropped } ->
+    Printf.eprintf
+      "enoki_sim: refusing to replay an incomplete log: %d events were dropped during \
+       recording, so divergences would be meaningless (pass --allow-drops to force)\n"
+      dropped;
+    exit 3
+  | report ->
+    Format.printf "%a@." Enoki.Replay.pp_report report;
+    if report.Enoki.Replay.mismatches <> [] then begin
+      (if bisect then
+         match Enoki.Replay.bisect ~window (module S) ~log:contents with
+         | None -> print_endline "bisect: full log diverges but no minimal prefix found"
+         | Some d ->
+           Printf.printf "bisect: minimal failing prefix is %d entries\n" d.failing_prefix;
+           Printf.printf "first divergent call at log position %d: %s\n" d.seq d.detail;
+           List.iter
+             (fun e ->
+               let seq =
+                 match e with
+                 | Enoki.Replay.Call { seq; _ } | Enoki.Replay.Lock_event { seq; _ } -> seq
+               in
+               Printf.printf "  %c %5d: %s\n"
+                 (if seq = d.seq then '>' else ' ')
+                 seq (Enoki.Replay.entry_line e))
+             d.context);
+      exit 5
+    end
+
 let print_summary (b : Workloads.Setup.built) =
   let mets = Kernsim.Machine.metrics b.machine in
   Printf.printf "schedules: %d, context switches: %d, migrations: %d\n"
@@ -226,9 +266,52 @@ let run_workload (b : Workloads.Setup.built) workload ~load ~seed =
     Printf.printf "memcached @ %.0fk req/s: achieved %.1fk, p50 %.1f us, p99 %.1f us\n"
       r.offered_kreqs r.achieved_kreqs r.p50_us r.p99_us
 
+let record_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"PATH"
+        ~doc:
+          "Stream a binary record log of the scheduler's messages and lock events to $(docv) \
+           while running (bounded memory: the ring drains to the file incrementally).")
+
+let replay_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"PATH"
+        ~doc:
+          "Instead of running a workload, replay the record log at $(docv) against the \
+           selected scheduler and exit.")
+
+let allow_drops_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-drops" ]
+        ~doc:"Replay a log even if its trailer records ring-overrun drops.")
+
+let bisect_arg =
+  Arg.(
+    value & flag
+    & info [ "bisect" ]
+        ~doc:
+          "On divergence, binary-search the log for the minimal failing prefix and show the \
+           first divergent call with surrounding context.")
+
 let run_cmd =
   let run sched workload load cores sim_backend trace_path trace_format sanitize seed fault_plan
-      fault_seed call_budget watchdog metrics_out metrics_interval profile =
+      fault_seed call_budget watchdog metrics_out metrics_interval profile record_path replay_path
+      allow_drops bisect =
+    (match replay_path with
+    | Some path -> (
+      match module_of_sched sched with
+      | None ->
+        prerr_endline "enoki_sim: --replay requires an Enoki scheduler";
+        exit 2
+      | Some m ->
+        do_replay m ~path ~allow_drops ~bisect ~window:3;
+        exit 0)
+    | None -> ());
     let topology = topology_of_cores cores in
     let registry =
       if metrics_out <> None then
@@ -269,9 +352,19 @@ let run_cmd =
         exit 2
       | None, _ -> kind_of_sched sched
     in
+    let record =
+      match record_path with
+      | None -> None
+      | Some path -> (
+        match kind with
+        | Workloads.Setup.Enoki_sched _ -> Some (Enoki.Record.create_file ~path ())
+        | _ ->
+          prerr_endline "enoki_sim: --record requires an Enoki scheduler";
+          exit 2)
+    in
     let b =
-      Workloads.Setup.build ?tracer ?registry ?profile:prof ?call_budget ~sim_backend ~topology
-        kind
+      Workloads.Setup.build ?record ?tracer ?registry ?profile:prof ?call_budget ~sim_backend
+        ~topology kind
     in
     let sampler =
       Option.map
@@ -327,6 +420,18 @@ let run_cmd =
           exit 2
     in
     run_workload b workload ~load ~seed;
+    (match (record, record_path) with
+    | Some r, Some path ->
+      Enoki.Record.close r;
+      let d = Enoki.Record.dropped r in
+      Printf.printf "record: %d events to %s%s\n" (Enoki.Record.length r) path
+        (if d > 0 then
+           Printf.sprintf
+             " — WARNING: %d events DROPPED (ring overrun); replay will refuse this log \
+              without --allow-drops"
+             d
+         else " (0 dropped)")
+    | _ -> ());
     print_summary b;
     (match prof with
     | Some p when Profile.crossings p > 0 ->
@@ -386,57 +491,78 @@ let run_cmd =
     Term.(
       const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ core_arg $ trace_arg
       $ trace_format_arg $ sanitize_arg $ seed_arg $ fault_plan_arg $ fault_seed_arg
-      $ call_budget_arg $ watchdog_arg $ metrics_out_arg $ metrics_interval_arg $ profile_arg)
+      $ call_budget_arg $ watchdog_arg $ metrics_out_arg $ metrics_interval_arg $ profile_arg
+      $ record_path_arg $ replay_path_arg $ allow_drops_arg $ bisect_arg)
 
 let out_arg =
   Arg.(
     value & opt string "enoki.rec"
     & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Where to save the record log.")
 
+let record_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("binary", Enoki.Record.Binary); ("text", Enoki.Record.Text) ]) Enoki.Record.Binary
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Record log wire format: $(b,binary) (compact frames, the default) or $(b,text) \
+           (the human-readable debug form).")
+
 let record_cmd =
-  let run sched workload load cores out seed =
+  let run sched workload load cores out seed format =
     match module_of_sched sched with
     | None -> prerr_endline "record requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
     | Some m ->
-      let record = Enoki.Record.create () in
+      (* stream to the file as the ring drains, so memory stays bounded
+         however long the run *)
+      let record = Enoki.Record.create_file ~path:out ~format () in
       let b =
         Workloads.Setup.build ~record ~topology:(topology_of_cores cores)
           (Workloads.Setup.Enoki_sched m)
       in
       run_workload b workload ~load ~seed;
-      Enoki.Record.save record ~path:out;
-      Printf.printf "recorded %d lines to %s (%d dropped by the ring)\n"
-        (Enoki.Record.length record) out (Enoki.Record.dropped record)
+      Enoki.Record.close record;
+      let d = Enoki.Record.dropped record in
+      Printf.printf "recorded %d events to %s%s\n" (Enoki.Record.length record) out
+        (if d > 0 then
+           Printf.sprintf
+             " — WARNING: %d events DROPPED (ring overrun); replay will refuse this log \
+              without --allow-drops"
+             d
+         else " (0 dropped)")
   in
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a workload with the record tap on and save the scheduler message log.")
-    Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ out_arg $ seed_arg)
+    Term.(
+      const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ out_arg $ seed_arg
+      $ record_format_arg)
 
 let log_arg =
   Arg.(
     required & opt (some string) None
     & info [ "log"; "l" ] ~docv:"PATH" ~doc:"Record log to replay.")
 
+let window_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "window" ] ~docv:"N"
+        ~doc:"Context entries to show either side of the divergent call (with --bisect).")
+
 let replay_cmd =
-  let run sched log =
+  let run sched log allow_drops bisect window =
     match module_of_sched sched with
-    | None -> prerr_endline "replay requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
-    | Some m ->
-      let contents = Enoki.Record.load_file ~path:log in
-      let report = Enoki.Replay.run m ~log:contents in
-      Format.printf "%a@." Enoki.Replay.pp_report report;
-      List.iteri
-        (fun i (seq, msg) ->
-          if i < 10 then Printf.printf "  mismatch at line %d: %s\n" seq msg)
-        report.mismatches
+    | None ->
+      prerr_endline "replay requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)";
+      exit 2
+    | Some m -> do_replay m ~path:log ~allow_drops ~bisect ~window
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Replay a recorded message log against the same scheduler code at userspace and \
           validate its replies.")
-    Term.(const run $ sched_arg $ log_arg)
+    Term.(const run $ sched_arg $ log_arg $ allow_drops_arg $ bisect_arg $ window_arg)
 
 let upgrade_cmd =
   let run sched workload load cores seed =

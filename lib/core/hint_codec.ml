@@ -11,56 +11,38 @@ let codecs : codec list ref = ref []
 let register ~name ~encode ~decode =
   codecs := { name; enc = encode; dec = decode } :: !codecs
 
-(* Escape so encoded hints survive the space/newline-delimited log. *)
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ',' | '=' ->
-        Buffer.add_char buf c
-      | _ -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
-    s;
-  Buffer.contents buf
-
-let unescape s =
-  let buf = Buffer.create (String.length s) in
-  let n = String.length s in
-  let rec go i =
-    if i < n then
-      if s.[i] = '%' && i + 2 < n then begin
-        Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
-        go (i + 3)
-      end
-      else begin
-        Buffer.add_char buf s.[i];
-        go (i + 1)
-      end
-  in
-  go 0;
-  Buffer.contents buf
-
-let encode hint =
+(* The (codec name, raw payload) pair: what the binary record log stores
+   length-prefixed and escaping-free. *)
+let encode_parts hint =
   let rec try_codecs = function
     | [] -> (
       match hint with
-      | Opaque s -> "opaque:" ^ escape s
-      | _ -> "opaque:" ^ escape "?")
+      | Opaque s -> ("opaque", s)
+      | _ -> ("opaque", "?"))
     | c :: rest -> (
       match c.enc hint with
-      | Some payload -> c.name ^ ":" ^ escape payload
+      | Some payload -> (c.name, payload)
       | None -> try_codecs rest)
   in
   try_codecs !codecs
+
+let decode_parts ~name ~payload =
+  let rec find = function
+    | [] -> Opaque payload
+    | c :: rest -> if c.name = name then c.dec payload else find rest
+  in
+  find !codecs
+
+(* Text form: escape so encoded hints survive the space/newline-delimited
+   debug log. *)
+let encode hint =
+  let name, payload = encode_parts hint in
+  name ^ ":" ^ Str_split.escape payload
 
 let decode s =
   match String.index_opt s ':' with
   | None -> Opaque s
   | Some i ->
     let name = String.sub s 0 i in
-    let payload = unescape (String.sub s (i + 1) (String.length s - i - 1)) in
-    let rec find = function
-      | [] -> Opaque payload
-      | c :: rest -> if c.name = name then c.dec payload else find rest
-    in
-    find !codecs
+    let payload = Str_split.unescape (String.sub s (i + 1) (String.length s - i - 1)) in
+    decode_parts ~name ~payload

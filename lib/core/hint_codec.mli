@@ -24,3 +24,10 @@ val encode : Kernsim.Task.hint -> string
 
 (** Inverse of {!encode}; unknown codec names decode to {!Opaque}. *)
 val decode : string -> Kernsim.Task.hint
+
+(** [(codec name, raw payload)] — the unescaped pair the binary record log
+    stores length-prefixed, so arbitrary payload bytes round-trip without
+    the text form's percent-escaping. *)
+val encode_parts : Kernsim.Task.hint -> string * string
+
+val decode_parts : name:string -> payload:string -> Kernsim.Task.hint

@@ -2,6 +2,25 @@ type op = Create | Acquire | Release
 
 type event = { lock_id : int; op : op; tid : int }
 
+(* Shared by the record writer (text form) and the replay parser, so the
+   two ends of the log can never drift apart. *)
+let op_name = function Create -> "create" | Acquire -> "acquire" | Release -> "release"
+
+let op_of_name = function
+  | "create" -> Some Create
+  | "acquire" -> Some Acquire
+  | "release" -> Some Release
+  | _ -> None
+
+(* Binary-log counterpart of [op_name]. *)
+let op_byte = function Create -> 0 | Acquire -> 1 | Release -> 2
+
+let op_of_byte = function
+  | 0 -> Some Create
+  | 1 -> Some Acquire
+  | 2 -> Some Release
+  | _ -> None
+
 type t = {
   lock_id : int;
   lock_name : string;
@@ -33,6 +52,11 @@ let set_trace_tap f = Domain.DLS.set tap_key f
 let tap op lock_id =
   match Domain.DLS.get tap_key with None -> () | Some f -> f op ~lock_id
 
+(* Locks created while in replay mode, so the replay harness can release
+   the recorded admission order on all of them at once when the replayed
+   scheduler has diverged (see [abandon_replay_order]). *)
+let replay_locks_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
 let next_id_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let next_id () = Domain.DLS.get next_id_key
@@ -55,7 +79,10 @@ let create ?(name = "lock") () =
   in
   (match mode () with
   | Record { sink; tid } -> sink { lock_id; op = Create; tid = tid () }
-  | Passthrough | Replay _ -> ());
+  | Replay _ ->
+    let locks = Domain.DLS.get replay_locks_key in
+    locks := t :: !locks
+  | Passthrough -> ());
   tap Create lock_id;
   t
 
@@ -106,6 +133,24 @@ let with_lock t f =
 
 let set_record_mode ~sink ~tid = Domain.DLS.set mode_key (Record { sink; tid })
 
-let set_replay_mode ~order ~tid = Domain.DLS.set mode_key (Replay { order; tid })
+let set_replay_mode ~order ~tid =
+  Domain.DLS.get replay_locks_key := [];
+  Domain.DLS.set mode_key (Replay { order; tid })
 
 let set_passthrough_mode () = Domain.DLS.set mode_key Passthrough
+
+(* A replay whose scheduler has diverged from the recording may acquire
+   locks a different number of times (or in a different nesting) than the
+   log says, wedging every thread on a turn that never comes.  Once
+   divergence is established, order fidelity is moot — release the
+   recorded order on every replay-created lock so the replay finishes and
+   reports instead of hanging. *)
+let abandon_replay_order () =
+  List.iter
+    (fun t ->
+      Mutex.lock t.mutex;
+      t.expected <- [];
+      t.expected_loaded <- true;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex)
+    !(Domain.DLS.get replay_locks_key)

@@ -22,6 +22,17 @@ type op = Create | Acquire | Release
 
 type event = { lock_id : int; op : op; tid : int }
 
+(** Wire names for the record-log text form ([create]/[acquire]/[release]);
+    {!op_of_name} is the inverse used by the replay parser. *)
+val op_name : op -> string
+
+val op_of_name : string -> op option
+
+(** Binary-log counterparts ([Create]=0, [Acquire]=1, [Release]=2). *)
+val op_byte : op -> int
+
+val op_of_byte : int -> op option
+
 (** [create ()] allocates a lock.  Ids are assigned in creation order,
     which is how replay pairs locks with their recorded history (the paper
     assumes locks are created in the same order during replay). *)
@@ -52,6 +63,14 @@ val set_record_mode : sink:(event -> unit) -> tid:(unit -> int) -> unit
 val set_replay_mode : order:(int -> int list) -> tid:(unit -> int) -> unit
 
 val set_passthrough_mode : unit -> unit
+
+(** Release the recorded admission order on every lock created since
+    {!set_replay_mode}: all waiting threads are admitted freely from here
+    on.  The replay harness calls this once a replayed scheduler has
+    diverged from the recording (first reply mismatch, or a stall), since
+    a divergent scheduler may acquire locks a different number of times
+    than the log says and wedge every thread on a turn that never comes. *)
+val abandon_replay_order : unit -> unit
 
 (** Tracing tap, orthogonal to the record/replay mode: when set, every
     {!with_lock} reports [Acquire] before running the body and [Release]

@@ -66,10 +66,11 @@ let call_name = function
   | Balance_err _ -> "balance_err"
   | Parse_hint _ -> "parse_hint"
 
-(* [err] strings are constrained to identifier-ish text by the framework;
-   escape anything else defensively. *)
-let enc_str s =
-  String.map (fun c -> if c = ' ' || c = '\n' || c = '\t' then '_' else c) s
+(* [err] strings are usually identifier-ish, but nothing enforces it:
+   percent-escape so spaces, newlines or a " => " in the payload can never
+   break the line-oriented log (and the round trip is exact, where the old
+   [_]-substitution silently corrupted the string). *)
+let enc_str = Str_split.escape
 
 let encode_call c =
   match c with
@@ -109,7 +110,7 @@ let decode_call line =
   | [ "pick_next_task"; cpu; curr; rt ] ->
     Pick_next_task { cpu = int cpu; curr = dec_sched_opt curr; curr_runtime = int rt }
   | [ "pnt_err"; cpu; pid; err; sched ] ->
-    Pnt_err { cpu = int cpu; pid = int pid; err; sched = dec_sched_opt sched }
+    Pnt_err { cpu = int cpu; pid = int pid; err = Str_split.unescape err; sched = dec_sched_opt sched }
   | [ "task_dead"; pid ] -> Task_dead { pid = int pid }
   | [ "task_blocked"; pid; rt; cpu ] ->
     Task_blocked { pid = int pid; runtime = int rt; cpu = int cpu }
@@ -151,6 +152,238 @@ let decode_reply s =
   | [ "pid"; p ] -> R_pid_opt (Some (int_of_string p))
   | [ "sched"; sd ] -> R_sched_opt (dec_sched_opt sd)
   | _ -> failwith ("Message: cannot decode reply: " ^ s)
+
+(* --- binary wire form ----------------------------------------------------
+
+   Length-prefixed (no escaping, no delimiters), so payloads containing
+   newlines or " => " can never corrupt the log.  Opcodes are the
+   constructor declaration order; the format version lives in the record
+   log magic, not here. *)
+
+let put_sched buf s =
+  Wire.put_uint buf (Schedulable.pid s);
+  Wire.put_uint buf (Schedulable.cpu s);
+  Wire.put_uint buf (Schedulable.generation s)
+
+let put_sched_opt buf = function
+  | None -> Wire.put_byte buf 0
+  | Some s ->
+    Wire.put_byte buf 1;
+    put_sched buf s
+
+let get_sched cur =
+  let pid = Wire.get_uint cur in
+  let cpu = Wire.get_uint cur in
+  let gen = Wire.get_uint cur in
+  Schedulable.Private.create ~pid ~cpu ~gen
+
+let get_sched_opt cur =
+  match Wire.get_byte cur with 0 -> None | _ -> Some (get_sched cur)
+
+let put_ints buf l =
+  Wire.put_uint buf (List.length l);
+  List.iter (Wire.put_uint buf) l
+
+let get_ints cur =
+  let n = Wire.get_uint cur in
+  List.init n (fun _ -> Wire.get_uint cur)
+
+let put_call buf c =
+  match c with
+  | Get_policy -> Wire.put_byte buf 0
+  | Pick_next_task { cpu; curr; curr_runtime } ->
+    Wire.put_byte buf 1;
+    Wire.put_uint buf cpu;
+    put_sched_opt buf curr;
+    Wire.put_uint buf curr_runtime
+  | Pnt_err { cpu; pid; err; sched } ->
+    Wire.put_byte buf 2;
+    Wire.put_uint buf cpu;
+    Wire.put_uint buf pid;
+    Wire.put_str buf err;
+    put_sched_opt buf sched
+  | Task_dead { pid } ->
+    Wire.put_byte buf 3;
+    Wire.put_uint buf pid
+  | Task_blocked { pid; runtime; cpu } ->
+    Wire.put_byte buf 4;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf runtime;
+    Wire.put_uint buf cpu
+  | Task_wakeup { pid; runtime; waker_cpu; sched } ->
+    Wire.put_byte buf 5;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf runtime;
+    Wire.put_uint buf waker_cpu;
+    put_sched buf sched
+  | Task_new { pid; runtime; prio; sched } ->
+    Wire.put_byte buf 6;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf runtime;
+    Wire.put_int buf prio;
+    put_sched buf sched
+  | Task_preempt { pid; runtime; cpu; sched } ->
+    Wire.put_byte buf 7;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf runtime;
+    Wire.put_uint buf cpu;
+    put_sched buf sched
+  | Task_yield { pid; runtime; cpu; sched } ->
+    Wire.put_byte buf 8;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf runtime;
+    Wire.put_uint buf cpu;
+    put_sched buf sched
+  | Task_departed { pid; cpu } ->
+    Wire.put_byte buf 9;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf cpu
+  | Task_affinity_changed { pid; allowed } ->
+    Wire.put_byte buf 10;
+    Wire.put_uint buf pid;
+    put_ints buf allowed
+  | Task_prio_changed { pid; prio } ->
+    Wire.put_byte buf 11;
+    Wire.put_uint buf pid;
+    Wire.put_int buf prio
+  | Task_tick { cpu; queued } ->
+    Wire.put_byte buf 12;
+    Wire.put_uint buf cpu;
+    Wire.put_bool buf queued
+  | Select_task_rq { pid; waker_cpu; allowed } ->
+    Wire.put_byte buf 13;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf waker_cpu;
+    put_ints buf allowed
+  | Migrate_task_rq { pid; from_cpu; sched } ->
+    Wire.put_byte buf 14;
+    Wire.put_uint buf pid;
+    Wire.put_uint buf from_cpu;
+    put_sched buf sched
+  | Balance { cpu } ->
+    Wire.put_byte buf 15;
+    Wire.put_uint buf cpu
+  | Balance_err { cpu; pid; sched } ->
+    Wire.put_byte buf 16;
+    Wire.put_uint buf cpu;
+    Wire.put_uint buf pid;
+    put_sched_opt buf sched
+  | Parse_hint { pid; hint } ->
+    Wire.put_byte buf 17;
+    Wire.put_uint buf pid;
+    let name, payload = Hint_codec.encode_parts hint in
+    Wire.put_str buf name;
+    Wire.put_str buf payload
+
+let get_call cur =
+  match Wire.get_byte cur with
+  | 0 -> Get_policy
+  | 1 ->
+    let cpu = Wire.get_uint cur in
+    let curr = get_sched_opt cur in
+    let curr_runtime = Wire.get_uint cur in
+    Pick_next_task { cpu; curr; curr_runtime }
+  | 2 ->
+    let cpu = Wire.get_uint cur in
+    let pid = Wire.get_uint cur in
+    let err = Wire.get_str cur in
+    let sched = get_sched_opt cur in
+    Pnt_err { cpu; pid; err; sched }
+  | 3 -> Task_dead { pid = Wire.get_uint cur }
+  | 4 ->
+    let pid = Wire.get_uint cur in
+    let runtime = Wire.get_uint cur in
+    let cpu = Wire.get_uint cur in
+    Task_blocked { pid; runtime; cpu }
+  | 5 ->
+    let pid = Wire.get_uint cur in
+    let runtime = Wire.get_uint cur in
+    let waker_cpu = Wire.get_uint cur in
+    let sched = get_sched cur in
+    Task_wakeup { pid; runtime; waker_cpu; sched }
+  | 6 ->
+    let pid = Wire.get_uint cur in
+    let runtime = Wire.get_uint cur in
+    let prio = Wire.get_int cur in
+    let sched = get_sched cur in
+    Task_new { pid; runtime; prio; sched }
+  | 7 ->
+    let pid = Wire.get_uint cur in
+    let runtime = Wire.get_uint cur in
+    let cpu = Wire.get_uint cur in
+    let sched = get_sched cur in
+    Task_preempt { pid; runtime; cpu; sched }
+  | 8 ->
+    let pid = Wire.get_uint cur in
+    let runtime = Wire.get_uint cur in
+    let cpu = Wire.get_uint cur in
+    let sched = get_sched cur in
+    Task_yield { pid; runtime; cpu; sched }
+  | 9 ->
+    let pid = Wire.get_uint cur in
+    let cpu = Wire.get_uint cur in
+    Task_departed { pid; cpu }
+  | 10 ->
+    let pid = Wire.get_uint cur in
+    let allowed = get_ints cur in
+    Task_affinity_changed { pid; allowed }
+  | 11 ->
+    let pid = Wire.get_uint cur in
+    let prio = Wire.get_int cur in
+    Task_prio_changed { pid; prio }
+  | 12 ->
+    let cpu = Wire.get_uint cur in
+    let queued = Wire.get_bool cur in
+    Task_tick { cpu; queued }
+  | 13 ->
+    let pid = Wire.get_uint cur in
+    let waker_cpu = Wire.get_uint cur in
+    let allowed = get_ints cur in
+    Select_task_rq { pid; waker_cpu; allowed }
+  | 14 ->
+    let pid = Wire.get_uint cur in
+    let from_cpu = Wire.get_uint cur in
+    let sched = get_sched cur in
+    Migrate_task_rq { pid; from_cpu; sched }
+  | 15 -> Balance { cpu = Wire.get_uint cur }
+  | 16 ->
+    let cpu = Wire.get_uint cur in
+    let pid = Wire.get_uint cur in
+    let sched = get_sched_opt cur in
+    Balance_err { cpu; pid; sched }
+  | 17 ->
+    let pid = Wire.get_uint cur in
+    let name = Wire.get_str cur in
+    let payload = Wire.get_str cur in
+    Parse_hint { pid; hint = Hint_codec.decode_parts ~name ~payload }
+  | op -> failwith (Printf.sprintf "Message: unknown call opcode %d" op)
+
+let put_reply buf = function
+  | R_unit -> Wire.put_byte buf 0
+  | R_int i ->
+    Wire.put_byte buf 1;
+    Wire.put_int buf i
+  | R_pid_opt None ->
+    Wire.put_byte buf 2;
+    Wire.put_byte buf 0
+  | R_pid_opt (Some p) ->
+    Wire.put_byte buf 2;
+    Wire.put_byte buf 1;
+    Wire.put_uint buf p
+  | R_sched_opt s ->
+    Wire.put_byte buf 3;
+    put_sched_opt buf s
+
+let get_reply cur =
+  match Wire.get_byte cur with
+  | 0 -> R_unit
+  | 1 -> R_int (Wire.get_int cur)
+  | 2 -> (
+    match Wire.get_byte cur with
+    | 0 -> R_pid_opt None
+    | _ -> R_pid_opt (Some (Wire.get_uint cur)))
+  | 3 -> R_sched_opt (get_sched_opt cur)
+  | tag -> failwith (Printf.sprintf "Message: unknown reply tag %d" tag)
 
 let reply_matches a b =
   match (a, b) with

@@ -47,6 +47,19 @@ val encode_reply : reply -> string
 
 val decode_reply : string -> reply
 
+(** Binary wire form: length-prefixed varint fields, no escaping, so
+    free-form payloads (errors, hints) round-trip byte-exactly no matter
+    what they contain.  Opcodes follow constructor declaration order.
+    Readers raise {!Wire.Truncated} on short input and [Failure] on
+    unknown opcodes. *)
+val put_call : Buffer.t -> call -> unit
+
+val get_call : Wire.cursor -> call
+
+val put_reply : Buffer.t -> reply -> unit
+
+val get_reply : Wire.cursor -> reply
+
 (** Replies are compared structurally during replay validation;
     Schedulables match on (pid, cpu). *)
 val reply_matches : reply -> reply -> bool

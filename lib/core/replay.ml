@@ -7,7 +7,29 @@ type report = {
   threads : int;
   mismatches : (int * string) list;
   wall_seconds : float;
+  order_abandoned : bool;
 }
+
+type info = {
+  binary : bool;
+  recorded_events : int option;
+  dropped : int option;
+  truncated : bool;
+}
+
+exception Incomplete_log of { dropped : int }
+
+type divergence = { failing_prefix : int; seq : int; detail : string; context : entry list }
+
+let entry_seq = function Call { seq; _ } -> seq | Lock_event { seq; _ } -> seq
+
+let entry_line = function
+  | Call { tid; call; reply; _ } ->
+    Printf.sprintf "C %d %s => %s" tid (Message.encode_call call) (Message.encode_reply reply)
+  | Lock_event { tid; op; lock_id; _ } ->
+    Printf.sprintf "L %d %s %d" tid (Lock.op_name op) lock_id
+
+(* ---- text form ---------------------------------------------------------- *)
 
 let parse_line seq line =
   match String.index_opt line ' ' with
@@ -26,27 +48,113 @@ let parse_line seq line =
     match String.split_on_char ' ' line with
     | [ "L"; tid; op; lock_id ] ->
       let op =
-        match op with
-        | "create" -> Lock.Create
-        | "acquire" -> Lock.Acquire
-        | "release" -> Lock.Release
-        | _ -> failwith ("Replay: bad lock op: " ^ op)
+        match Lock.op_of_name op with
+        | Some op -> op
+        | None -> failwith ("Replay: bad lock op: " ^ op)
       in
       Lock_event { seq; tid = int_of_string tid; op; lock_id = int_of_string lock_id }
     | _ -> failwith ("Replay: bad lock line: " ^ line))
   | _ -> failwith ("Replay: unrecognised line: " ^ line)
 
-let parse log =
-  let lines = String.split_on_char '\n' log in
-  let rec go seq acc = function
-    | [] -> List.rev acc
-    | "" :: rest -> go (seq + 1) acc rest
-    | line :: rest -> go (seq + 1) (parse_line seq line :: acc) rest
-  in
-  go 1 [] lines
+let parse_text_trailer line =
+  try Scanf.sscanf line "# enoki-record: events=%d dropped=%d" (fun e d -> Some (e, d))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
-let run (module S : Sched_trait.S) ~log =
-  let entries = parse log in
+(* [entry] is called per log entry, in order, with seq = file line number
+   (comment lines are skipped but still advance seq, so seq always names
+   the line to open in an editor). *)
+let fold_text log ~entry =
+  let lines = String.split_on_char '\n' log in
+  let recorded = ref None and dropped = ref None in
+  let rec go seq = function
+    | [] -> ()
+    | "" :: rest -> go (seq + 1) rest
+    | line :: rest ->
+      if line.[0] = '#' then begin
+        (match parse_text_trailer line with
+        | Some (e, d) ->
+          recorded := Some e;
+          dropped := Some d
+        | None -> ())
+      end
+      else entry (parse_line seq line);
+      go (seq + 1) rest
+  in
+  go 1 lines;
+  { binary = false; recorded_events = !recorded; dropped = !dropped; truncated = false }
+
+(* ---- binary form -------------------------------------------------------- *)
+
+let is_binary log =
+  String.length log >= String.length Record.magic
+  && String.sub log 0 (String.length Record.magic) = Record.magic
+
+(* Decodes every complete frame, then stops: a recording cut off mid-frame
+   (crash, full disk) salvages everything before the cut and is flagged
+   [truncated] instead of raising.  [decode] controls whether non-trailer
+   payloads are parsed at all — [info] skips them, so probing a huge log
+   costs no entry allocations. *)
+let fold_binary log ~decode ~entry =
+  let cur = Wire.cursor ~pos:(String.length Record.magic) log in
+  let seq = ref 0 in
+  let recorded = ref None and dropped = ref None in
+  let truncated = ref false in
+  (try
+     while not (Wire.at_end cur) do
+       let len = Wire.get_uint cur in
+       if cur.pos + len > String.length log then raise Wire.Truncated;
+       let frame_end = cur.pos + len in
+       (match Wire.get_byte cur with
+       | 0x01 ->
+         incr seq;
+         if decode then begin
+           let tid = Wire.get_uint cur in
+           let call = Message.get_call cur in
+           let reply = Message.get_reply cur in
+           entry (Call { seq = !seq; tid; call; reply })
+         end
+       | 0x02 ->
+         incr seq;
+         if decode then begin
+           let tid = Wire.get_uint cur in
+           let op =
+             match Lock.op_of_byte (Wire.get_byte cur) with
+             | Some op -> op
+             | None -> failwith "Replay: bad lock op byte"
+           in
+           let lock_id = Wire.get_uint cur in
+           entry (Lock_event { seq = !seq; tid; op; lock_id })
+         end
+       | 0x7f ->
+         let e = Wire.get_uint cur in
+         let d = Wire.get_uint cur in
+         recorded := Some e;
+         dropped := Some d
+       | k -> failwith (Printf.sprintf "Replay: unknown record kind 0x%02x" k));
+       cur.pos <- frame_end
+     done
+   with Wire.Truncated -> truncated := true);
+  { binary = true; recorded_events = !recorded; dropped = !dropped; truncated = !truncated }
+
+(* ---- parsing entry points ----------------------------------------------- *)
+
+let fold log ~entry =
+  if is_binary log then fold_binary log ~decode:true ~entry else fold_text log ~entry
+
+let parse_full log =
+  let acc = ref [] in
+  let info = fold log ~entry:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, info)
+
+let parse log = fst (parse_full log)
+
+let info log =
+  if is_binary log then fold_binary log ~decode:false ~entry:(fun _ -> ())
+  else fold_text log ~entry:(fun _ -> ())
+
+(* ---- replay ------------------------------------------------------------- *)
+
+let run_entries (module S : Sched_trait.S) entries =
   (* per-lock acquisition order, and per-thread call streams *)
   let lock_order : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
   let calls_by_tid : (int, (int * Message.call * Message.reply) list ref) Hashtbl.t =
@@ -100,6 +208,22 @@ let run (module S : Sched_trait.S) ~log =
         let mismatches = ref [] in
         let mm_mutex = Mutex.create () in
         let total = ref 0 in
+        (* A diverged scheduler may acquire locks out of step with the
+           recording, which would wedge the strict admission order forever.
+           Two triggers release the order: the first reply mismatch
+           (divergence proven), and a stall watchdog for wedges that bite
+           before any reply differs.  Honest replays hit neither. *)
+        let abandoned = ref false in
+        let progress = Atomic.make 0 in
+        let finished = Atomic.make false in
+        let abandon () =
+          Mutex.lock mm_mutex;
+          if not !abandoned then begin
+            abandoned := true;
+            Lock.abandon_replay_order ()
+          end;
+          Mutex.unlock mm_mutex
+        in
         let run_thread (tid, calls) () =
           Mutex.lock tid_mutex;
           Hashtbl.replace tid_table (Thread.id (Thread.self ())) tid;
@@ -107,6 +231,7 @@ let run (module S : Sched_trait.S) ~log =
           List.iter
             (fun (seq, call, expected) ->
               let got = Lib_enoki.process packed call in
+              Atomic.incr progress;
               if not (Message.reply_matches expected got) then begin
                 Mutex.lock mm_mutex;
                 mismatches :=
@@ -114,7 +239,8 @@ let run (module S : Sched_trait.S) ~log =
                     Printf.sprintf "%s: recorded %s, replayed %s" (Message.call_name call)
                       (Message.encode_reply expected) (Message.encode_reply got) )
                   :: !mismatches;
-                Mutex.unlock mm_mutex
+                Mutex.unlock mm_mutex;
+                abandon ()
               end)
             calls
         in
@@ -124,15 +250,93 @@ let run (module S : Sched_trait.S) ~log =
         in
         List.iter (fun (_, calls) -> total := !total + List.length calls) streams;
         let threads = List.map (fun s -> Thread.create (run_thread s) ()) streams in
+        let watchdog =
+          Thread.create
+            (fun () ->
+              let last = ref (-1) in
+              let stalled = ref 0 in
+              while not (Atomic.get finished) do
+                Thread.delay 0.05;
+                let p = Atomic.get progress in
+                if p = !last then begin
+                  incr stalled;
+                  if !stalled >= 10 then begin
+                    (* half a second with zero calls completing: wedged *)
+                    abandon ();
+                    stalled := 0
+                  end
+                end
+                else begin
+                  last := p;
+                  stalled := 0
+                end
+              done)
+            ()
+        in
         List.iter Thread.join threads;
-        (!total, List.length streams, List.sort compare !mismatches))
+        Atomic.set finished true;
+        Thread.join watchdog;
+        (!total, List.length streams, List.sort compare !mismatches, !abandoned))
   in
-  let total_calls, threads, mismatches = result in
-  { total_calls; threads; mismatches; wall_seconds = Unix.gettimeofday () -. started }
+  let total_calls, threads, mismatches, order_abandoned = result in
+  { total_calls; threads; mismatches; wall_seconds = Unix.gettimeofday () -. started;
+    order_abandoned }
+
+let run ?(allow_drops = false) (module S : Sched_trait.S) ~log =
+  let entries, info = parse_full log in
+  (match info.dropped with
+  | Some d when d > 0 && not allow_drops -> raise (Incomplete_log { dropped = d })
+  | _ -> ());
+  run_entries (module S) entries
+
+(* ---- divergence bisection ----------------------------------------------- *)
+
+let bisect ?(window = 3) (module S : Sched_trait.S) ~log =
+  let entries, _ = parse_full log in
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let prefix k = Array.to_list (Array.sub arr 0 k) in
+  let fails k = (run_entries (module S) (prefix k)).mismatches <> [] in
+  if n = 0 || not (fails n) then None
+  else begin
+    (* binary search for the smallest failing prefix: replay is
+       deterministic (recorded inputs, recorded lock order), so
+       fails is monotone in the prefix length *)
+    let lo = ref 1 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fails mid then hi := mid else lo := mid + 1
+    done;
+    let k = !lo in
+    let seq, detail =
+      match (run_entries (module S) (prefix k)).mismatches with
+      | (seq, detail) :: _ -> (seq, detail)
+      | [] -> (entry_seq arr.(k - 1), "first divergent entry (mismatch details unavailable)")
+    in
+    let lo_i = max 0 (k - 1 - window) and hi_i = min (n - 1) (k - 1 + window) in
+    let context = Array.to_list (Array.sub arr lo_i (hi_i - lo_i + 1)) in
+    Some { failing_prefix = k; seq; detail; context }
+  end
+
+(* ---- reporting ---------------------------------------------------------- *)
 
 let pp_report fmt r =
   Format.fprintf fmt "replayed %d calls on %d threads in %.3fs: %s" r.total_calls r.threads
     r.wall_seconds
     (match r.mismatches with
     | [] -> "all replies matched"
-    | ms -> Printf.sprintf "%d MISMATCHES" (List.length ms))
+    | ms -> Printf.sprintf "%d MISMATCHES" (List.length ms));
+  (match r.mismatches with
+  | [] -> ()
+  | ms ->
+    let rec show n = function
+      | [] -> ()
+      | _ when n = 0 ->
+        Format.fprintf fmt "@\n  ... and %d more" (List.length ms - 5)
+      | (seq, detail) :: rest ->
+        Format.fprintf fmt "@\n  line %d: %s" seq detail;
+        show (n - 1) rest
+    in
+    show 5 ms);
+  if r.order_abandoned then
+    Format.fprintf fmt "@\n  (recorded lock order released after divergence to keep replay live)"

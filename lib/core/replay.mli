@@ -5,7 +5,13 @@
     per-kernel-thread order: one real OS thread is created per recorded
     kernel thread, and {!Lock} admits threads into each critical section in
     the recorded acquisition order.  Responses are validated against the
-    recorded ones, flagging any divergence to the user. *)
+    recorded ones, flagging any divergence to the user.
+
+    Both record formats are accepted — logs starting with {!Record.magic}
+    are decoded as binary frames, anything else as the text form.  Entry
+    [seq] numbers name positions in the source: the file line for text
+    logs (comment lines count, so [seq] is exactly the line to open), the
+    frame index for binary ones. *)
 
 type entry =
   | Call of { seq : int; tid : int; call : Message.call; reply : Message.reply }
@@ -15,16 +21,66 @@ type report = {
   total_calls : int;
   threads : int;
   mismatches : (int * string) list;
-      (** (log line, description) for every reply diverging from the
-          recording *)
+      (** (log position, description) for every reply diverging from the
+          recording, in log order.  The first mismatch is produced under
+          the recorded lock order and is authoritative; once divergence is
+          established the order is released (see [order_abandoned]), so
+          later mismatches are advisory. *)
   wall_seconds : float;
+  order_abandoned : bool;
+      (** the replayed scheduler diverged far enough (reply mismatch or a
+          lock-admission wedge) that the recorded lock order was released
+          to keep the replay live *)
 }
 
-(** Parse a record log (lines not matching the format raise [Failure]). *)
+(** What the log header/trailer says about a recording, without decoding
+    entries (cheap even for huge logs). *)
+type info = {
+  binary : bool;
+  recorded_events : int option;  (** [None]: no trailer (e.g. cut-off run) *)
+  dropped : int option;
+  truncated : bool;  (** binary log ends mid-frame; complete frames salvaged *)
+}
+
+(** Raised by {!run} when the log's trailer records ring-overrun drops: the
+    recording has holes, so a replay divergence would be meaningless.  Pass
+    [~allow_drops:true] to replay anyway. *)
+exception Incomplete_log of { dropped : int }
+
+(** The result of {!bisect}: [failing_prefix] is the length of the minimal
+    diverging prefix, [seq]/[detail] name the first divergent call, and
+    [context] is a window of log entries around it. *)
+type divergence = { failing_prefix : int; seq : int; detail : string; context : entry list }
+
+(** Parse a record log of either format.  Malformed text lines and corrupt
+    binary frames raise [Failure]; a binary log that simply ends mid-frame
+    yields the complete frames (see {!info}). *)
 val parse : string -> entry list
 
-(** [run (module S) ~log] replays the log against a fresh instance of [S]
-    built with an inert context. *)
-val run : (module Sched_trait.S) -> log:string -> report
+(** {!parse} plus the header/trailer {!info} from the same pass. *)
+val parse_full : string -> entry list * info
 
+(** Header/trailer inspection only — entries are scanned, not decoded. *)
+val info : string -> info
+
+(** [run (module S) ~log] replays the log against a fresh instance of [S]
+    built with an inert context.  Raises {!Incomplete_log} if the trailer
+    records dropped events, unless [allow_drops] is set. *)
+val run : ?allow_drops:bool -> (module Sched_trait.S) -> log:string -> report
+
+(** Replay an already-parsed entry list (no drop check — the caller has the
+    {!info} if it wants one). *)
+val run_entries : (module Sched_trait.S) -> entry list -> report
+
+(** [bisect (module S) ~log] delta-debugs a diverging log: binary-searches
+    for the minimal failing prefix and reports the first divergent call
+    with [window] entries of context either side (default 3).  [None] if
+    the full log replays clean.  Costs O(log n) replays. *)
+val bisect : ?window:int -> (module Sched_trait.S) -> log:string -> divergence option
+
+(** Render an entry in the text-log form (for context printing). *)
+val entry_line : entry -> string
+
+(** One-line verdict; on mismatch, also the first few divergences with
+    their log positions. *)
 val pp_report : Format.formatter -> report -> unit

@@ -8,3 +8,48 @@ let split_arrow s =
   match find 0 with
   | None -> None
   | Some i -> Some (String.sub s 0 i, String.sub s (i + 4) (n - i - 4))
+
+(* Percent-escaping for free-form payloads in the space/newline-delimited
+   text log: identifier-ish characters pass through, everything else
+   (spaces, newlines, the " => " separator, '%' itself) becomes %XX, so
+   the escaped form never contains a field or line delimiter and
+   [unescape] is an exact inverse. *)
+let escape s =
+  let safe = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ',' | '=' -> true
+    | _ -> false
+  in
+  if String.for_all safe s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if safe c then Buffer.add_char buf c
+        else Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
+
+let unescape s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        if s.[i] = '%' && i + 2 < n then begin
+          (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+          | Some code -> Buffer.add_char buf (Char.chr (code land 0xff))
+          | None ->
+            Buffer.add_char buf s.[i];
+            Buffer.add_string buf (String.sub s (i + 1) 2));
+          go (i + 3)
+        end
+        else begin
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+  end

@@ -1,4 +1,13 @@
-(** Tiny string helpers for the record-log format. *)
+(** Tiny string helpers for the record-log text format. *)
 
 (** Split ["lhs => rhs"] into [Some (lhs, rhs)]; [None] when no arrow. *)
 val split_arrow : string -> (string * string) option
+
+(** Percent-escape a free-form payload so it can travel as one field of a
+    space/newline-delimited log line: identifier-ish characters
+    ([a-zA-Z0-9-_.,=]) pass through, everything else — spaces, newlines,
+    ['%'], the [" => "] separator — becomes [%XX].  {!unescape} is an
+    exact inverse, so escaped payloads round-trip byte-for-byte. *)
+val escape : string -> string
+
+val unescape : string -> string

@@ -50,4 +50,8 @@ let drain t =
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
   t.head <- 0;
-  t.len <- 0
+  t.len <- 0;
+  (* a cleared ring is as-new: stale drop counts from a previous life
+     (e.g. the hint ring surviving a live upgrade) must not leak into the
+     next consumer's accounting *)
+  t.dropped <- 0

@@ -35,4 +35,8 @@ val dropped : 'a t -> int
 (** Drain everything currently queued, oldest first. *)
 val drain : 'a t -> 'a list
 
+(** [clear t] empties the ring {e and} resets the drop counter: a cleared
+    ring is indistinguishable from a freshly created one.  Consumers that
+    reuse a ring across epochs (the hint ring across live upgrades, a
+    record ring across runs) rely on [dropped] restarting from zero. *)
 val clear : 'a t -> unit

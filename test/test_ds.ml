@@ -163,6 +163,20 @@ let test_ring_drain () =
   check Alcotest.(list int) "drain order" [ 1; 2; 3 ] (Ds.Ring_buffer.drain r);
   check Alcotest.bool "empty after drain" true (Ds.Ring_buffer.is_empty r)
 
+let test_ring_clear_resets_drop_accounting () =
+  (* regression: [clear] used to keep the old [dropped] count, so a reused
+     ring (e.g. a record ring between runs) blamed fresh runs for stale
+     overruns *)
+  let r = Ds.Ring_buffer.create ~capacity:2 in
+  ignore (Ds.Ring_buffer.push r 1);
+  ignore (Ds.Ring_buffer.push r 2);
+  check Alcotest.bool "overflow push rejected" false (Ds.Ring_buffer.push r 3);
+  check Alcotest.int "drop counted" 1 (Ds.Ring_buffer.dropped r);
+  Ds.Ring_buffer.clear r;
+  check Alcotest.bool "empty after clear" true (Ds.Ring_buffer.is_empty r);
+  check Alcotest.int "drop accounting reset" 0 (Ds.Ring_buffer.dropped r);
+  check Alcotest.bool "reusable" true (Ds.Ring_buffer.push r 4)
+
 let test_ring_invalid () =
   Alcotest.check_raises "zero capacity" (Invalid_argument "Ring_buffer.create") (fun () ->
       ignore (Ds.Ring_buffer.create ~capacity:0))
@@ -683,6 +697,8 @@ let () =
           Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "drain" `Quick test_ring_drain;
           Alcotest.test_case "invalid capacity" `Quick test_ring_invalid;
+          Alcotest.test_case "clear resets drop accounting" `Quick
+            test_ring_clear_resets_drop_accounting;
           qtest "fifo order" QCheck.(list small_int) prop_ring_fifo;
         ] );
       ( "heap",

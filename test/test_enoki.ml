@@ -527,7 +527,7 @@ let test_record_overrun_reported_and_log_usable () =
 
 let test_replay_of_truncated_log_validates () =
   Enoki.Lock.set_passthrough_mode ();
-  let record = Enoki.Record.create () in
+  let record = Enoki.Record.create ~format:Enoki.Record.Text () in
   let b = build_fifo ~record () in
   pingpong_workload b ~iters:100;
   M.run_for b.machine (Kernsim.Time.ms 200);
@@ -546,6 +546,180 @@ let test_replay_of_truncated_log_validates () =
   check
     Alcotest.(list (pair int string))
     "truncated log still validates" [] report.Enoki.Replay.mismatches
+
+let test_binary_truncation_salvages_frames () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:100;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  let log = Enoki.Record.contents record in
+  let full = Enoki.Replay.parse log in
+  (* chop the final byte: the trailer frame is now cut mid-frame, which is
+     what a crash mid-write leaves behind *)
+  let cut = String.sub log 0 (String.length log - 1) in
+  let entries, info = Enoki.Replay.parse_full cut in
+  check Alcotest.bool "binary detected" true info.Enoki.Replay.binary;
+  check Alcotest.bool "truncation flagged" true info.Enoki.Replay.truncated;
+  check
+    Alcotest.(option int)
+    "trailer lost with the cut" None info.Enoki.Replay.recorded_events;
+  check Alcotest.int "complete frames salvaged" (List.length full) (List.length entries);
+  (* the salvaged prefix still replays and validates *)
+  let report = Enoki.Replay.run (module Schedulers.Fifo_sched) ~log:cut in
+  check Alcotest.bool "salvaged frames replay calls" true
+    (report.Enoki.Replay.total_calls > 0);
+  check
+    Alcotest.(list (pair int string))
+    "salvaged frames validate" [] report.Enoki.Replay.mismatches
+
+let test_replay_fails_fast_on_drops () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create ~capacity:8 () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:200;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  let dropped = Enoki.Record.dropped record in
+  check Alcotest.bool "ring overran" true (dropped > 0);
+  let log = Enoki.Record.contents record in
+  let info = Enoki.Replay.info log in
+  check Alcotest.(option int) "trailer names the drop count" (Some dropped) info.Enoki.Replay.dropped;
+  (* a recording with holes must not silently replay as if complete *)
+  (match Enoki.Replay.run (module Schedulers.Fifo_sched) ~log with
+  | exception Enoki.Replay.Incomplete_log { dropped = d } ->
+    check Alcotest.int "exception names the drop count" dropped d
+  | _ -> Alcotest.fail "expected Incomplete_log");
+  (* explicit opt-in still replays what survived *)
+  let report = Enoki.Replay.run ~allow_drops:true (module Schedulers.Fifo_sched) ~log in
+  check Alcotest.bool "forced replay completes" true (report.Enoki.Replay.wall_seconds >= 0.)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_report_names_log_lines () =
+  Enoki.Lock.set_passthrough_mode ();
+  let record = Enoki.Record.create () in
+  let b = build_fifo ~record () in
+  pingpong_workload b ~iters:50;
+  M.run_for b.machine (Kernsim.Time.ms 100);
+  let log = Enoki.Record.contents record in
+  let report = Enoki.Replay.run (module Schedulers.Shinjuku) ~log in
+  check Alcotest.bool "divergence flagged" true (report.Enoki.Replay.mismatches <> []);
+  let rendered = Format.asprintf "%a" Enoki.Replay.pp_report report in
+  let first_seq =
+    match report.Enoki.Replay.mismatches with (s, _) :: _ -> s | [] -> assert false
+  in
+  check Alcotest.bool "report names the first mismatch position" true
+    (contains rendered (Printf.sprintf "line %d:" first_seq))
+
+let test_bisect_pinpoints_injected_wrong_reply () =
+  Enoki.Lock.set_passthrough_mode ();
+  let plan =
+    match Fault.Plan.parse "wrong-reply:p=0.05" with Ok p -> p | Error e -> failwith e
+  in
+  let faulty = Fault.Inject.wrap ~seed:7 ~plan (module Schedulers.Wfq) in
+  let record = Enoki.Record.create () in
+  let b =
+    Workloads.Setup.build ~record ~topology:Kernsim.Topology.one_socket
+      (Workloads.Setup.Enoki_sched faulty)
+  in
+  pingpong_workload b ~iters:100;
+  M.run_for b.machine (Kernsim.Time.ms 200);
+  let log = Enoki.Record.contents record in
+  (* replay the clean scheduler: the injected wrong replies must diverge *)
+  let report = Enoki.Replay.run (module Schedulers.Wfq) ~log in
+  check Alcotest.bool "injected fault visible on replay" true
+    (report.Enoki.Replay.mismatches <> []);
+  match Enoki.Replay.bisect (module Schedulers.Wfq) ~log with
+  | None -> Alcotest.fail "bisect found no divergence in a diverging log"
+  | Some d ->
+    let first_seq =
+      match report.Enoki.Replay.mismatches with (s, _) :: _ -> s | [] -> assert false
+    in
+    check Alcotest.int "bisect pinpoints the first divergent call" first_seq
+      d.Enoki.Replay.seq;
+    check Alcotest.bool "minimal failing prefix found" true (d.Enoki.Replay.failing_prefix >= 1);
+    check Alcotest.bool "context window populated" true (d.Enoki.Replay.context <> [])
+
+let test_streaming_record_memory_bounded () =
+  let path = Filename.temp_file "enoki" ".rec" in
+  let record = Enoki.Record.create_file ~path ~capacity:4096 () in
+  let total = 1_000_000 in
+  Gc.full_major ();
+  let before = (Gc.stat ()).Gc.live_words in
+  for i = 0 to total - 1 do
+    Enoki.Record.tap_lock record
+      { Enoki.Lock.lock_id = i land 7; op = Enoki.Lock.Acquire; tid = i land 3 };
+    if i land 2047 = 2047 then Enoki.Record.drain record
+  done;
+  Enoki.Record.close record;
+  Gc.full_major ();
+  let after = (Gc.stat ()).Gc.live_words in
+  (* streaming must not accumulate the log in the heap: a megaevent run
+     buffered in memory would hold several MB; the drained path keeps only
+     the ring and a scratch buffer *)
+  check Alcotest.bool "heap growth bounded" true (after - before < 262_144);
+  let log = Enoki.Record.load_file ~path in
+  Sys.remove path;
+  let info = Enoki.Replay.info log in
+  check Alcotest.(option int) "all events reached the file" (Some total)
+    info.Enoki.Replay.recorded_events;
+  check Alcotest.(option int) "no drops" (Some 0) info.Enoki.Replay.dropped;
+  check Alcotest.bool "log complete" false info.Enoki.Replay.truncated
+
+let test_stream_equivalence_across_schedulers () =
+  (* the same deterministic run recorded through the in-memory text path
+     and the streamed binary-file path must yield byte-equal histories,
+     and the streamed log must replay clean on its own scheduler *)
+  let scheds : (string * (module Enoki.Sched_trait.S)) list =
+    [
+      ("fifo", (module Schedulers.Fifo_sched));
+      ("wfq", (module Schedulers.Wfq));
+      ("rt_fifo", (module Schedulers.Rt_fifo));
+      ("edf", (module Schedulers.Edf));
+      ("shinjuku", (module Schedulers.Shinjuku));
+      ("locality", (module Schedulers.Locality));
+      ("nest", (module Schedulers.Nest));
+      ("arachne", (module Schedulers.Arachne));
+    ]
+  in
+  List.iter
+    (fun (name, sched) ->
+      Enoki.Lock.set_passthrough_mode ();
+      let run_with record =
+        let b =
+          Workloads.Setup.build ~record ~topology:Kernsim.Topology.one_socket
+            (Workloads.Setup.Enoki_sched sched)
+        in
+        pingpong_workload b ~iters:30;
+        M.run_for b.machine (Kernsim.Time.ms 100)
+      in
+      let text = Enoki.Record.create ~format:Enoki.Record.Text () in
+      run_with text;
+      let text_log = Enoki.Record.contents text in
+      let path = Filename.temp_file "enoki" ".rec" in
+      let bin = Enoki.Record.create_file ~path () in
+      run_with bin;
+      Enoki.Record.close bin;
+      let bin_log = Enoki.Record.load_file ~path in
+      Sys.remove path;
+      let t_entries = Enoki.Replay.parse text_log in
+      let b_entries = Enoki.Replay.parse bin_log in
+      check Alcotest.int (name ^ ": entry counts equal") (List.length t_entries)
+        (List.length b_entries);
+      List.iter2
+        (fun a b' ->
+          check Alcotest.string (name ^ ": entries equal") (Enoki.Replay.entry_line a)
+            (Enoki.Replay.entry_line b'))
+        t_entries b_entries;
+      let report = Enoki.Replay.run sched ~log:bin_log in
+      check
+        Alcotest.(list (pair int string))
+        (name ^ ": streamed binary log replays clean")
+        [] report.Enoki.Replay.mismatches)
+    scheds
 
 let test_record_save_load () =
   let record = Enoki.Record.create () in
@@ -614,5 +788,15 @@ let () =
           Alcotest.test_case "replay matches" `Quick test_replay_matches_record;
           Alcotest.test_case "replay detects divergence" `Quick test_replay_detects_divergence;
           Alcotest.test_case "save/load" `Quick test_record_save_load;
+          Alcotest.test_case "binary truncation salvages frames" `Quick
+            test_binary_truncation_salvages_frames;
+          Alcotest.test_case "replay fails fast on drops" `Quick test_replay_fails_fast_on_drops;
+          Alcotest.test_case "report names log lines" `Quick test_pp_report_names_log_lines;
+          Alcotest.test_case "bisect pinpoints injected wrong reply" `Quick
+            test_bisect_pinpoints_injected_wrong_reply;
+          Alcotest.test_case "streaming memory bounded" `Quick
+            test_streaming_record_memory_bounded;
+          Alcotest.test_case "text/binary stream equivalence" `Quick
+            test_stream_equivalence_across_schedulers;
         ] );
     ]

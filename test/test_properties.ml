@@ -139,8 +139,86 @@ let prop_message_fuzz_roundtrip (pid, cpu, gen, runtime) =
   List.for_all
     (fun c ->
       let line = Enoki.Message.encode_call c in
-      Enoki.Message.encode_call (Enoki.Message.decode_call line) = line)
+      Enoki.Message.encode_call (Enoki.Message.decode_call line) = line
+      &&
+      let buf = Buffer.create 64 in
+      Enoki.Message.put_call buf c;
+      let cur = Enoki.Wire.cursor (Buffer.contents buf) in
+      let c' = Enoki.Message.get_call cur in
+      Enoki.Wire.at_end cur && Enoki.Message.encode_call c' = line)
     calls
+
+(* payloads chosen to break a delimiter-based log: the text codec must
+   escape them onto one line, the binary codec must keep them byte-exact *)
+let adversarial_string =
+  let gen =
+    QCheck.Gen.(
+      let fragment =
+        oneof
+          [
+            return " => ";
+            return "\n";
+            return "%";
+            return " ";
+            return "# enoki-record: events=1 dropped=2";
+            return "C 3 pick_next_task";
+            string_size ~gen:printable (int_range 0 16);
+          ]
+      in
+      map (String.concat "") (list_size (int_range 0 12) fragment))
+  in
+  QCheck.make ~print:String.escaped gen
+
+let binary_call_roundtrip c =
+  let buf = Buffer.create 64 in
+  Enoki.Message.put_call buf c;
+  let cur = Enoki.Wire.cursor (Buffer.contents buf) in
+  let c' = Enoki.Message.get_call cur in
+  Enoki.Wire.at_end cur && Enoki.Message.encode_call c' = Enoki.Message.encode_call c
+
+let prop_adversarial_payload_roundtrip (err, payload) =
+  let s = Enoki.Schedulable.Private.create ~pid:7 ~cpu:1 ~gen:2 in
+  let calls =
+    [
+      Enoki.Message.Pnt_err { cpu = 1; pid = 7; err; sched = Some s };
+      Enoki.Message.Pnt_err { cpu = 0; pid = 3; err; sched = None };
+      Enoki.Message.Parse_hint { pid = 7; hint = Enoki.Hint_codec.Opaque payload };
+    ]
+  in
+  List.for_all
+    (fun c ->
+      let line = Enoki.Message.encode_call c in
+      (* the text form must survive the line-delimited debug log *)
+      (not (String.contains line '\n'))
+      && Enoki.Message.encode_call (Enoki.Message.decode_call line) = line
+      && binary_call_roundtrip c)
+    calls
+  (* and the binary form must hand back the payload bytes untouched *)
+  && (let buf = Buffer.create 64 in
+      Enoki.Message.put_call buf (Enoki.Message.Parse_hint { pid = 1; hint = Enoki.Hint_codec.Opaque payload });
+      match Enoki.Message.get_call (Enoki.Wire.cursor (Buffer.contents buf)) with
+      | Enoki.Message.Parse_hint { hint = Enoki.Hint_codec.Opaque p; _ } -> p = payload
+      | _ -> false)
+
+let prop_binary_reply_roundtrip (n, pid) =
+  let s = Enoki.Schedulable.Private.create ~pid:(abs pid) ~cpu:0 ~gen:1 in
+  let replies =
+    [
+      Enoki.Message.R_unit;
+      Enoki.Message.R_int n;
+      Enoki.Message.R_pid_opt (if pid mod 2 = 0 then Some (abs pid) else None);
+      Enoki.Message.R_sched_opt (if pid mod 3 = 0 then Some s else None);
+    ]
+  in
+  List.for_all
+    (fun r ->
+      let buf = Buffer.create 16 in
+      Enoki.Message.put_reply buf r;
+      let cur = Enoki.Wire.cursor (Buffer.contents buf) in
+      let r' = Enoki.Message.get_reply cur in
+      Enoki.Wire.at_end cur
+      && Enoki.Message.encode_reply r' = Enoki.Message.encode_reply r)
+    replies
 
 let prop_upgrade_preserves_tasks seed =
   let b =
@@ -228,7 +306,15 @@ let () =
       ( "record-replay",
         [ qtest ~count:10 "recorded runs replay exactly" seeds prop_record_replay_roundtrip ] );
       ( "messages",
-        [ qtest ~count:200 "fuzzed encode/decode" QCheck.(quad int int int int) prop_message_fuzz_roundtrip ] );
+        [
+          qtest ~count:200 "fuzzed encode/decode" QCheck.(quad int int int int)
+            prop_message_fuzz_roundtrip;
+          qtest ~count:200 "adversarial payloads round-trip both codecs"
+            QCheck.(pair adversarial_string adversarial_string)
+            prop_adversarial_payload_roundtrip;
+          qtest ~count:100 "binary replies round-trip" QCheck.(pair int int)
+            prop_binary_reply_roundtrip;
+        ] );
       ( "upgrade",
         [
           qtest ~count:10 "upgrades under load lose nothing" seeds prop_upgrade_preserves_tasks;
