@@ -720,20 +720,11 @@ let sanity () =
     { all with Trace.Sanitizer.disabled = [ Trace.Sanitizer.Work_conservation; Starvation ] }
   in
   let kinds =
-    [
-      (Workloads.Setup.Cfs, pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched), pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Wfq), pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku), pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Locality), pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Arachne), memcached, arbiter);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Edf), pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Nest), pipe, all);
-      (Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo), pipe, all);
-      (Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol, pipe, all);
-      (Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu, pipe, all);
-      (Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku, pipe, all);
-    ]
+    List.map
+      (fun (e : Schedulers.Registry.entry) ->
+        let kind = Workloads.Setup.of_registry e in
+        if e.Schedulers.Registry.arbiter then (kind, memcached, arbiter) else (kind, pipe, all))
+      Schedulers.Registry.all
   in
   let cells =
     parallel_map kinds ~f:(fun (kind, workload, config) ->
@@ -787,16 +778,16 @@ let chaos () =
     { all with Trace.Sanitizer.disabled = [ Trace.Sanitizer.Work_conservation; Starvation ] }
   in
   let mods : (string * (module Enoki.Sched_trait.S) * _ * _) list =
-    [
-      ("fifo", (module Schedulers.Fifo_sched), pipe, all);
-      ("wfq", (module Schedulers.Wfq), pipe, all);
-      ("shinjuku", (module Schedulers.Shinjuku), pipe, all);
-      ("locality", (module Schedulers.Locality), pipe, all);
-      ("arachne", (module Schedulers.Arachne), memcached, arbiter);
-      ("edf", (module Schedulers.Edf), pipe, all);
-      ("nest", (module Schedulers.Nest), pipe, all);
-      ("rt-fifo", (module Schedulers.Rt_fifo), pipe, all);
-    ]
+    (* every Enoki module in the registry gets the full plan matrix; the
+       non-module entries (CFS, ghOSt) become controls below *)
+    List.filter_map
+      (fun (e : Schedulers.Registry.entry) ->
+        Option.map
+          (fun m ->
+            if e.Schedulers.Registry.arbiter then (e.Schedulers.Registry.name, m, memcached, arbiter)
+            else (e.Schedulers.Registry.name, m, pipe, all))
+          (Schedulers.Registry.enoki_module e))
+      Schedulers.Registry.all
   in
   (* plan name, spec, per-call budget, watchdog armed *)
   let plans =
@@ -888,14 +879,13 @@ let chaos () =
             `Inject (name, m, workload, config, plan_name, spec, budget, watchdog))
           plans)
       mods
-    @ List.map
-        (fun c -> `Control c)
-        [
-          ("cfs", Workloads.Setup.Cfs);
-          ("ghost-sol", Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol);
-          ("ghost-fifo", Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu);
-          ("ghost-shinjuku", Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku);
-        ]
+    @ List.filter_map
+        (fun (e : Schedulers.Registry.entry) ->
+          match Schedulers.Registry.enoki_module e with
+          | Some _ -> None
+          | None ->
+            Some (`Control (e.Schedulers.Registry.name, Workloads.Setup.of_registry e)))
+        Schedulers.Registry.all
   in
   let rows =
     parallel_map cells ~f:(function
@@ -1008,24 +998,20 @@ let git_rev () =
     if rev = "" then "unknown" else rev
   with _ -> "unknown"
 
-(* The full scheduler matrix.  Arachne is a core arbiter (activations are
-   dispatched only once its runtime requests cores), so it is driven by
-   the memcached runtime instead of raw pipe tasks, as in sanity(). *)
+(* The full scheduler matrix — everything in the registry.  Core arbiters
+   (activations are dispatched only once their runtime requests cores) are
+   driven by the memcached runtime instead of raw pipe tasks, as in
+   sanity(). *)
 let perf_matrix : (string * Workloads.Setup.kind) list =
-  [
-    ("cfs", Workloads.Setup.Cfs);
-    ("fifo", Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched));
-    ("wfq", Workloads.Setup.Enoki_sched (module Schedulers.Wfq));
-    ("shinjuku", Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku));
-    ("locality", Workloads.Setup.Enoki_sched (module Schedulers.Locality));
-    ("arachne", Workloads.Setup.Enoki_sched (module Schedulers.Arachne));
-    ("edf", Workloads.Setup.Enoki_sched (module Schedulers.Edf));
-    ("nest", Workloads.Setup.Enoki_sched (module Schedulers.Nest));
-    ("rt-fifo", Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo));
-    ("ghost-sol", Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol);
-    ("ghost-fifo", Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu);
-    ("ghost-shinjuku", Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku);
-  ]
+  List.map
+    (fun (e : Schedulers.Registry.entry) ->
+      (e.Schedulers.Registry.name, Workloads.Setup.of_registry e))
+    Schedulers.Registry.all
+
+let is_arbiter name =
+  match Schedulers.Registry.find name with
+  | Some e -> e.Schedulers.Registry.arbiter
+  | None -> false
 
 type perf_result = {
   pr_name : string;
@@ -1045,7 +1031,7 @@ let perf_collect () =
       let prof = Profile.create () in
       let b = Workloads.Setup.build ~registry:reg ~profile:prof ~topology:one_socket kind in
       let pr_workload, pr_throughput =
-        if name = "arachne" then begin
+        if is_arbiter name then begin
           let load_kreqs = if !quick then 50. else 100. in
           let r =
             Workloads.Memcached.run b
@@ -1251,7 +1237,7 @@ type speed_core_row = {
   sc_heap_bytes : float;
 }
 
-let speed_matrix = List.filter (fun (n, _) -> n <> "arachne") perf_matrix
+let speed_matrix = List.filter (fun (n, _) -> not (is_arbiter n)) perf_matrix
 
 let speed_machine_cell (name, kind) =
   let messages = if !quick then 10_000 else 50_000 in
@@ -1499,6 +1485,274 @@ let speedgate () =
     if !regress_failed then print_endline "speedgate: FAIL (see verdicts above)"
     else print_endline "speedgate: ok"
 
+(* ---------- dsq: the DSQ scheduler family vs built-in CFS ----------
+
+   The dual-queue O(1) priority scheduler that scx-prio-dq reproduces
+   claims 65% lower dispatch latency and 33% fewer context switches than
+   CFS.  `dsq` runs built-in CFS and the DSQ family (scx-simple, scx-rr,
+   scx-prio-dq) over pipe/schbench/rocksdb/memcached and snapshots
+   BENCH_dsq*.json: per row the kernel wakeup-to-dispatch latency (the
+   CFS-comparable dispatch-latency measure), the DSQ-internal
+   enqueue-to-consume wait histogram, context switches, throughput, and
+   the deltas against the CFS row of the same workload, printed next to
+   the paper's claims.  `dsqgate` diffs the deterministic columns against
+   a committed baseline in bench/baselines/. *)
+
+let dsq_suite () = if !quick then "dsq-quick" else "dsq"
+
+type dsq_row = {
+  dq_sched : string;
+  dq_workload : string;
+  dq_wakeup : Stats.Histogram.t;  (* kernel wakeup -> dispatch, all rows *)
+  dq_dsq_wait : Stats.Histogram.t option;  (* DSQ insert -> consume; None for cfs *)
+  dq_ctxsw : int;
+  dq_throughput : float;
+}
+
+let dsq_workloads () : (string * (Workloads.Setup.built -> float)) list =
+  let pipe b =
+    let messages = if !quick then 5_000 else 20_000 in
+    let r = Workloads.Pipe_bench.run b ~messages () in
+    if r.Workloads.Pipe_bench.elapsed > 0 then
+      float_of_int r.Workloads.Pipe_bench.wakeups
+      /. (float_of_int r.Workloads.Pipe_bench.elapsed /. 1e9)
+    else 0.
+  in
+  let schbench b =
+    let duration = Kernsim.Time.ms (if !quick then 400 else 1500) in
+    let params =
+      { (schbench_params ()) with Workloads.Schbench.warmup = Kernsim.Time.ms 200; duration }
+    in
+    let r = Workloads.Schbench.run b params in
+    float_of_int r.Workloads.Schbench.samples /. (float_of_int duration /. 1e9)
+  in
+  let rocksdb b =
+    let load_kreqs = if !quick then 20. else 50. in
+    let r = Workloads.Rocksdb.run b (rocksdb_params ~load_kreqs ~with_batch:false) in
+    r.Workloads.Rocksdb.achieved_kreqs *. 1000.
+  in
+  let memcached b =
+    (* stock-memcached server shape (a blocking thread pool under the
+       scheduler under test), so CFS and the DSQ family run identical
+       request streams *)
+    let load_kreqs = if !quick then 50. else 100. in
+    let r =
+      Workloads.Memcached.run b (memcached_params ~mode:Workloads.Memcached.Cfs ~load_kreqs)
+    in
+    r.Workloads.Memcached.achieved_kreqs *. 1000.
+  in
+  [ ("pipe", pipe); ("schbench", schbench); ("rocksdb", rocksdb); ("memcached", memcached) ]
+
+let dsq_schedulers () =
+  List.filter
+    (fun (e : Schedulers.Registry.entry) ->
+      e.Schedulers.Registry.name = "cfs"
+      || List.mem e.Schedulers.Registry.name Schedulers.Registry.dsq_names)
+    Schedulers.Registry.all
+
+let dsq_collect () =
+  let cells =
+    List.concat_map
+      (fun (e : Schedulers.Registry.entry) -> List.map (fun w -> (e, w)) (dsq_workloads ()))
+      (dsq_schedulers ())
+  in
+  parallel_map cells ~f:(fun ((e : Schedulers.Registry.entry), (wname, workload)) ->
+      let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+      let reg = Metrics.Registry.create ~nr_cpus () in
+      let b =
+        Workloads.Setup.build ~registry:reg ~topology:one_socket (Workloads.Setup.of_registry e)
+      in
+      let dq_throughput = workload b in
+      let mets = M.metrics b.Workloads.Setup.machine in
+      let dq_dsq_wait =
+        Option.map Metrics.Registry.merged
+          (Metrics.Registry.find_histogram reg "dsq_dispatch_latency_ns")
+      in
+      {
+        dq_sched = e.Schedulers.Registry.name;
+        dq_workload = wname;
+        dq_wakeup = Kernsim.Accounting.wakeup_latency mets;
+        dq_dsq_wait;
+        dq_ctxsw = Kernsim.Accounting.context_switches mets;
+        dq_throughput;
+      })
+
+(* deltas against the CFS row of the same workload, in percent (negative =
+   better than CFS on both measures) *)
+let dsq_deltas rows r =
+  match
+    List.find_opt (fun c -> c.dq_sched = "cfs" && c.dq_workload = r.dq_workload) rows
+  with
+  | Some c when r.dq_sched <> "cfs" ->
+    let p99 h = float_of_int (Stats.Histogram.percentile h 99.0) in
+    let wakeup =
+      if p99 c.dq_wakeup > 0. then Some (100. *. ((p99 r.dq_wakeup /. p99 c.dq_wakeup) -. 1.))
+      else None
+    in
+    let ctxsw =
+      if c.dq_ctxsw > 0 then
+        Some (100. *. ((float_of_int r.dq_ctxsw /. float_of_int c.dq_ctxsw) -. 1.))
+      else None
+    in
+    (wakeup, ctxsw)
+  | _ -> (None, None)
+
+let dsq_json rows =
+  let open Metrics.Json in
+  let hist_json h =
+    Obj
+      [
+        ("count", Int (Stats.Histogram.count h));
+        ("mean", Float (Stats.Histogram.mean h));
+        ("p50", Int (Stats.Histogram.percentile h 50.0));
+        ("p99", Int (Stats.Histogram.percentile h 99.0));
+        ("p999", Int (Stats.Histogram.percentile h 99.9));
+      ]
+  in
+  let row_json r =
+    let wakeup_delta, ctxsw_delta = dsq_deltas rows r in
+    let opt k = function Some v -> [ (k, Float v) ] | None -> [] in
+    Obj
+      ([
+         ("scheduler", String r.dq_sched);
+         ("workload", String r.dq_workload);
+         ("wakeup_ns", hist_json r.dq_wakeup);
+         ("context_switches", Int r.dq_ctxsw);
+         ("throughput_per_s", Float r.dq_throughput);
+       ]
+      @ (match r.dq_dsq_wait with Some h -> [ ("dsq_wait_ns", hist_json h) ] | None -> [])
+      @ opt "wakeup_p99_vs_cfs_pct" wakeup_delta
+      @ opt "context_switches_vs_cfs_pct" ctxsw_delta)
+  in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("suite", String (dsq_suite ()));
+      ("git_rev", String (git_rev ()));
+      ( "claims",
+        Obj
+          [
+            ("dispatch_latency_vs_cfs_pct", Float (-65.));
+            ("context_switches_vs_cfs_pct", Float (-33.));
+          ] );
+      ("results", List (List.map row_json rows));
+    ]
+
+let dsq () =
+  Report.section
+    (Printf.sprintf "DSQ suite (%s): dispatch-queue schedulers vs built-in CFS" (dsq_suite ()));
+  let rows = dsq_collect () in
+  let fmt_delta = function Some d -> Printf.sprintf "%+.0f%%" d | None -> "-" in
+  Report.table
+    ~header:
+      [ "scheduler"; "workload"; "wakeup p50"; "p99"; "vs cfs"; "dsq wait p99"; "ctxsw";
+        "vs cfs"; "thpt/s" ]
+    (List.map
+       (fun r ->
+         let wakeup_delta, ctxsw_delta = dsq_deltas rows r in
+         [
+           r.dq_sched;
+           r.dq_workload;
+           Kernsim.Time.to_string (Stats.Histogram.percentile r.dq_wakeup 50.0);
+           Kernsim.Time.to_string (Stats.Histogram.percentile r.dq_wakeup 99.0);
+           fmt_delta wakeup_delta;
+           (match r.dq_dsq_wait with
+           | Some h -> Kernsim.Time.to_string (Stats.Histogram.percentile h 99.0)
+           | None -> "-");
+           string_of_int r.dq_ctxsw;
+           fmt_delta ctxsw_delta;
+           Printf.sprintf "%.0f" r.dq_throughput;
+         ])
+       rows);
+  Report.note "dual-queue paper claims vs CFS: 65% lower dispatch latency and 33% fewer";
+  Report.note "context switches -- read the scx-prio-dq rows' \"vs cfs\" columns against";
+  Report.note "them.  \"dsq wait\" is the DSQ-internal enqueue-to-consume histogram.";
+  let path = Option.value !bench_out ~default:(Printf.sprintf "BENCH_%s.json" (dsq_suite ())) in
+  Metrics.Json.save ~path (dsq_json rows);
+  Printf.printf "wrote %s (git %s)\n" path (git_rev ())
+
+(* The DSQ gate: like regress/speedgate, but keyed by scheduler x workload.
+   Gated columns are all simulation-deterministic: wakeup p99 and
+   throughput under the regress tolerances, context switches near-exactly
+   (drift > 1% means the scheduling decision stream changed). *)
+let dsqgate () =
+  Report.section (Printf.sprintf "DSQ gate (%s suite)" (dsq_suite ()));
+  let path =
+    Option.value !baseline_path
+      ~default:(Printf.sprintf "bench/baselines/BENCH_%s.json" (dsq_suite ()))
+  in
+  match Metrics.Json.parse_file ~path with
+  | Error msg ->
+    Printf.eprintf "dsqgate: cannot read baseline %s: %s\n" path msg;
+    regress_failed := true
+  | Ok base ->
+    let tol_p99 = Option.value !tolerance ~default:default_p99_tolerance in
+    let tol_tp = Option.value !tolerance ~default:default_throughput_tolerance in
+    let base_results =
+      Option.value ~default:[]
+        Option.(bind (Metrics.Json.member "results" base) Metrics.Json.to_list)
+    in
+    let find_base sched workload =
+      List.find_opt
+        (fun j ->
+          Option.(bind (Metrics.Json.member "scheduler" j) Metrics.Json.to_str) = Some sched
+          && Option.(bind (Metrics.Json.member "workload" j) Metrics.Json.to_str)
+             = Some workload)
+        base_results
+    in
+    let results = dsq_collect () in
+    let rows =
+      List.map
+        (fun r ->
+          let label = r.dq_sched ^ "/" ^ r.dq_workload in
+          let cur_p99 = float_of_int (Stats.Histogram.percentile r.dq_wakeup 99.0) in
+          match find_base r.dq_sched r.dq_workload with
+          | None -> [ label; "-"; "-"; "-"; "-"; "new (no baseline)" ]
+          | Some bj ->
+            let get path_fn = Option.bind (path_fn bj) Metrics.Json.to_float in
+            let base_p99 =
+              get (fun j ->
+                  Option.bind (Metrics.Json.member "wakeup_ns" j) (Metrics.Json.member "p99"))
+            in
+            let base_ctxsw = get (Metrics.Json.member "context_switches") in
+            let base_tp = get (Metrics.Json.member "throughput_per_s") in
+            let verdicts = ref [] in
+            (match base_p99 with
+            | Some bp when bp > 0. && cur_p99 > (bp *. (1. +. (tol_p99 /. 100.))) +. 1. ->
+              verdicts := Printf.sprintf "p99 +%.1f%%" (100. *. ((cur_p99 /. bp) -. 1.)) :: !verdicts
+            | _ -> ());
+            (match base_ctxsw with
+            | Some bc when bc > 0. ->
+              let drift = 100. *. Float.abs ((float_of_int r.dq_ctxsw /. bc) -. 1.) in
+              if drift > 1. then
+                verdicts := Printf.sprintf "ctxsw drifted %.1f%%" drift :: !verdicts
+            | _ -> ());
+            (match base_tp with
+            | Some bt when bt > 0. && r.dq_throughput < bt *. (1. -. (tol_tp /. 100.)) ->
+              verdicts :=
+                Printf.sprintf "throughput %.1f%%" (100. *. ((r.dq_throughput /. bt) -. 1.))
+                :: !verdicts
+            | _ -> ());
+            if !verdicts <> [] then regress_failed := true;
+            [
+              label;
+              (match base_p99 with Some b -> Printf.sprintf "%.0f" b | None -> "-");
+              Printf.sprintf "%.0f" cur_p99;
+              (match base_ctxsw with Some b -> Printf.sprintf "%.0f" b | None -> "-");
+              string_of_int r.dq_ctxsw;
+              (if !verdicts = [] then "ok" else "REGRESSED: " ^ String.concat ", " !verdicts);
+            ])
+        results
+    in
+    Report.table
+      ~header:[ "scheduler/workload"; "base p99 (ns)"; "now"; "base ctxsw"; "now"; "verdict" ]
+      rows;
+    Report.note
+      (Printf.sprintf "baseline %s; tolerance p99 %.0f%%, throughput %.0f%%, ctxsw 1%%" path
+         tol_p99 tol_tp);
+    if !regress_failed then print_endline "dsqgate: FAIL (see verdicts above)"
+    else print_endline "dsqgate: ok"
+
 (* ---------- §5.8: record and replay ----------
 
    Three identical WFQ pipe runs — no recording, the text debug format
@@ -1698,6 +1952,8 @@ let experiments =
     ("regress", regress);
     ("speed", speed);
     ("speedgate", speedgate);
+    ("dsq", dsq);
+    ("dsqgate", dsqgate);
   ]
 
 let () =
@@ -1783,7 +2039,7 @@ let () =
      everything" (regress needs a committed baseline to diff against) *)
   let default_set =
     List.filter
-      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate" ]))
+      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate"; "dsq"; "dsqgate" ]))
       (List.map fst experiments)
   in
   let requested = match names with [] -> default_set | ns -> ns in

@@ -2,52 +2,41 @@
 
    Runs a (scheduler x workload) combination, optionally recording the
    scheduler's message log, replaying a log, or live-upgrading mid-run.
+   The --sched vocabulary comes from Schedulers.Registry (run
+   `enoki_sim run --help` for the current list).
 
      enoki_sim run --sched wfq --workload pipe
      enoki_sim run --sched shinjuku --workload rocksdb --load 60
+     enoki_sim run --sched scx-prio-dq --workload schbench --sanitize
      enoki_sim record --sched wfq --workload pipe --out /tmp/wfq.rec
      enoki_sim replay --sched wfq --log /tmp/wfq.rec
-     enoki_sim upgrade --sched wfq --workload schbench *)
+     enoki_sim upgrade --sched scx-simple --workload schbench *)
 
 open Cmdliner
 
-type sched =
-  | Cfs | Fifo | Wfq | Shinjuku | Locality | Arachne | Edf | Nest | Rt_fifo
-  | Ghost_sol | Ghost_fifo | Ghost_shinjuku
-
+(* the registry is the single source of truth: names, help text and the
+   bad-name error all derive from it *)
 let sched_conv =
-  Arg.enum
-    [
-      ("cfs", Cfs); ("fifo", Fifo); ("wfq", Wfq); ("shinjuku", Shinjuku);
-      ("locality", Locality); ("arachne", Arachne); ("edf", Edf); ("nest", Nest);
-      ("rt-fifo", Rt_fifo); ("ghost-sol", Ghost_sol);
-      ("ghost-fifo", Ghost_fifo); ("ghost-shinjuku", Ghost_shinjuku);
-    ]
+  let parse s =
+    match Schedulers.Registry.find s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scheduler %S (expected one of: %s)" s
+             (String.concat ", " Schedulers.Registry.names)))
+  in
+  Arg.conv
+    (parse, fun fmt (e : Schedulers.Registry.entry) -> Format.pp_print_string fmt e.name)
 
-let kind_of_sched = function
-  | Cfs -> Workloads.Setup.Cfs
-  | Fifo -> Workloads.Setup.Enoki_sched (module Schedulers.Fifo_sched)
-  | Wfq -> Workloads.Setup.Enoki_sched (module Schedulers.Wfq)
-  | Shinjuku -> Workloads.Setup.Enoki_sched (module Schedulers.Shinjuku)
-  | Locality -> Workloads.Setup.Enoki_sched (module Schedulers.Locality)
-  | Arachne -> Workloads.Setup.Enoki_sched (module Schedulers.Arachne)
-  | Edf -> Workloads.Setup.Enoki_sched (module Schedulers.Edf)
-  | Nest -> Workloads.Setup.Enoki_sched (module Schedulers.Nest)
-  | Rt_fifo -> Workloads.Setup.Enoki_sched (module Schedulers.Rt_fifo)
-  | Ghost_sol -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Sol
-  | Ghost_fifo -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Fifo_per_cpu
-  | Ghost_shinjuku -> Workloads.Setup.Ghost Schedulers.Ghost_sim.Gshinjuku
+let kind_of_sched = Workloads.Setup.of_registry
 
-let module_of_sched = function
-  | Fifo -> Some (module Schedulers.Fifo_sched : Enoki.Sched_trait.S)
-  | Wfq -> Some (module Schedulers.Wfq)
-  | Shinjuku -> Some (module Schedulers.Shinjuku)
-  | Locality -> Some (module Schedulers.Locality)
-  | Arachne -> Some (module Schedulers.Arachne)
-  | Edf -> Some (module Schedulers.Edf)
-  | Nest -> Some (module Schedulers.Nest)
-  | Rt_fifo -> Some (module Schedulers.Rt_fifo)
-  | Cfs | Ghost_sol | Ghost_fifo | Ghost_shinjuku -> None
+let module_of_sched = Schedulers.Registry.enoki_module
+
+(* "an Enoki scheduler (fifo/wfq/...)" for record/replay/upgrade errors *)
+let enoki_scheds_hint =
+  Printf.sprintf "an Enoki scheduler (%s)"
+    (String.concat "/" Schedulers.Registry.enoki_names)
 
 type workload = Pipe | Schbench | Rocksdb | Memcached
 
@@ -56,7 +45,18 @@ let workload_conv =
     [ ("pipe", Pipe); ("schbench", Schbench); ("rocksdb", Rocksdb); ("memcached", Memcached) ]
 
 let sched_arg =
-  Arg.(value & opt sched_conv Wfq & info [ "sched"; "s" ] ~docv:"SCHED" ~doc:"Scheduler to run.")
+  let default =
+    match Schedulers.Registry.find "wfq" with
+    | Some e -> e
+    | None -> List.hd Schedulers.Registry.all
+  in
+  Arg.(
+    value & opt sched_conv default
+    & info [ "sched"; "s" ] ~docv:"SCHED"
+        ~doc:
+          (Printf.sprintf "Scheduler to run: %s."
+             (String.concat ", "
+                (List.map (Printf.sprintf "$(b,%s)") Schedulers.Registry.names))))
 
 let workload_arg =
   Arg.(
@@ -511,7 +511,7 @@ let record_format_arg =
 let record_cmd =
   let run sched workload load cores out seed format =
     match module_of_sched sched with
-    | None -> prerr_endline "record requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
+    | None -> prerr_endline ("record requires " ^ enoki_scheds_hint)
     | Some m ->
       (* stream to the file as the ring drains, so memory stays bounded
          however long the run *)
@@ -553,7 +553,7 @@ let replay_cmd =
   let run sched log allow_drops bisect window =
     match module_of_sched sched with
     | None ->
-      prerr_endline "replay requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)";
+      prerr_endline ("replay requires " ^ enoki_scheds_hint);
       exit 2
     | Some m -> do_replay m ~path:log ~allow_drops ~bisect ~window
   in
@@ -567,7 +567,7 @@ let replay_cmd =
 let upgrade_cmd =
   let run sched workload load cores seed =
     match module_of_sched sched with
-    | None -> prerr_endline "upgrade requires an Enoki scheduler (fifo/wfq/shinjuku/locality/arachne)"
+    | None -> prerr_endline ("upgrade requires " ^ enoki_scheds_hint)
     | Some m ->
       let b =
         Workloads.Setup.build ~topology:(topology_of_cores cores) (Workloads.Setup.Enoki_sched m)

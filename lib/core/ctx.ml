@@ -10,6 +10,8 @@ type t = {
   send_user : pid:int -> Kernsim.Task.hint -> unit;
   charge : cpu:int -> ns -> unit;
   log : string -> unit;
+  registry : Metrics.Registry.t option;
+  trace : cpu:int -> Trace.Event.kind -> unit;
 }
 
 let inert ?(nr_cpus = 8) ?(policy = 0) () =
@@ -23,4 +25,6 @@ let inert ?(nr_cpus = 8) ?(policy = 0) () =
     send_user = (fun ~pid:_ _ -> ());
     charge = (fun ~cpu:_ _ -> ());
     log = (fun _ -> ());
+    registry = None;
+    trace = (fun ~cpu:_ _ -> ());
   }

@@ -24,6 +24,13 @@ type t = {
           latency spikes) charges it here, and Enoki-C counts it against
           the per-call budget *)
   log : string -> unit;
+  registry : Metrics.Registry.t option;
+      (** the machine's metrics registry when observability is attached;
+          library code ({!Dsq}) registers depth/latency probes through it.
+          [None] must never change scheduling decisions *)
+  trace : cpu:int -> Trace.Event.kind -> unit;
+      (** emit a schedtrace event attributed to [cpu] (a no-op when the
+          machine has no tracer, and always inert at userspace) *)
 }
 
 (** A context whose effects are inert; replay and unit tests construct

@@ -413,6 +413,8 @@ let make_ctx t (ops : Ops.kernel_ops) : Ctx.t =
         t.charged_in_call <- t.charged_in_call + ns;
         ops.charge ~cpu ns);
     log = (fun _ -> ());
+    registry = Option.map (fun o -> o.reg) t.obs;
+    trace = (fun ~cpu kind -> emit t ~cpu kind);
   }
 
 (* ---------- isolation: quarantine and fallback (ghOSt-style) ---------- *)

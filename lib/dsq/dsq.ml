@@ -1,0 +1,166 @@
+module Sched = Enoki.Schedulable
+
+module Key = struct
+  type t = int * int (* vtime, seq *)
+
+  let compare (v1, s1) (v2, s2) =
+    match Int.compare v1 v2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Tree = Ds.Rbtree.Make (Key)
+
+type mode = Fifo | Vtime
+
+type entry = { pid : int; token : Sched.t; vtime : int; seq : int; inserted_at : int }
+
+(* FIFO queues ride a deque (O(1) at both ends); vtime queues ride the
+   red-black tree keyed by (vtime, insertion seq) — the seq component makes
+   equal-vtime consumption stable FIFO, mirroring how the kernel's vtime
+   DSQs are rbtree-backed while FIFO DSQs are lists. *)
+type repr = Q of entry Ds.Deque.t | T of entry Tree.t ref
+
+type t = {
+  name : string;
+  mode : mode;
+  repr : repr;
+  lock : Enoki.Lock.t;
+  now : unit -> int;
+  observe_wait : cpu:int -> int -> unit;
+  trace : cpu:int -> Trace.Event.kind -> unit;
+  mutable seq : int;
+  mutable inserts : int;
+  mutable consumes : int;
+}
+
+let dispatch_latency_metric = "dsq_dispatch_latency_ns"
+
+let create ?(mode = Fifo) (ctx : Enoki.Ctx.t) name =
+  let repr =
+    match mode with Fifo -> Q (Ds.Deque.create ()) | Vtime -> T (ref Tree.empty)
+  in
+  let observe_wait =
+    match ctx.registry with
+    | None -> fun ~cpu:_ _ -> ()
+    | Some reg ->
+      let h =
+        Metrics.Registry.histogram reg
+          ~help:"enqueue-to-dispatch wait across all dispatch queues (ns)"
+          dispatch_latency_metric
+      in
+      fun ~cpu w -> Metrics.Registry.observe h ~cpu w
+  in
+  let t =
+    {
+      name;
+      mode;
+      repr;
+      lock = Enoki.Lock.create ~name:("dsq-" ^ name) ();
+      now = ctx.now;
+      observe_wait;
+      trace = ctx.trace;
+      seq = 0;
+      inserts = 0;
+      consumes = 0;
+    }
+  in
+  (* depth probes read at sample/export time without taking the lock, so an
+     attached registry leaves the record log untouched *)
+  (match ctx.registry with
+  | Some reg ->
+    Metrics.Registry.gauge_probe reg ~help:"tasks queued in this dispatch queue"
+      ("dsq_depth_" ^ name) (fun () ->
+        float_of_int
+          (match t.repr with Q q -> Ds.Deque.length q | T tr -> Tree.cardinal !tr))
+  | None -> ());
+  t
+
+let name t = t.name
+
+let mode t = t.mode
+
+let length t = match t.repr with Q q -> Ds.Deque.length q | T tr -> Tree.cardinal !tr
+
+let is_empty t = length t = 0
+
+let inserts t = t.inserts
+
+let consumes t = t.consumes
+
+let insert t ?(vtime = 0) token =
+  Enoki.Lock.with_lock t.lock (fun () ->
+      let pid = Sched.pid token in
+      let e = { pid; token; vtime; seq = t.seq; inserted_at = t.now () } in
+      t.seq <- t.seq + 1;
+      t.inserts <- t.inserts + 1;
+      (match t.repr with
+      | Q q -> Ds.Deque.push_back q e
+      | T tr -> tr := Tree.add (vtime, e.seq) e !tr);
+      t.trace ~cpu:(Sched.cpu token) (Trace.Event.Dsq_insert { dsq = t.name; pid }))
+
+let pop t =
+  match t.repr with
+  | Q q -> Ds.Deque.pop_front q
+  | T tr -> (
+    match Tree.min_binding_opt !tr with
+    | Some (k, e) ->
+      tr := Tree.remove k !tr;
+      Some e
+    | None -> None)
+
+let consume t =
+  Enoki.Lock.with_lock t.lock (fun () ->
+      match pop t with
+      | None -> None
+      | Some e ->
+        t.consumes <- t.consumes + 1;
+        let wait = max 0 (t.now () - e.inserted_at) in
+        t.observe_wait ~cpu:(Sched.cpu e.token) wait;
+        t.trace ~cpu:(Sched.cpu e.token)
+          (Trace.Event.Dsq_consume { dsq = t.name; pid = e.pid; wait });
+        Some e)
+
+exception Found of Key.t * entry
+
+let tree_take tr ~f =
+  match Tree.iter (fun k e -> if f e then raise (Found (k, e))) !tr with
+  | () -> None
+  | exception Found (k, e) ->
+    tr := Tree.remove k !tr;
+    Some e
+
+let take_matching t ~f =
+  Enoki.Lock.with_lock t.lock (fun () ->
+      match t.repr with
+      | Q q -> Ds.Deque.remove_first q ~f
+      | T tr -> tree_take tr ~f)
+
+(* Silent movement primitives for [Dsq_sched]: a shared-to-local move and a
+   balance-time migration are internal queue transfers, not dispatches, so
+   they keep the original [inserted_at] (the latency histogram measures
+   enqueue to final consume) and emit no trace event. *)
+
+let take_for t ~cpu = take_matching t ~f:(fun e -> Sched.cpu e.token = cpu)
+
+let put t (e : entry) =
+  Enoki.Lock.with_lock t.lock (fun () ->
+      let e = { e with seq = t.seq } in
+      t.seq <- t.seq + 1;
+      match t.repr with
+      | Q q -> Ds.Deque.push_back q e
+      | T tr -> tr := Tree.add (e.vtime, e.seq) e !tr)
+
+let put_front t e =
+  Enoki.Lock.with_lock t.lock (fun () ->
+      match t.repr with
+      | Q q -> Ds.Deque.push_front q e
+      | T tr -> tr := Tree.add (e.vtime, e.seq) e !tr)
+
+let remove t ~pid = take_matching t ~f:(fun e -> e.pid = pid)
+
+let peek t =
+  match t.repr with
+  | Q q -> Ds.Deque.peek_front q
+  | T tr -> Option.map snd (Tree.min_binding_opt !tr)
+
+let to_list t =
+  match t.repr with Q q -> Ds.Deque.to_list q | T tr -> List.map snd (Tree.to_list !tr)

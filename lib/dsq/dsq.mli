@@ -1,0 +1,77 @@
+(** Dispatch queues — the sched_ext DSQ model inside Enoki.
+
+    A [Dsq.t] is a named queue of Schedulable tokens, either FIFO (O(1)
+    insert/consume at both ends) or vtime-ordered (red-black tree keyed by
+    [(vtime, insertion seq)], so equal vtimes consume in stable FIFO
+    order).  {!Dsq_sched} builds per-cpu local queues plus whatever
+    shared/global queues a policy asks for, exactly like the kernel's
+    per-cpu [SCX_DSQ_LOCAL] and user-created DSQs.
+
+    Every queue is {!Enoki.Lock}-guarded, so record/replay reproduces the
+    order of queue operations and the sanitizer's lock-pairing check holds.
+    With a metrics registry attached ({!Enoki.Ctx.t.registry}) each queue
+    exports a depth gauge probe ([dsq_depth_<name>]) and all queues share
+    one enqueue-to-dispatch wait histogram ([dsq_dispatch_latency_ns]);
+    inserts and consumes also emit [Dsq_insert]/[Dsq_consume] trace events.
+    Observability reads state only — detached, every probe is a no-op and
+    scheduling behaviour is bit-identical. *)
+
+type mode = Fifo | Vtime
+
+type entry = {
+  pid : int;
+  token : Enoki.Schedulable.t;
+  vtime : int;  (** ordering key in [Vtime] mode; carried verbatim in [Fifo] *)
+  seq : int;  (** insertion sequence inside this queue (FIFO tie-break) *)
+  inserted_at : int;  (** simulated ns at first insert, for dispatch latency *)
+}
+
+type t
+
+(** [create ctx name] makes an empty queue wired to [ctx]'s clock,
+    registry and trace sink (all inert under {!Enoki.Ctx.inert}). *)
+val create : ?mode:mode -> Enoki.Ctx.t -> string -> t
+
+val name : t -> string
+
+val mode : t -> mode
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** Lifetime insert/consume counts (trace-visible operations only). *)
+
+val inserts : t -> int
+
+val consumes : t -> int
+
+(** Enqueue a token ([vtime] ignored for ordering in [Fifo] mode).  Emits
+    [Dsq_insert] and stamps the entry for the latency histogram. *)
+val insert : t -> ?vtime:int -> Enoki.Schedulable.t -> unit
+
+(** Dequeue the head (FIFO front, or minimum [(vtime, seq)]).  Emits
+    [Dsq_consume] and records the enqueue-to-consume wait. *)
+val consume : t -> entry option
+
+(** Silent transfer primitives for the {!Dsq_sched} adapter: queue-to-queue
+    moves keep the original [inserted_at] (latency measures enqueue to the
+    final consume) and emit no events. *)
+
+(** Remove the first entry whose token licenses [cpu]. *)
+val take_for : t -> cpu:int -> entry option
+
+(** Append an entry moved from another queue (fresh [seq], same stamp). *)
+val put : t -> entry -> unit
+
+(** Re-insert at the front / at its old vtime position (balance-time
+    migration replaces the head's token without losing its turn). *)
+val put_front : t -> entry -> unit
+
+(** Remove a queued task wherever it sits (block/exit/departure). *)
+val remove : t -> pid:int -> entry option
+
+val peek : t -> entry option
+
+(** Consumption order. *)
+val to_list : t -> entry list

@@ -1,0 +1,34 @@
+(* Round-robin over local DSQs: placement rotates across the allowed cpus,
+   every task queues straight onto its cpu's local queue, and idle cpus
+   steal from the longest local queue.  Exercises the per-cpu half of the
+   DSQ model the way scx_simple exercises the shared half. *)
+
+module A = Dsq_sched.Api
+
+module P = struct
+  type state = { mutable next : int }
+
+  let name = "scx-rr"
+
+  let init _api = { next = 0 }
+
+  let select_cpu st _api _task ~waker_cpu:_ ~allowed =
+    match allowed with
+    | [] -> 0
+    | l ->
+      st.next <- st.next + 1;
+      List.nth l (st.next mod List.length l)
+
+  let enqueue _st api (task : Dsq_sched.task) =
+    A.insert api (A.local api ~cpu:task.cpu) task
+
+  let dispatch _st _api ~cpu:_ = ()
+
+  let stopping _st _api _task ~ran:_ ~runnable:_ = ()
+
+  let steal _st api ~cpu = A.steal_longest_local api ~cpu
+
+  let tick _st _api ~cpu:_ ~queued:_ = ()
+end
+
+include Dsq_sched.Make (P)

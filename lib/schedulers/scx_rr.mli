@@ -1,0 +1,4 @@
+(** Round-robin DSQ policy: rotating placement over per-cpu local queues
+    with steal-from-longest balancing. *)
+
+include Enoki.Sched_trait.S

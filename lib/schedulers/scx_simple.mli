@@ -1,0 +1,4 @@
+(** scx_simple as a DSQ policy: a single global weighted-vtime dispatch
+    queue (the ~40-line canonical {!Dsq_sched} policy). *)
+
+include Enoki.Sched_trait.S

@@ -20,6 +20,8 @@ type kind =
   | Overrun of { call : string; charged : ns; budget : ns }
   | Watchdog_fire of { reason : string }
   | Metric_flush of { tick : int }
+  | Dsq_insert of { dsq : string; pid : int }
+  | Dsq_consume of { dsq : string; pid : int; wait : ns }
 
 type t = { ts : ns; cpu : int; kind : kind }
 
@@ -43,6 +45,8 @@ let name = function
   | Overrun _ -> "overrun"
   | Watchdog_fire _ -> "watchdog_fire"
   | Metric_flush _ -> "metric_flush"
+  | Dsq_insert _ -> "dsq_insert"
+  | Dsq_consume _ -> "dsq_consume"
 
 let pid_of = function
   | Wakeup { pid; _ }
@@ -52,7 +56,9 @@ let pid_of = function
   | Block { pid }
   | Exit { pid }
   | Migrate { pid; _ }
-  | Pnt_err { pid; _ } -> Some pid
+  | Pnt_err { pid; _ }
+  | Dsq_insert { pid; _ }
+  | Dsq_consume { pid; _ } -> Some pid
   | Sched_switch { next = Some pid; _ } -> Some pid
   | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ | Panic _
   | Failover _ | Overrun _ | Watchdog_fire _ | Metric_flush _ -> None
@@ -81,6 +87,9 @@ let args = function
     [ ("call", call); ("charged", string_of_int charged); ("budget", string_of_int budget) ]
   | Watchdog_fire { reason } -> [ ("reason", reason) ]
   | Metric_flush { tick } -> [ ("tick", string_of_int tick) ]
+  | Dsq_insert { dsq; pid } -> [ ("dsq", dsq); ("pid", string_of_int pid) ]
+  | Dsq_consume { dsq; pid; wait } ->
+    [ ("dsq", dsq); ("pid", string_of_int pid); ("wait", string_of_int wait) ]
 
 let pp fmt t =
   Format.fprintf fmt "[%d] %d %s" t.cpu t.ts (name t.kind);

@@ -46,6 +46,12 @@ type kind =
   | Metric_flush of { tick : int }
       (** the metrics sampler took periodic snapshot number [tick]; an
           observability marker the sanitizer ignores in invariant checks *)
+  | Dsq_insert of { dsq : string; pid : int }
+      (** a task entered the named dispatch queue ({!Dsq}); observability
+          marker, ignored by the sanitizer's invariant checks *)
+  | Dsq_consume of { dsq : string; pid : int; wait : ns }
+      (** a task left the named dispatch queue after waiting [wait]
+          simulated ns (the DSQ dispatch latency); sanitizer-ignored *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 

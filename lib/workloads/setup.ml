@@ -3,6 +3,12 @@ type kind =
   | Enoki_sched of (module Enoki.Sched_trait.S)
   | Ghost of Schedulers.Ghost_sim.policy
 
+let of_registry (e : Schedulers.Registry.entry) =
+  match e.kind with
+  | Schedulers.Registry.Builtin_cfs -> Cfs
+  | Schedulers.Registry.Enoki m -> Enoki_sched m
+  | Schedulers.Registry.Ghost p -> Ghost p
+
 type built = {
   machine : Kernsim.Machine.t;
   policy : int;

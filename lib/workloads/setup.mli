@@ -10,6 +10,9 @@ type kind =
   | Enoki_sched of (module Enoki.Sched_trait.S)  (** an Enoki scheduler over CFS *)
   | Ghost of Schedulers.Ghost_sim.policy  (** a ghOSt policy over CFS *)
 
+(** The machine configuration for a scheduler-registry entry. *)
+val of_registry : Schedulers.Registry.entry -> kind
+
 type built = {
   machine : Kernsim.Machine.t;
   policy : int;  (** policy id for tasks of the scheduler under test *)
