@@ -34,9 +34,7 @@ let seed : int option ref = ref None
 
 let seed_or d = Option.value !seed ~default:d
 
-let schbench_params () =
-  let dp = Workloads.Schbench.default_params in
-  { dp with Workloads.Schbench.seed = seed_or dp.Workloads.Schbench.seed }
+let schbench_params () = Workloads.Schbench.default_params ?seed:!seed ()
 
 let rocksdb_params ~load_kreqs ~with_batch =
   Workloads.Rocksdb.default_params ?seed:!seed ~load_kreqs ~with_batch ()
@@ -1929,6 +1927,367 @@ let recordreplay () =
   Metrics.Json.save ~path:out json;
   Printf.printf "wrote %s (git %s)\n" out (git_rev ())
 
+(* ---------- fleet: the cluster tier ----------
+
+   Drives lib/cluster end to end: a steady-state heterogeneous fleet under
+   the three-tenant antagonist mix (per-tenant tail latency), a
+   load-balancer policy sweep, §5.7 rolling live upgrades under peak vs
+   idle load (pause + blackout-window tail attribution), and a chaos drill
+   (victim panic -> drain -> failover -> re-admit).  Snapshots
+   BENCH_fleet*.json; `fleetgate` diffs the deterministic columns against
+   bench/baselines/.  Every row carries the root seed: the whole fleet is
+   bit-for-bit reproducible from it. *)
+
+let fleet_suite () = if !quick then "fleet-quick" else "fleet"
+
+let fleet_seed () = Option.value !seed ~default:1
+
+let fleet_entries names =
+  List.map
+    (fun n ->
+      match Schedulers.Registry.find n with
+      | Some e -> e
+      | None -> failwith ("fleet: unknown scheduler " ^ n))
+    names
+
+let fleet_mix ?(scale = 1.0) () =
+  Cluster.Traffic.standard_mix
+    ~connections:(if !quick then 128 else 256)
+    ~load_kreqs:(scale *. if !quick then 80. else 240.)
+    ()
+
+let fleet_duration () = Kernsim.Time.ms (if !quick then 400 else 2000)
+
+let fleet_warmup = Kernsim.Time.ms 100
+
+(* steady state: 8 heterogeneous hosts, least-outstanding *)
+let fleet_steady_scheds = [ "wfq"; "shinjuku"; "cfs"; "scx-simple" ]
+
+let fleet_steady () =
+  let hosts = fleet_entries (List.init 8 (fun i -> List.nth fleet_steady_scheds (i mod 4))) in
+  let f =
+    Cluster.Fleet.create ~warmup:fleet_warmup ~seed:(fleet_seed ()) ~hosts ~tenants:(fleet_mix ())
+      ()
+  in
+  Cluster.Fleet.run f ~until:(fleet_duration ());
+  f
+
+let fleet_lb_cells () =
+  parallel_map
+    [ Cluster.Lb.Round_robin; Cluster.Lb.Least_outstanding; Cluster.Lb.Weighted;
+      Cluster.Lb.Consistent_hash ]
+    ~f:(fun policy ->
+      let hosts = fleet_entries [ "wfq"; "wfq"; "wfq"; "wfq" ] in
+      let weights =
+        match policy with Cluster.Lb.Weighted -> Some [| 4; 2; 1; 1 |] | _ -> None
+      in
+      let f =
+        Cluster.Fleet.create ~warmup:fleet_warmup ?weights ~lb:policy ~seed:(fleet_seed ())
+          ~hosts
+          ~tenants:(fleet_mix ~scale:0.5 ())
+          ()
+      in
+      Cluster.Fleet.run f ~until:(fleet_duration ());
+      let completed = List.fold_left (fun n (h : Cluster.Fleet.host_stat) -> n + h.completed) 0 (Cluster.Fleet.host_stats f) in
+      let p99, p999 =
+        match Cluster.Fleet.tenant_stats f with
+        | w :: _ -> (w.Cluster.Fleet.p99, w.Cluster.Fleet.p999)
+        | [] -> (0, 0)
+      in
+      (Cluster.Lb.policy_name policy, completed, p99, p999, Cluster.Fleet.host_stats f))
+
+(* rolling upgrade at 60% of the run, staggered, under peak and idle load *)
+let fleet_upgrade_cells () =
+  parallel_map
+    [ ("peak", 1.0); ("idle", 0.05) ]
+    ~f:(fun (label, scale) ->
+      let hosts = fleet_entries [ "wfq"; "wfq"; "wfq"; "wfq" ] in
+      let d = fleet_duration () in
+      let f =
+        Cluster.Fleet.create ~warmup:fleet_warmup
+          ~upgrade:{ Cluster.Fleet.at = d * 6 / 10; stagger = d / 20 }
+          ~seed:(fleet_seed ()) ~hosts ~tenants:(fleet_mix ~scale ()) ()
+      in
+      Cluster.Fleet.run f ~until:d;
+      (label, Cluster.Fleet.upgrades f, Cluster.Fleet.upgrade_failures f, Cluster.Fleet.blackout f))
+
+let fleet_chaos_run () =
+  let hosts = fleet_entries [ "wfq"; "wfq"; "wfq"; "wfq" ] in
+  let f =
+    Cluster.Fleet.create ~warmup:fleet_warmup
+      ~chaos:
+        {
+          Cluster.Fleet.victim = 1;
+          after_calls = (if !quick then 3_000 else 20_000);
+          recovery = Kernsim.Time.ms 20;
+        }
+      ~seed:(fleet_seed ()) ~hosts
+      ~tenants:(fleet_mix ~scale:0.5 ())
+      ()
+  in
+  Cluster.Fleet.run f ~until:(fleet_duration ());
+  f
+
+let fleet_hist_json h =
+  let open Metrics.Json in
+  Obj
+    [
+      ("count", Int (Stats.Histogram.count h));
+      ("p50", Int (Stats.Histogram.percentile h 50.0));
+      ("p99", Int (Stats.Histogram.percentile h 99.0));
+      ("p999", Int (Stats.Histogram.percentile h 99.9));
+    ]
+
+let fleet () =
+  Report.section
+    (Printf.sprintf "Fleet suite (%s): cluster tier under multi-tenant open-loop load"
+       (fleet_suite ()));
+  let seed = fleet_seed () in
+  let open Metrics.Json in
+  (* steady state *)
+  let steady = fleet_steady () in
+  let tr = Cluster.Fleet.traffic steady in
+  let tstats = Cluster.Fleet.tenant_stats steady in
+  Printf.printf "steady: 8 hosts (%sx2), %d flows churned (%d live), seed %d\n"
+    (String.concat "," fleet_steady_scheds)
+    (Cluster.Traffic.flows_completed tr)
+    (Cluster.Traffic.live_flows tr) seed;
+  Report.table
+    ~header:[ "tenant"; "completed"; "dropped"; "rejected"; "p50"; "p99"; "p999" ]
+    (List.map
+       (fun (s : Cluster.Fleet.tenant_stat) ->
+         [
+           s.tenant;
+           string_of_int s.completed;
+           string_of_int s.dropped;
+           string_of_int s.rejected;
+           Kernsim.Time.to_string s.p50;
+           Kernsim.Time.to_string s.p99;
+           Kernsim.Time.to_string s.p999;
+         ])
+       tstats);
+  (* lb policy sweep *)
+  let lb_rows = fleet_lb_cells () in
+  Report.table
+    ~header:[ "lb policy"; "completed"; "web p99"; "web p999"; "per-host" ]
+    (List.map
+       (fun (name, completed, p99, p999, hstats) ->
+         [
+           name;
+           string_of_int completed;
+           Kernsim.Time.to_string p99;
+           Kernsim.Time.to_string p999;
+           String.concat "/"
+             (List.map
+                (fun (h : Cluster.Fleet.host_stat) -> string_of_int h.completed)
+                hstats);
+         ])
+       lb_rows);
+  (* rolling upgrade, peak vs idle *)
+  let up_rows = fleet_upgrade_cells () in
+  Report.table
+    ~header:[ "upgrade"; "hosts upgraded"; "max pause"; "blackout reqs"; "p50"; "p99"; "p999" ]
+    (List.map
+       (fun (label, ups, fails, bl) ->
+         let max_pause = List.fold_left (fun m (_, p) -> max m p) 0 ups in
+         [
+           label ^ (if fails > 0 then "(FAILURES)" else "");
+           string_of_int (List.length ups);
+           Kernsim.Time.to_string max_pause;
+           string_of_int (Stats.Histogram.count bl);
+           Kernsim.Time.to_string (Stats.Histogram.percentile bl 50.0);
+           Kernsim.Time.to_string (Stats.Histogram.percentile bl 99.0);
+           Kernsim.Time.to_string (Stats.Histogram.percentile bl 99.9);
+         ])
+       up_rows);
+  Report.note "blackout: completions landing inside a host's upgrade pause window (pause +";
+  Report.note "one epoch); the peak-vs-idle pair is the fleet-scale read of the paper's §5.7.";
+  (* chaos drill *)
+  let cf = fleet_chaos_run () in
+  let rejected =
+    List.fold_left (fun n (s : Cluster.Fleet.tenant_stat) -> n + s.rejected) 0
+      (Cluster.Fleet.tenant_stats cf)
+  in
+  let op_at name =
+    List.find_map (fun (ts, _, op) -> if op = name then Some ts else None) (Cluster.Fleet.oplog cf)
+  in
+  Printf.printf "chaos drill: %s, sanitizer %s, %d rejected during blackout%s%s\n"
+    (if Cluster.Fleet.converged cf then "converged" else "NOT CONVERGED")
+    (if Cluster.Fleet.sanitizer_ok cf then "clean" else "VIOLATIONS")
+    rejected
+    (match op_at "drain" with
+    | Some ts -> Printf.sprintf ", drained at %s" (Kernsim.Time.to_string ts)
+    | None -> "")
+    (match op_at "admit" with
+    | Some ts -> Printf.sprintf ", re-admitted at %s" (Kernsim.Time.to_string ts)
+    | None -> "");
+  (* snapshot *)
+  let tenant_json (s : Cluster.Fleet.tenant_stat) =
+    Obj
+      [
+        ("tenant", String s.tenant);
+        ("seed", Int seed);
+        ("completed", Int s.completed);
+        ("dropped", Int s.dropped);
+        ("rejected", Int s.rejected);
+        ("p50_ns", Int s.p50);
+        ("p99_ns", Int s.p99);
+        ("p999_ns", Int s.p999);
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("suite", String (fleet_suite ()));
+        ("git_rev", String (git_rev ()));
+        ("seed", Int seed);
+        ( "steady",
+          Obj
+            [
+              ("seed", Int seed);
+              ("flows", Int (Cluster.Traffic.flows_completed tr));
+              ("live_flows", Int (Cluster.Traffic.live_flows tr));
+              ("tenants", List (List.map tenant_json tstats));
+            ] );
+        ( "lb",
+          List
+            (List.map
+               (fun (name, completed, p99, p999, _) ->
+                 Obj
+                   [
+                     ("policy", String name);
+                     ("seed", Int seed);
+                     ("completed", Int completed);
+                     ("web_p99_ns", Int p99);
+                     ("web_p999_ns", Int p999);
+                   ])
+               lb_rows) );
+        ( "upgrade",
+          List
+            (List.map
+               (fun (label, ups, fails, bl) ->
+                 Obj
+                   [
+                     ("load", String label);
+                     ("seed", Int seed);
+                     ("hosts_upgraded", Int (List.length ups));
+                     ("failures", Int fails);
+                     ( "max_pause_ns",
+                       Int (List.fold_left (fun m (_, p) -> max m p) 0 ups) );
+                     ("blackout", fleet_hist_json bl);
+                   ])
+               up_rows) );
+        ( "chaos",
+          Obj
+            [
+              ("seed", Int seed);
+              ("converged", Bool (Cluster.Fleet.converged cf));
+              ("sanitizer_ok", Bool (Cluster.Fleet.sanitizer_ok cf));
+              ("rejected", Int rejected);
+            ] );
+      ]
+  in
+  let path = Option.value !bench_out ~default:(Printf.sprintf "BENCH_%s.json" (fleet_suite ())) in
+  Metrics.Json.save ~path json;
+  Printf.printf "wrote %s (git %s)\n" path (git_rev ())
+
+(* The fleet gate: the simulation is deterministic, so the gated columns
+   only move when the scheduling/traffic decision stream changes.
+   Completion counts gate at 1% drift, tails at the regress tolerance; the
+   chaos drill must stay converged and sanitizer-clean. *)
+let fleetgate () =
+  Report.section (Printf.sprintf "Fleet gate (%s suite)" (fleet_suite ()));
+  let path =
+    Option.value !baseline_path
+      ~default:(Printf.sprintf "bench/baselines/BENCH_%s.json" (fleet_suite ()))
+  in
+  match Metrics.Json.parse_file ~path with
+  | Error msg ->
+    Printf.eprintf "fleetgate: cannot read baseline %s: %s\n" path msg;
+    regress_failed := true
+  | Ok base ->
+    let tol = Option.value !tolerance ~default:default_p99_tolerance in
+    let member_int j k = Option.(bind (Metrics.Json.member k j) Metrics.Json.to_float) in
+    let rows = ref [] in
+    let check label ~base_v ~cur ~max_drift =
+      match base_v with
+      | None -> rows := [ label; "-"; Printf.sprintf "%.0f" cur; "new (no baseline)" ] :: !rows
+      | Some b ->
+        let drift = if b = 0. then 0. else 100. *. Float.abs ((cur /. b) -. 1.) in
+        let ok = drift <= max_drift in
+        if not ok then regress_failed := true;
+        rows :=
+          [
+            label;
+            Printf.sprintf "%.0f" b;
+            Printf.sprintf "%.0f" cur;
+            (if ok then "ok" else Printf.sprintf "REGRESSED: drifted %.1f%%" drift);
+          ]
+          :: !rows
+    in
+    (* steady tenants *)
+    let steady = fleet_steady () in
+    let base_tenants =
+      Option.value ~default:[]
+        Option.(
+          bind (Metrics.Json.member "steady" base) (fun s ->
+              bind (Metrics.Json.member "tenants" s) Metrics.Json.to_list))
+    in
+    List.iter
+      (fun (s : Cluster.Fleet.tenant_stat) ->
+        let bj =
+          List.find_opt
+            (fun j ->
+              Option.(bind (Metrics.Json.member "tenant" j) Metrics.Json.to_str) = Some s.tenant)
+            base_tenants
+        in
+        check
+          ("steady/" ^ s.tenant ^ " completed")
+          ~base_v:(Option.bind bj (fun j -> member_int j "completed"))
+          ~cur:(float_of_int s.completed) ~max_drift:1.;
+        check
+          ("steady/" ^ s.tenant ^ " p999")
+          ~base_v:(Option.bind bj (fun j -> member_int j "p999_ns"))
+          ~cur:(float_of_int s.p999) ~max_drift:tol)
+      (Cluster.Fleet.tenant_stats steady);
+    (* lb sweep *)
+    let base_lb =
+      Option.value ~default:[] Option.(bind (Metrics.Json.member "lb" base) Metrics.Json.to_list)
+    in
+    List.iter
+      (fun (name, completed, _, _, _) ->
+        let bj =
+          List.find_opt
+            (fun j ->
+              Option.(bind (Metrics.Json.member "policy" j) Metrics.Json.to_str) = Some name)
+            base_lb
+        in
+        check ("lb/" ^ name ^ " completed")
+          ~base_v:(Option.bind bj (fun j -> member_int j "completed"))
+          ~cur:(float_of_int completed) ~max_drift:1.)
+      (fleet_lb_cells ());
+    (* chaos drill invariants *)
+    let cf = fleet_chaos_run () in
+    let conv = Cluster.Fleet.converged cf and clean = Cluster.Fleet.sanitizer_ok cf in
+    if not (conv && clean) then regress_failed := true;
+    rows :=
+      [
+        "chaos drill";
+        "converged+clean";
+        (Printf.sprintf "%s+%s"
+           (if conv then "converged" else "NOT-CONVERGED")
+           (if clean then "clean" else "VIOLATIONS"));
+        (if conv && clean then "ok" else "REGRESSED");
+      ]
+      :: !rows;
+    Report.table ~header:[ "check"; "baseline"; "now"; "verdict" ] (List.rev !rows);
+    Report.note
+      (Printf.sprintf "baseline %s; completion drift 1%%, tails %.0f%%, chaos must converge" path
+         tol);
+    if !regress_failed then print_endline "fleetgate: FAIL (see verdicts above)"
+    else print_endline "fleetgate: ok"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -1954,6 +2313,8 @@ let experiments =
     ("speedgate", speedgate);
     ("dsq", dsq);
     ("dsqgate", dsqgate);
+    ("fleet", fleet);
+    ("fleetgate", fleetgate);
   ]
 
 let () =
@@ -2039,7 +2400,7 @@ let () =
      everything" (regress needs a committed baseline to diff against) *)
   let default_set =
     List.filter
-      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate"; "dsq"; "dsqgate" ]))
+      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate"; "dsq"; "dsqgate"; "fleet"; "fleetgate" ]))
       (List.map fst experiments)
   in
   let requested = match names with [] -> default_set | ns -> ns in

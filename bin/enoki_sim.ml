@@ -243,10 +243,7 @@ let run_workload (b : Workloads.Setup.built) workload ~load ~seed =
     Printf.printf "sched pipe: %.2f us/wakeup over %d wakeups (completed: %b)\n" r.us_per_wakeup
       r.wakeups r.completed
   | Schbench ->
-    let dp = Workloads.Schbench.default_params in
-    let p =
-      { dp with Workloads.Schbench.seed = Option.value seed ~default:dp.Workloads.Schbench.seed }
-    in
+    let p = Workloads.Schbench.default_params ?seed () in
     Printf.printf "seed: %d\n" p.Workloads.Schbench.seed;
     let r = Workloads.Schbench.run b p in
     Printf.printf "schbench: wakeup latency p50 %s, p99 %s (%d samples)\n"
@@ -587,6 +584,219 @@ let upgrade_cmd =
     (Cmd.info "upgrade" ~doc:"Run a workload and live-upgrade the scheduler 100ms in.")
     Term.(const run $ sched_arg $ workload_arg $ load_arg $ cores_arg $ seed_arg)
 
+(* ---------- fleet ---------- *)
+
+let lb_conv =
+  let parse s =
+    match Cluster.Lb.policy_of_string s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Cluster.Lb.policy_name p))
+
+let fleet_hosts_arg =
+  Arg.(value & opt int 8 & info [ "hosts" ] ~docv:"N" ~doc:"Number of simulated hosts.")
+
+let fleet_scheds_arg =
+  Arg.(
+    value
+    & opt (list sched_conv) []
+    & info [ "scheds" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated scheduler names cycled across the hosts (heterogeneous fleets are \
+           fine); defaults to $(b,wfq) everywhere.  Same vocabulary as $(b,--sched).")
+
+let fleet_lb_arg =
+  Arg.(
+    value
+    & opt lb_conv Cluster.Lb.Least_outstanding
+    & info [ "lb" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf "Load-balancing policy: %s."
+             (String.concat ", "
+                (List.map (Printf.sprintf "$(b,%s)") Cluster.Lb.policy_names))))
+
+let fleet_duration_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "duration" ] ~docv:"MS" ~doc:"Simulated run length in milliseconds.")
+
+let fleet_flows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flows" ] ~docv:"N"
+        ~doc:
+          "Run until the traffic engine has churned through $(docv) complete flows (capped by \
+           $(b,--duration)); the bounded-memory scale check.")
+
+let fleet_epoch_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "epoch" ] ~docv:"US" ~doc:"Fleet coordination epoch in microseconds.")
+
+let fleet_workers_arg =
+  Arg.(value & opt int 6 & info [ "workers" ] ~docv:"N" ~doc:"Server tasks per host.")
+
+let fleet_queue_cap_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "queue-cap" ] ~docv:"N" ~doc:"Per-host ingress queue depth; overflow drops.")
+
+let fleet_conns_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "connections" ] ~docv:"N" ~doc:"Connection slots per tenant (the live-flow pool).")
+
+let fleet_flow_len_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "flow-len" ] ~docv:"MEAN" ~doc:"Mean requests per flow (connection churn rate).")
+
+let fleet_upgrade_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "upgrade" ] ~docv:"MS"
+        ~doc:
+          "Rolling live upgrade: re-register each Enoki host's scheduler starting at $(docv) \
+           ms, staggered by $(b,--stagger).")
+
+let fleet_stagger_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "stagger" ] ~docv:"MS" ~doc:"Per-host stagger for the rolling upgrade.")
+
+let fleet_chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"HOST"
+        ~doc:
+          "Chaos drill: panic host $(docv)'s scheduler module mid-run (it must be an Enoki \
+           host); the fleet drains, fails over and re-admits it.")
+
+let fleet_chaos_after_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "chaos-after" ] ~docv:"CALLS" ~doc:"Scheduler calls before the drill panic fires.")
+
+let fleet_cmd =
+  let run hosts scheds lb load cores duration flows epoch_us workers queue_cap connections
+      flow_len seed upgrade_ms stagger_ms chaos_victim chaos_after metrics_out =
+    let entries =
+      match scheds with
+      | [] -> (
+        match Schedulers.Registry.find "wfq" with
+        | Some e -> List.init hosts (fun _ -> e)
+        | None -> assert false)
+      | l -> List.init hosts (fun i -> List.nth l (i mod List.length l))
+    in
+    let seed = Option.value seed ~default:1 in
+    let tenants = Cluster.Traffic.standard_mix ~connections ~flow_len ~load_kreqs:load () in
+    let upgrade =
+      Option.map
+        (fun ms ->
+          { Cluster.Fleet.at = Kernsim.Time.ms ms; stagger = Kernsim.Time.ms stagger_ms })
+        upgrade_ms
+    in
+    let chaos =
+      Option.map
+        (fun victim ->
+          { Cluster.Fleet.victim; after_calls = chaos_after; recovery = Kernsim.Time.ms 20 })
+        chaos_victim
+    in
+    let f =
+      Cluster.Fleet.create ~topology:(topology_of_cores cores) ~workers ~queue_cap
+        ~epoch:(Kernsim.Time.us epoch_us) ~warmup:(Kernsim.Time.ms 100) ?upgrade ?chaos ~lb ~seed
+        ~hosts:entries ~tenants ()
+    in
+    Printf.printf "fleet: %d hosts (%s), lb %s, %.0fk req/s offered, seed %d\n" hosts
+      (String.concat "," (List.map (fun (e : Schedulers.Registry.entry) -> e.name) entries))
+      (Cluster.Lb.policy_name lb) load seed;
+    (match flows with
+    | Some n -> Cluster.Fleet.run_flows f ~flows:n ~max_time:(Kernsim.Time.ms duration)
+    | None -> Cluster.Fleet.run f ~until:(Kernsim.Time.ms duration));
+    let tr = Cluster.Fleet.traffic f in
+    Printf.printf "ran %s: %d flows (%d live), %d requests emitted\n"
+      (Kernsim.Time.to_string (Cluster.Fleet.clock f))
+      (Cluster.Traffic.flows_completed tr)
+      (Cluster.Traffic.live_flows tr)
+      (Cluster.Traffic.requests_emitted tr);
+    Report.table
+      ~header:[ "tenant"; "completed"; "dropped"; "rejected"; "p50"; "p99"; "p999" ]
+      (List.map
+         (fun (s : Cluster.Fleet.tenant_stat) ->
+           [
+             s.tenant;
+             string_of_int s.completed;
+             string_of_int s.dropped;
+             string_of_int s.rejected;
+             Kernsim.Time.to_string s.p50;
+             Kernsim.Time.to_string s.p99;
+             Kernsim.Time.to_string s.p999;
+           ])
+         (Cluster.Fleet.tenant_stats f));
+    Report.table
+      ~header:[ "host"; "sched"; "completed"; "p99"; "state" ]
+      (List.map
+         (fun (s : Cluster.Fleet.host_stat) ->
+           [
+             string_of_int s.host;
+             s.sched;
+             string_of_int s.completed;
+             Kernsim.Time.to_string s.p99;
+             (if s.drained then "drained"
+              else if s.quarantined then "failed-over"
+              else "up");
+           ])
+         (Cluster.Fleet.host_stats f));
+    List.iter
+      (fun (host, pause) ->
+        Printf.printf "upgrade: host %d paused %s\n" host (Kernsim.Time.to_string pause))
+      (Cluster.Fleet.upgrades f);
+    if Cluster.Fleet.upgrade_failures f > 0 then
+      Printf.printf "upgrade failures: %d\n" (Cluster.Fleet.upgrade_failures f);
+    let bl = Cluster.Fleet.blackout f in
+    if Stats.Histogram.count bl > 0 then
+      Printf.printf "blackout window: %d requests, p99 %s, p999 %s\n" (Stats.Histogram.count bl)
+        (Kernsim.Time.to_string (Stats.Histogram.percentile bl 99.0))
+        (Kernsim.Time.to_string (Stats.Histogram.percentile bl 99.9));
+    List.iter
+      (fun (ts, host, op) ->
+        Printf.printf "fleet op: %s host %d %s\n" (Kernsim.Time.to_string ts) host op)
+      (Cluster.Fleet.oplog f);
+    (match chaos with
+    | Some _ ->
+      Printf.printf "chaos drill: %s, sanitizer %s\n"
+        (if Cluster.Fleet.converged f then "converged (victim re-admitted)"
+         else "NOT converged")
+        (if Cluster.Fleet.sanitizer_ok f then "clean" else "VIOLATIONS")
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+      let fmt = Metrics.Export.format_of_path path in
+      (try Metrics.Export.save ~path fmt (Cluster.Fleet.registry f)
+       with Sys_error msg ->
+         Printf.eprintf "enoki_sim: cannot write metrics: %s\n" msg;
+         exit 2);
+      Printf.printf "metrics: fleet registry to %s\n" path
+    | None -> ());
+    if (chaos <> None && not (Cluster.Fleet.converged f)) || not (Cluster.Fleet.sanitizer_ok f)
+    then exit 3
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Drive a simulated fleet: N hosts behind a load balancer under open-loop multi-tenant \
+          traffic, with optional rolling live upgrades and chaos drills.")
+    Term.(
+      const run $ fleet_hosts_arg $ fleet_scheds_arg $ fleet_lb_arg $ load_arg $ cores_arg
+      $ fleet_duration_arg $ fleet_flows_arg $ fleet_epoch_arg $ fleet_workers_arg
+      $ fleet_queue_cap_arg $ fleet_conns_arg $ fleet_flow_len_arg $ seed_arg $ fleet_upgrade_arg
+      $ fleet_stagger_arg $ fleet_chaos_arg $ fleet_chaos_after_arg $ metrics_out_arg)
+
 let () =
   let doc = "Enoki scheduler-framework simulator" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "enoki_sim" ~doc) [ run_cmd; record_cmd; replay_cmd; upgrade_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "enoki_sim" ~doc)
+          [ run_cmd; record_cmd; replay_cmd; upgrade_cmd; fleet_cmd ]))

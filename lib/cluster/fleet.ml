@@ -1,0 +1,392 @@
+module T = Kernsim.Task
+module M = Kernsim.Machine
+module Reg = Metrics.Registry
+
+type ns = Kernsim.Time.ns
+
+type upgrade = { at : ns; stagger : ns }
+
+type chaos = { victim : int; after_calls : int; recovery : ns }
+
+type host = {
+  id : int;
+  entry : Schedulers.Registry.entry;
+  built : Workloads.Setup.built;
+  chan : int;  (* ingress doorbell *)
+  queue : Traffic.request Queue.t;
+  tracer : Trace.Tracer.t option;  (* chaos victim only *)
+  sanitizer : Trace.Sanitizer.t option;
+  hist : Reg.histogram;
+  mutable inflight : int;  (* queued + executing *)
+  mutable completed : int;
+  mutable pending_drain : string option;  (* set by the watchdog *)
+  mutable drilled : bool;  (* has been drained once *)
+  mutable readmitted : bool;
+  mutable drained_at : ns;
+  mutable bl_from : ns;  (* last upgrade's blackout window *)
+  mutable bl_until : ns;
+}
+
+type t = {
+  epoch : ns;
+  warmup : ns;
+  queue_cap : int;
+  dispatch_overhead : ns;
+  recovery : ns;
+  traffic : Traffic.t;
+  lb : Lb.t;
+  hosts : host array;
+  reg : Reg.t;
+  tenant_hist : Reg.histogram array;
+  blackout_h : Reg.histogram;
+  completed : int array;  (* per tenant *)
+  dropped : int array;
+  rejected : int array;
+  mutable clock : ns;
+  mutable measuring : bool;
+  mutable oplog : (ns * int * string) list;  (* newest first *)
+  mutable upgrades_done : (int * ns) list;  (* newest first *)
+  mutable upgrade_failures : int;
+}
+
+let op t host ~ts name =
+  t.oplog <- (ts, host.id, name) :: t.oplog;
+  match host.tracer with
+  | Some tr -> Trace.Tracer.emit tr ~ts ~cpu:0 (Trace.Event.Fleet_op { host = host.id; op = name })
+  | None -> ()
+
+(* A server task: pull a request off the host queue, pay dispatch overhead
+   plus its service time, account the end-to-end latency, block on the
+   doorbell for the next one.  Signals pair one-to-one with enqueued
+   requests, so a woken worker always finds work. *)
+let worker_beh t host =
+  let st = ref `Take in
+  fun (ctx : T.ctx) ->
+    match !st with
+    | `Take -> (
+      match Queue.take_opt host.queue with
+      | None -> T.Block host.chan
+      | Some req ->
+        st := `Done req;
+        T.Compute (t.dispatch_overhead + req.Traffic.service))
+    | `Done req ->
+      let lat = ctx.T.now - req.Traffic.arrived in
+      host.inflight <- host.inflight - 1;
+      host.completed <- host.completed + 1;
+      Lb.complete t.lb host.id;
+      t.completed.(req.Traffic.tenant) <- t.completed.(req.Traffic.tenant) + 1;
+      if t.measuring then begin
+        Reg.observe t.tenant_hist.(req.Traffic.tenant) lat;
+        Reg.observe host.hist lat
+      end;
+      if host.bl_from >= 0 && ctx.T.now >= host.bl_from && ctx.T.now <= host.bl_until then
+        Reg.observe t.blackout_h lat;
+      st := `Take;
+      T.Block host.chan
+
+let host_label (e : Schedulers.Registry.entry) = e.Schedulers.Registry.name
+
+let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap = 4096)
+    ?(epoch = Kernsim.Time.ms 1) ?(warmup = 0) ?(dispatch_overhead = Kernsim.Time.us 2) ?weights
+    ?(lb = Lb.Least_outstanding) ?upgrade ?chaos ~seed ~hosts ~tenants () =
+  if hosts = [] then invalid_arg "Fleet.create: no hosts";
+  let entries = Array.of_list hosts in
+  let n = Array.length entries in
+  (* one root seed, split in fixed order: everything downstream is a pure
+     function of it (the reproducibility satellite) *)
+  let root = Stats.Prng.create ~seed in
+  let traffic_seed = Stats.Prng.next root in
+  let lb_seed = Stats.Prng.next root in
+  let chaos_seed = Stats.Prng.next root in
+  let traffic = Traffic.create ~seed:traffic_seed ~start:0 tenants in
+  let balancer = Lb.create ?weights ~policy:lb ~hosts:n ~seed:lb_seed () in
+  let reg = Reg.create () in
+  (match chaos with
+  | Some c when c.victim < 0 || c.victim >= n -> invalid_arg "Fleet.create: chaos victim out of range"
+  | _ -> ());
+  let plan_for (c : chaos) =
+    let spec = Printf.sprintf "panic@pick_next_task:after=%d,p=1,max=1" c.after_calls in
+    match Fault.Plan.parse spec with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Fleet.create: " ^ e)
+  in
+  let mk_host id entry =
+    let is_victim = match chaos with Some c -> c.victim = id | None -> false in
+    let kind =
+      match (Workloads.Setup.of_registry entry, chaos) with
+      | Workloads.Setup.Enoki_sched m, Some c when is_victim ->
+        Workloads.Setup.Enoki_sched (Fault.Inject.wrap ~seed:chaos_seed ~plan:(plan_for c) m)
+      | _, Some _ when is_victim ->
+        invalid_arg "Fleet.create: chaos victim must be an Enoki-module host"
+      | k, _ -> k
+    in
+    let tracer, sanitizer =
+      if is_victim then begin
+        let tr = Trace.Tracer.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) () in
+        let sz = Trace.Sanitizer.create ~nr_cpus:(Kernsim.Topology.nr_cpus topology) () in
+        Trace.Sanitizer.attach sz tr;
+        (Some tr, Some sz)
+      end
+      else (None, None)
+    in
+    let built = Workloads.Setup.build ?tracer ~topology kind in
+    let chan = M.new_chan built.Workloads.Setup.machine in
+    let hist =
+      Reg.histogram reg ~help:"end-to-end request latency per host (ns)"
+        (Reg.labeled "fleet_host_latency_ns"
+           [ ("host", string_of_int id); ("sched", host_label entry) ])
+    in
+    {
+      id;
+      entry;
+      built;
+      chan;
+      queue = Queue.create ();
+      tracer;
+      sanitizer;
+      hist;
+      inflight = 0;
+      completed = 0;
+      pending_drain = None;
+      drilled = false;
+      readmitted = false;
+      drained_at = 0;
+      bl_from = -1;
+      bl_until = -1;
+    }
+  in
+  let hosts = Array.mapi mk_host entries in
+  let nt = Traffic.nr_tenants traffic in
+  let tenant_hist =
+    Array.init nt (fun i ->
+        Reg.histogram reg ~help:"end-to-end request latency per tenant (ns)"
+          (Reg.labeled "fleet_request_latency_ns" [ ("tenant", Traffic.tenant_name traffic i) ]))
+  in
+  let blackout_h =
+    Reg.histogram reg ~help:"request latency inside upgrade blackout windows (ns)"
+      "fleet_blackout_latency_ns"
+  in
+  let t =
+    {
+      epoch;
+      warmup;
+      queue_cap;
+      dispatch_overhead;
+      recovery = (match chaos with Some c -> c.recovery | None -> Kernsim.Time.ms 10);
+      traffic;
+      lb = balancer;
+      hosts;
+      reg;
+      tenant_hist;
+      blackout_h;
+      completed = Array.make nt 0;
+      dropped = Array.make nt 0;
+      rejected = Array.make nt 0;
+      clock = 0;
+      measuring = warmup <= 0;
+      oplog = [];
+      upgrades_done = [];
+      upgrade_failures = 0;
+    }
+  in
+  (* per-tenant counters surface in the exported metrics as probes over
+     the authoritative arrays — no double bookkeeping on the hot path *)
+  for i = 0 to nt - 1 do
+    let lbl name = Reg.labeled name [ ("tenant", Traffic.tenant_name traffic i) ] in
+    Reg.gauge_probe reg ~help:"requests completed" (lbl "fleet_completed_total") (fun () ->
+        float_of_int t.completed.(i));
+    Reg.gauge_probe reg ~help:"requests dropped on host-queue overflow" (lbl "fleet_dropped_total")
+      (fun () -> float_of_int t.dropped.(i));
+    Reg.gauge_probe reg ~help:"requests rejected with every host drained"
+      (lbl "fleet_rejected_total") (fun () -> float_of_int t.rejected.(i))
+  done;
+  Array.iter
+    (fun host ->
+      let m = host.built.Workloads.Setup.machine in
+      (* the server pool *)
+      for w = 0 to workers - 1 do
+        ignore
+          (M.spawn m
+             {
+               (T.default_spec ~name:(Printf.sprintf "srv%d-%d" host.id w) (worker_beh t host)) with
+               T.policy = host.built.Workloads.Setup.policy;
+               group = "server";
+             })
+      done;
+      (* a ghOSt global agent really spins on its core *)
+      (match host.built.Workloads.Setup.agent_core with
+      | Some core ->
+        let spin (_ : T.ctx) = T.Compute (Kernsim.Time.us 100) in
+        ignore
+          (M.spawn m
+             {
+               (T.default_spec ~name:"ghost-agent" spin) with
+               T.policy = host.built.Workloads.Setup.cfs_policy;
+               group = "ghost-agent";
+               nice = -20;
+               affinity = Some [ core ];
+             })
+      | None -> ());
+      (* the watchdog path: panic burst of 1 (the drill injects exactly
+         one), action deferred to the epoch poll via [pending_drain] *)
+      (match (host.tracer, host.sanitizer) with
+      | Some tr, sz ->
+        let config =
+          { Fault.Watchdog.default_config with panic_burst = 1; starvation = false; max_fires = 2 }
+        in
+        let w =
+          Fault.Watchdog.create ~config ?sanitizer:sz
+            ~action:(fun ~reason ~at:_ -> host.pending_drain <- Some reason)
+            ()
+        in
+        Fault.Watchdog.attach w tr
+      | None, _ -> ());
+      (* the rolling-upgrade schedule, staggered by host id *)
+      match (upgrade, host.built.Workloads.Setup.enoki, Schedulers.Registry.enoki_module host.entry)
+      with
+      | Some u, Some e, Some m ->
+        M.at host.built.Workloads.Setup.machine
+          ~delay:(u.at + (host.id * u.stagger))
+          (fun () ->
+            let now = M.now host.built.Workloads.Setup.machine in
+            op t host ~ts:now "upgrade";
+            match Enoki.Enoki_c.upgrade e m with
+            | Ok (s : Enoki.Upgrade.stats) ->
+              host.bl_from <- now;
+              host.bl_until <- now + s.Enoki.Upgrade.pause + t.epoch;
+              t.upgrades_done <- (host.id, s.Enoki.Upgrade.pause) :: t.upgrades_done
+            | Error _ -> t.upgrade_failures <- t.upgrade_failures + 1)
+      | _ -> ())
+    hosts;
+  t
+
+let quarantined host =
+  match host.built.Workloads.Setup.enoki with
+  | Some e -> (Enoki.Enoki_c.failover_stats e).Enoki.Enoki_c.quarantined <> None
+  | None -> false
+
+(* The drill state machine, polled once per epoch: quarantine (or a
+   watchdog fire) -> LB drain; queue dry + recovery delay -> re-admit. *)
+let poll_drills t =
+  Array.iter
+    (fun host ->
+      if (not host.drilled) && (host.pending_drain <> None || quarantined host) then begin
+        host.drilled <- true;
+        host.drained_at <- t.clock;
+        Lb.drain t.lb host.id;
+        op t host ~ts:t.clock "drain"
+      end
+      else if
+        host.drilled && (not host.readmitted) && host.inflight = 0
+        && t.clock >= host.drained_at + t.recovery
+      then begin
+        host.readmitted <- true;
+        Lb.admit t.lb host.id;
+        op t host ~ts:t.clock "admit"
+      end)
+    t.hosts
+
+let place t (req : Traffic.request) =
+  match Lb.pick t.lb ~key:req.Traffic.flow_key with
+  | None -> t.rejected.(req.Traffic.tenant) <- t.rejected.(req.Traffic.tenant) + 1
+  | Some h ->
+    Lb.dispatch t.lb h;
+    let host = t.hosts.(h) in
+    let m = host.built.Workloads.Setup.machine in
+    let delay = max 0 (req.Traffic.arrived - M.now m) in
+    M.at m ~delay (fun () ->
+        if Queue.length host.queue >= t.queue_cap then begin
+          t.dropped.(req.Traffic.tenant) <- t.dropped.(req.Traffic.tenant) + 1;
+          Lb.complete t.lb host.id
+        end
+        else begin
+          Queue.add req host.queue;
+          host.inflight <- host.inflight + 1;
+          M.signal m host.chan
+        end)
+
+let step t ~limit =
+  let until = min (t.clock + t.epoch) limit in
+  if (not t.measuring) && t.clock >= t.warmup then t.measuring <- true;
+  List.iter (place t) (Traffic.next_window t.traffic ~until);
+  Array.iter (fun h -> M.run_until h.built.Workloads.Setup.machine until) t.hosts;
+  t.clock <- until;
+  poll_drills t
+
+let run t ~until = while t.clock < until do step t ~limit:until done
+
+let run_flows t ~flows ~max_time =
+  while Traffic.flows_completed t.traffic < flows && t.clock < max_time do
+    step t ~limit:max_time
+  done
+
+let clock t = t.clock
+
+let nr_hosts t = Array.length t.hosts
+
+let registry t = t.reg
+
+let traffic t = t.traffic
+
+let lb t = t.lb
+
+type tenant_stat = {
+  tenant : string;
+  completed : int;
+  dropped : int;
+  rejected : int;
+  p50 : ns;
+  p99 : ns;
+  p999 : ns;
+}
+
+let tenant_stats t =
+  List.init (Traffic.nr_tenants t.traffic) (fun i ->
+      let h = Reg.merged t.tenant_hist.(i) in
+      {
+        tenant = Traffic.tenant_name t.traffic i;
+        completed = t.completed.(i);
+        dropped = t.dropped.(i);
+        rejected = t.rejected.(i);
+        p50 = Stats.Histogram.percentile h 50.0;
+        p99 = Stats.Histogram.percentile h 99.0;
+        p999 = Stats.Histogram.percentile h 99.9;
+      })
+
+type host_stat = {
+  host : int;
+  sched : string;
+  completed : int;
+  p99 : ns;
+  drained : bool;
+  quarantined : bool;
+}
+
+let host_stats t =
+  Array.to_list
+    (Array.map
+       (fun h ->
+         {
+           host = h.id;
+           sched = host_label h.entry;
+           completed = h.completed;
+           p99 = Stats.Histogram.percentile (Reg.merged h.hist) 99.0;
+           drained = Lb.drained t.lb h.id;
+           quarantined = quarantined h;
+         })
+       t.hosts)
+
+let upgrades t = List.rev t.upgrades_done
+
+let upgrade_failures t = t.upgrade_failures
+
+let blackout t = Reg.merged t.blackout_h
+
+let oplog t = List.rev t.oplog
+
+let converged t = Array.for_all (fun h -> (not h.drilled) || h.readmitted) t.hosts
+
+let sanitizer_ok t =
+  Array.for_all
+    (fun h -> match h.sanitizer with Some sz -> Trace.Sanitizer.ok sz | None -> true)
+    t.hosts

@@ -1,0 +1,126 @@
+(** The simulated fleet: N machines behind a load balancer, driven by the
+    open-loop {!Traffic} engine.
+
+    Each host is a full {!Kernsim.Machine} built through
+    {!Workloads.Setup.build} with its own scheduler (any
+    {!Schedulers.Registry} entry; heterogeneous mixes are fine) and a pool
+    of server tasks.  The fleet advances all hosts in lock-step {e epochs}:
+    per epoch it drains the traffic engine's next arrival window, places
+    every request through the balancer, injects each one into its host at
+    its exact arrival time via the {!Kernsim.Machine.signal} doorbell, and
+    runs every machine to the epoch boundary in host order — one fixed
+    interleaving, so a (seed, config) pair reproduces the whole fleet run
+    bit for bit.
+
+    Orchestration rides on top:
+
+    - {b rolling live upgrade} (§5.7 at fleet scale): staggered per-host
+      {!Enoki.Enoki_c.upgrade} calls under load, with each host's upgrade
+      pause recorded and completions inside the pause window attributed to
+      a blackout histogram;
+    - {b chaos drills} reusing [lib/fault]: a victim host's module is
+      wrapped with a deterministic panic {!Fault.Plan}; the module panic
+      quarantines and fails over to CFS inside the host, a
+      {!Fault.Watchdog} (or the epoch poll of
+      {!Enoki.Enoki_c.failover_stats}) detects it, the balancer drains the
+      host, and once the host's queue runs dry it is re-admitted — the
+      host panic → drain → failover → re-admit cycle. *)
+
+type ns = Kernsim.Time.ns
+
+(** Rolling-upgrade plan: host [i] upgrades (to its registry module, the
+    §5.7 re-registration) at [at + i*stagger] on its own clock. *)
+type upgrade = { at : ns; stagger : ns }
+
+(** Chaos drill: [victim]'s module panics out of [pick_next_task] after
+    [after_calls] scheduler calls; once drained, the host is re-admitted
+    [recovery] ns after the drain (and only when its queue is empty). *)
+type chaos = { victim : int; after_calls : int; recovery : ns }
+
+type t
+
+(** [create ~seed ~hosts ~tenants ()] builds the fleet.  One root [seed]
+    is split (in fixed order) into the traffic, balancer and fault-plan
+    streams.  [workers] server tasks per host pull requests off the host's
+    ingress queue ([queue_cap] deep; overflow counts a drop); each request
+    costs [dispatch_overhead] plus its own service time.  Latency
+    histograms only record after [warmup].  A chaos victim must be an
+    Enoki-module host. *)
+val create :
+  ?topology:Kernsim.Topology.t ->
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?epoch:ns ->
+  ?warmup:ns ->
+  ?dispatch_overhead:ns ->
+  ?weights:int array ->
+  ?lb:Lb.policy ->
+  ?upgrade:upgrade ->
+  ?chaos:chaos ->
+  seed:int ->
+  hosts:Schedulers.Registry.entry list ->
+  tenants:Traffic.tenant list ->
+  unit ->
+  t
+
+(** Advance the whole fleet to simulated time [until]. *)
+val run : t -> until:ns -> unit
+
+(** Advance until the traffic engine has churned through [flows] complete
+    flows (the bounded-memory acceptance run), or [max_time] is reached. *)
+val run_flows : t -> flows:int -> max_time:ns -> unit
+
+val clock : t -> ns
+
+val nr_hosts : t -> int
+
+(** The fleet-level metrics registry (per-tenant / per-host labelled
+    series), for export. *)
+val registry : t -> Metrics.Registry.t
+
+val traffic : t -> Traffic.t
+
+val lb : t -> Lb.t
+
+(** Per-tenant results: total completions/drops/rejects and
+    measured-window latency percentiles. *)
+type tenant_stat = {
+  tenant : string;
+  completed : int;
+  dropped : int;  (** host ingress-queue overflows *)
+  rejected : int;  (** balancer had no host (all drained) *)
+  p50 : ns;
+  p99 : ns;
+  p999 : ns;
+}
+
+val tenant_stats : t -> tenant_stat list
+
+type host_stat = {
+  host : int;
+  sched : string;
+  completed : int;
+  p99 : ns;
+  drained : bool;  (** currently out of rotation *)
+  quarantined : bool;  (** module quarantined (failed over to CFS) *)
+}
+
+val host_stats : t -> host_stat list
+
+(** Upgrades performed, in firing order: (host, pause ns). *)
+val upgrades : t -> (int * ns) list
+
+val upgrade_failures : t -> int
+
+(** Completions that landed inside a host's upgrade blackout window. *)
+val blackout : t -> Stats.Histogram.t
+
+(** Fleet orchestration timeline, oldest first: (when, host, op) with op
+    one of "upgrade", "drain", "admit". *)
+val oplog : t -> (ns * int * string) list
+
+(** Every drilled (drained) host was re-admitted. *)
+val converged : t -> bool
+
+(** The chaos victim's sanitizer verdict ([true] when no victim tracer). *)
+val sanitizer_ok : t -> bool

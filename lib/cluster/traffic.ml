@@ -1,0 +1,219 @@
+type ns = Kernsim.Time.ns
+
+type arrival =
+  | Poisson of { rate : float }
+  | Diurnal of { mean_rate : float; amplitude : float; period : ns }
+  | Burst of { base_rate : float; burst_rate : float; mean_on : ns; mean_off : ns }
+
+let pi = 4.0 *. atan 1.0
+
+let rate_at a t =
+  match a with
+  | Poisson { rate } -> rate
+  | Diurnal { mean_rate; amplitude; period } ->
+    mean_rate *. (1.0 +. (amplitude *. sin (2.0 *. pi *. float_of_int t /. float_of_int period)))
+  | Burst { base_rate; burst_rate; mean_on; mean_off } ->
+    let on = float_of_int mean_on and off = float_of_int mean_off in
+    ((base_rate *. off) +. (burst_rate *. on)) /. (on +. off)
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Diurnal { mean_rate; _ } -> mean_rate
+  | (Burst _) as b -> rate_at b 0
+
+type tenant = {
+  name : string;
+  arrival : arrival;
+  service : Stats.Dist.t;
+  flow_len_mean : float;
+  connections : int;
+}
+
+type request = { tenant : int; flow_key : int; arrived : ns; service : ns }
+
+let standard_mix ?(connections = 256) ?(flow_len = 8.0) ~load_kreqs () =
+  let total = load_kreqs *. 1000.0 in
+  [
+    {
+      name = "web";
+      arrival = Poisson { rate = 0.60 *. total };
+      service = Stats.Dist.uniform ~lo:5_000.0 ~hi:25_000.0;
+      flow_len_mean = flow_len;
+      connections;
+    };
+    {
+      name = "api";
+      arrival =
+        Diurnal { mean_rate = 0.25 *. total; amplitude = 0.7; period = Kernsim.Time.ms 200 };
+      service = Stats.Dist.lognormal ~mu:(log 12_000.0) ~sigma:0.5;
+      flow_len_mean = flow_len;
+      connections;
+    };
+    {
+      (* the antagonist: bursty arrivals, heavy-tailed services *)
+      name = "batch";
+      arrival =
+        (let mean = 0.15 *. total in
+         let base = mean /. 1.4 in
+         Burst
+           {
+             base_rate = base;
+             burst_rate = 3.0 *. base;
+             mean_on = Kernsim.Time.ms 20;
+             mean_off = Kernsim.Time.ms 80;
+           });
+      service = Stats.Dist.pareto ~alpha:1.3 ~lo:20_000.0 ~hi:2_000_000.0;
+      flow_len_mean = flow_len;
+      connections;
+    };
+  ]
+
+(* One connection slot: the only live state a flow ever occupies.  All
+   randomness comes from the slot's own stream, so advancing a slot is
+   independent of every other slot and of the caller's window size. *)
+type slot = {
+  rng : Stats.Prng.t;
+  mutable next_at : ns;
+  mutable remaining : int;  (* requests left in the open flow *)
+  mutable flow_seq : int;  (* per-slot flow counter (feeds flow_key) *)
+  mutable on : bool;  (* Burst phase *)
+  mutable phase_until : ns;
+}
+
+type t = {
+  tenants : tenant array;
+  slots : slot array array;  (* .(tenant).(slot) *)
+  mutable flows_started : int;
+  mutable flows_completed : int;
+  mutable requests_emitted : int;
+}
+
+(* Exponential gap in ns for a per-slot rate in req/s; rates <= 0 mean "not
+   in this phase", pushed effectively to infinity. *)
+let exp_gap rng ~rate_per_sec =
+  if rate_per_sec <= 0.0 then max_int / 4
+  else
+    let mean_ns = 1e9 /. rate_per_sec in
+    max 1 (int_of_float (-.log (1.0 -. Stats.Prng.float rng) *. mean_ns))
+
+(* Geometric-ish flow length with the given mean (>= 1 always). *)
+let flow_len rng ~mean =
+  if mean <= 1.0 then 1
+  else 1 + int_of_float (-.log (1.0 -. Stats.Prng.float rng) *. (mean -. 1.0))
+
+(* Advance [slot]'s arrival clock past [from] under [arrival] split over
+   [conns] slots.  Diurnal uses thinning against the peak rate, so the
+   realised process integrates exactly to the requested profile; Burst
+   restarts the gap at each phase boundary (valid by memorylessness). *)
+let rec next_arrival arrival ~conns slot ~from =
+  let c = float_of_int conns in
+  match arrival with
+  | Poisson { rate } -> from + exp_gap slot.rng ~rate_per_sec:(rate /. c)
+  | Diurnal { mean_rate; amplitude; period = _ } ->
+    let peak = mean_rate *. (1.0 +. abs_float amplitude) /. c in
+    let cand = from + exp_gap slot.rng ~rate_per_sec:peak in
+    let r = rate_at arrival cand /. c in
+    if Stats.Prng.float slot.rng *. peak <= r then cand
+    else next_arrival arrival ~conns slot ~from:cand
+  | Burst { base_rate; burst_rate; mean_on; mean_off } ->
+    let rate = (if slot.on then burst_rate else base_rate) /. c in
+    let cand = from + exp_gap slot.rng ~rate_per_sec:rate in
+    if cand <= slot.phase_until then cand
+    else begin
+      let resume = slot.phase_until in
+      let dwell = if slot.on then mean_off else mean_on in
+      slot.on <- not slot.on;
+      slot.phase_until <- resume + exp_gap slot.rng ~rate_per_sec:(1e9 /. float_of_int (max 1 dwell));
+      next_arrival arrival ~conns slot ~from:resume
+    end
+
+(* flow_key layout: tenant | slot | per-slot sequence.  Stable across
+   window sizes (nothing global), unique across the run. *)
+let key ~tenant ~slot ~seq = (tenant lsl 54) lor (slot lsl 34) lor (seq land 0x3_FFFF_FFFF)
+
+let open_flow t tn slot =
+  slot.flow_seq <- slot.flow_seq + 1;
+  slot.remaining <- flow_len slot.rng ~mean:tn.flow_len_mean;
+  t.flows_started <- t.flows_started + 1
+
+let create ~seed ~start tenants =
+  if tenants = [] then invalid_arg "Traffic.create: no tenants";
+  let root = Stats.Prng.create ~seed in
+  let tenants = Array.of_list tenants in
+  let t =
+    {
+      tenants;
+      slots = [||];
+      flows_started = 0;
+      flows_completed = 0;
+      requests_emitted = 0;
+    }
+  in
+  let slots =
+    Array.map
+      (fun tn ->
+        if tn.connections <= 0 then invalid_arg "Traffic.create: connections must be positive";
+        let tenant_rng = Stats.Prng.split root in
+        Array.init tn.connections (fun _ ->
+            let rng = Stats.Prng.split tenant_rng in
+            let slot =
+              { rng; next_at = start; remaining = 0; flow_seq = -1; on = false; phase_until = start }
+            in
+            (* stagger the first burst phase boundary so slots drift apart *)
+            (match tn.arrival with
+            | Burst { mean_off; _ } ->
+              slot.phase_until <-
+                start + exp_gap rng ~rate_per_sec:(1e9 /. float_of_int (max 1 mean_off))
+            | _ -> ());
+            open_flow t tn slot;
+            slot.next_at <- next_arrival tn.arrival ~conns:tn.connections slot ~from:start;
+            slot))
+      tenants
+  in
+  { t with slots }
+
+let next_window t ~until =
+  let acc = ref [] in
+  Array.iteri
+    (fun ti (tn : tenant) ->
+      let slots = t.slots.(ti) in
+      Array.iteri
+        (fun si slot ->
+          while slot.next_at < until do
+            let service =
+              max 1 (int_of_float (Stats.Dist.sample tn.service slot.rng))
+            in
+            let req =
+              {
+                tenant = ti;
+                flow_key = key ~tenant:ti ~slot:si ~seq:slot.flow_seq;
+                arrived = slot.next_at;
+                service;
+              }
+            in
+            acc := (req.arrived, ti, si, req) :: !acc;
+            t.requests_emitted <- t.requests_emitted + 1;
+            slot.remaining <- slot.remaining - 1;
+            if slot.remaining <= 0 then begin
+              t.flows_completed <- t.flows_completed + 1;
+              open_flow t tn slot
+            end;
+            slot.next_at <- next_arrival tn.arrival ~conns:tn.connections slot ~from:slot.next_at
+          done)
+        slots)
+    t.tenants;
+  !acc
+  |> List.sort (fun (a, ta, sa, _) (b, tb, sb, _) -> compare (a, ta, sa) (b, tb, sb))
+  |> List.map (fun (_, _, _, r) -> r)
+
+let tenant_name t i = t.tenants.(i).name
+
+let nr_tenants t = Array.length t.tenants
+
+let flows_started t = t.flows_started
+
+let flows_completed t = t.flows_completed
+
+let requests_emitted t = t.requests_emitted
+
+let live_flows t = Array.fold_left (fun n s -> n + Array.length s) 0 t.slots

@@ -742,6 +742,11 @@ let set_policy t ~pid ~policy =
 
 let at t ~delay f = Sim.after t.sim ~delay f
 
+(* External ingress doorbell: a V on the channel from outside any task —
+   the simulated analogue of a NIC interrupt delivering work into the
+   machine.  The wakeup path is charged to cpu 0 (the IRQ core). *)
+let signal t ch_id = do_wake_chan t ch_id ~waker_cpu:0
+
 let run_until t until = Sim.run_until t.sim ~until
 
 let run_for t d = Sim.run_until t.sim ~until:(Sim.now t.sim + d)

@@ -63,6 +63,13 @@ val chan_count : t -> int -> int
 (** Tasks currently blocked on a channel. *)
 val chan_waiters : t -> int -> int
 
+(** [signal t chan] performs a V on [chan] from outside any task — the
+    external-ingress doorbell (a NIC interrupt delivering a request into
+    the machine).  Wakes one waiter if any, otherwise leaves a credit for
+    the next [Block]; the wakeup path is charged to cpu 0, the IRQ core.
+    The cluster tier uses this to hand arriving flows to server tasks. *)
+val signal : t -> int -> unit
+
 (** Create a task; it becomes runnable immediately (the class's
     [select_task_rq] then [task_new] run first, as in §3.1's walkthrough). *)
 val spawn : t -> Task.spec -> int

@@ -9,28 +9,58 @@ let sanitize name =
 
 let prometheus reg =
   let buf = Buffer.create 4096 in
+  (* emit HELP/TYPE headers once per base name, so the labelled series the
+     cluster tier registers (one registry entry per label combination)
+     share a single metric family in the exposition *)
+  let headed = Hashtbl.create 16 in
   Registry.iter reg (fun ~name ~help v ->
-      let name = sanitize name in
-      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      (* a label block produced by Registry.labeled survives as-is; only
+         the base name is sanitized *)
+      let base = sanitize (Registry.base_name name) in
+      let labels =
+        match String.index_opt name '{' with
+        | Some i -> String.sub name i (String.length name - i)
+        | None -> ""
+      in
+      (* series name for scalar samples, and a label-splicer for the
+         histogram suffixes that must merge [le] into the block *)
+      let series = base ^ labels in
+      let with_label extra =
+        if labels = "" then Printf.sprintf "{%s}" extra
+        else Printf.sprintf "%s,%s}" (String.sub labels 0 (String.length labels - 1)) extra
+      in
+      let header kind =
+        if not (Hashtbl.mem headed base) then begin
+          Hashtbl.replace headed base ();
+          if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base help);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+        end
+      in
       match v with
       | Registry.Counter_v n ->
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name n)
+        header "counter";
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" series n)
       | Registry.Gauge_v g ->
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" name name g)
+        header "gauge";
+        Buffer.add_string buf (Printf.sprintf "%s %g\n" series g)
       | Registry.Histogram_v h ->
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        header "histogram";
         let cum = ref 0 in
         List.iter
           (fun (upper, count) ->
             cum := !cum + count;
             Buffer.add_string buf
-              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name upper !cum))
+              (Printf.sprintf "%s_bucket%s %d\n" base
+                 (with_label (Printf.sprintf "le=\"%d\"" upper))
+                 !cum))
           (Stats.Histogram.to_buckets h);
-        Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !cum);
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum %.0f\n" name
+          (Printf.sprintf "%s_bucket%s %d\n" base (with_label "le=\"+Inf\"") !cum);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %.0f\n" base labels
              (Stats.Histogram.mean h *. float_of_int (Stats.Histogram.count h)));
-        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name (Stats.Histogram.count h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" base labels (Stats.Histogram.count h)));
   Buffer.contents buf
 
 let csv sampler =

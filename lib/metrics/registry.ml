@@ -36,6 +36,35 @@ let register t ~help name make shape_name extract =
     t.order <- entry :: t.order;
     (match extract m with Some v -> v | None -> assert false)
 
+(* Label-decorated metric names, Prometheus style.  The registry itself
+   stays a flat name -> metric map: a labelled series is just a metric
+   whose name carries its label block, and the exporters split the block
+   back out.  Values are escaped so [labeled] round-trips through the
+   text exposition format. *)
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let escape v =
+      let buf = Buffer.create (String.length v) in
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c -> Buffer.add_char buf c)
+        v;
+      Buffer.contents buf
+    in
+    Printf.sprintf "%s{%s}" name
+      (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels))
+
+let base_name name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
 let counter t ?(help = "") name =
   register t ~help name
     (fun () -> Counter { c_shards = Array.make t.nr 0 })

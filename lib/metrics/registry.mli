@@ -33,6 +33,18 @@ val nr_cpus : t -> int
     existing metric; a name registered under a different shape raises
     [Invalid_argument]. *)
 
+(** [labeled name labels] decorates a metric name with a Prometheus-style
+    label block: [labeled "fleet_latency_ns" [("tenant", "web")]] is
+    ["fleet_latency_ns{tenant=\"web\"}"].  The registry treats the result
+    as an ordinary name (one independent series per label combination);
+    the exporters split the block back out, so labelled series survive the
+    text exposition format intact.  The cluster tier keys its per-tenant
+    and per-host series this way.  [labeled name []] is [name]. *)
+val labeled : string -> (string * string) list -> string
+
+(** The name with any label block stripped: [base_name (labeled n ls) = n]. *)
+val base_name : string -> string
+
 val counter : t -> ?help:string -> string -> counter
 
 val gauge : t -> ?help:string -> string -> gauge

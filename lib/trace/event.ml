@@ -22,6 +22,9 @@ type kind =
   | Metric_flush of { tick : int }
   | Dsq_insert of { dsq : string; pid : int }
   | Dsq_consume of { dsq : string; pid : int; wait : ns }
+  | Fleet_op of { host : int; op : string }
+      (* a fleet orchestration action (drain/admit/upgrade/drill) touched
+         the labelled host; observability marker, sanitizer-ignored *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 
@@ -47,6 +50,7 @@ let name = function
   | Metric_flush _ -> "metric_flush"
   | Dsq_insert _ -> "dsq_insert"
   | Dsq_consume _ -> "dsq_consume"
+  | Fleet_op _ -> "fleet_op"
 
 let pid_of = function
   | Wakeup { pid; _ }
@@ -61,7 +65,7 @@ let pid_of = function
   | Dsq_consume { pid; _ } -> Some pid
   | Sched_switch { next = Some pid; _ } -> Some pid
   | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ | Panic _
-  | Failover _ | Overrun _ | Watchdog_fire _ | Metric_flush _ -> None
+  | Failover _ | Overrun _ | Watchdog_fire _ | Metric_flush _ | Fleet_op _ -> None
 
 let opt_pid = function None -> "idle" | Some p -> string_of_int p
 
@@ -90,6 +94,7 @@ let args = function
   | Dsq_insert { dsq; pid } -> [ ("dsq", dsq); ("pid", string_of_int pid) ]
   | Dsq_consume { dsq; pid; wait } ->
     [ ("dsq", dsq); ("pid", string_of_int pid); ("wait", string_of_int wait) ]
+  | Fleet_op { host; op } -> [ ("host", string_of_int host); ("op", op) ]
 
 let pp fmt t =
   Format.fprintf fmt "[%d] %d %s" t.cpu t.ts (name t.kind);

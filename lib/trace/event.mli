@@ -52,6 +52,10 @@ type kind =
   | Dsq_consume of { dsq : string; pid : int; wait : ns }
       (** a task left the named dispatch queue after waiting [wait]
           simulated ns (the DSQ dispatch latency); sanitizer-ignored *)
+  | Fleet_op of { host : int; op : string }
+      (** a cluster orchestration action ("drain", "admit", "upgrade",
+          "panic-drill") hit the labelled fleet host; an observability
+          marker the sanitizer ignores in invariant checks *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 

@@ -77,7 +77,7 @@ let run_slices events =
       | Event.Sched_switch _ | Event.Wakeup _ | Event.Migrate _ | Event.Tick | Event.Pnt_err _
       | Event.Lock_acquire _ | Event.Lock_release _ | Event.Msg_call _ | Event.Panic _
       | Event.Failover _ | Event.Overrun _ | Event.Watchdog_fire _ | Event.Metric_flush _
-      | Event.Dsq_insert _ | Event.Dsq_consume _ -> ())
+      | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ -> ())
     events;
   (* close dangling slices at the last timestamp seen *)
   let last_ts = List.fold_left (fun acc (ev : Event.t) -> max acc ev.ts) 0 events in

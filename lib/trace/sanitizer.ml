@@ -202,9 +202,9 @@ let feed t (ev : Event.t) =
     (* fault-subsystem markers; the watchdog consumes these, the invariant
        checks above keep deriving state from the scheduling events alone *)
     ()
-  | Event.Metric_flush _ | Event.Dsq_insert _ | Event.Dsq_consume _ ->
-    (* observability markers (metrics sampler, dispatch-queue movements):
-       never part of any scheduling invariant *)
+  | Event.Metric_flush _ | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ ->
+    (* observability markers (metrics sampler, dispatch-queue movements,
+       fleet orchestration): never part of any scheduling invariant *)
     ()
 
 let attach t tracer = Tracer.subscribe tracer (feed t)

@@ -40,6 +40,6 @@ let of_events events =
       | Event.Sched_switch _ | Event.Migrate _ | Event.Tick | Event.Idle | Event.Pnt_err _
       | Event.Lock_acquire _ | Event.Lock_release _ | Event.Msg_call _ | Event.Panic _
       | Event.Failover _ | Event.Overrun _ | Event.Watchdog_fire _ | Event.Metric_flush _
-      | Event.Dsq_insert _ | Event.Dsq_consume _ -> ())
+      | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ -> ())
     events;
   List.rev !spans

@@ -19,8 +19,14 @@ type params = {
   seed : int;
 }
 
-let default_params ?(seed = 11) ~mode ~load_kreqs () =
-  { mode; load_kreqs; warmup = Kernsim.Time.ms 300; duration = Kernsim.Time.ms 1200; seed }
+let default_params ?seed ~mode ~load_kreqs () =
+  {
+    mode;
+    load_kreqs;
+    warmup = Kernsim.Time.ms 300;
+    duration = Kernsim.Time.ms 1200;
+    seed = Setup.workload_seed ?seed "memcached";
+  }
 
 (* ETC-like request costs, ~16.5 us mean application work, 3% updates *)
 let service_dist =

@@ -18,14 +18,14 @@ type params = {
   seed : int;
 }
 
-let default_params ?(seed = 7) ~load_kreqs ~with_batch () =
+let default_params ?seed ~load_kreqs ~with_batch () =
   {
     load_kreqs;
     with_batch;
     warmup = Kernsim.Time.ms 300;
     duration = Kernsim.Time.ms 1200;
     workers = 50;
-    seed;
+    seed = Setup.workload_seed ?seed "rocksdb";
   }
 
 (* the paper's assigned service times *)

@@ -15,7 +15,7 @@ type params = {
   seed : int;
 }
 
-let default_params =
+let default_params ?seed () =
   {
     messages = 2;
     workers = 2;
@@ -25,7 +25,7 @@ let default_params =
     worker_work = Kernsim.Time.us 1;
     locality_hints = false;
     pin_one_core = false;
-    seed = 42;
+    seed = Setup.workload_seed ?seed "schbench";
   }
 
 (* schbench measures from just before the message thread issues the futex

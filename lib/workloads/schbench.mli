@@ -27,7 +27,9 @@ type params = {
   seed : int;  (** workload PRNG seed; equal seeds replay the same run *)
 }
 
-val default_params : params
+(** Defaults; [?seed] is a root seed split through
+    {!Setup.workload_seed} (canonical seed 42 when omitted). *)
+val default_params : ?seed:int -> unit -> params
 
 val run : Setup.built -> params -> result
 

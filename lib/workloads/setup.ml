@@ -3,6 +3,38 @@ type kind =
   | Enoki_sched of (module Enoki.Sched_trait.S)
   | Ghost of Schedulers.Ghost_sim.policy
 
+(* ---------- seed plumbing ----------
+
+   Every workload generator draws its PRNG seed through this one splitter
+   instead of carrying its own ad-hoc default.  With no root seed each
+   generator keeps its historical canonical seed, so published baseline
+   numbers stay byte-identical; with [?seed:(Some root)] the root is mixed
+   with a stable hash of the generator name, giving each workload an
+   independent stream while the whole run stays reproducible from the one
+   root value. *)
+
+let canonical_seed = function
+  | "schbench" -> 42
+  | "rocksdb" -> 7
+  | "memcached" -> 11
+  | _ -> 1
+
+(* FNV-1a over the name, then two splitmix64-style finalisation rounds
+   over (root xor name-hash).  Constants are truncated to OCaml's 63-bit
+   native int; quality here only needs "different names -> decorrelated
+   streams", not cryptographic strength. *)
+let workload_seed ?seed name =
+  match seed with
+  | None -> canonical_seed name
+  | Some root ->
+    let h = ref 0x0100_0193 in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x0100_0193) name;
+    let z = ref (root lxor !h) in
+    z := (!z lxor (!z lsr 30)) * 0x2545_F491_4F6C_DD1D;
+    z := (!z lxor (!z lsr 27)) * 0x1B87_3593_49BB_0941;
+    let s = !z lxor (!z lsr 31) in
+    s land max_int
+
 let of_registry (e : Schedulers.Registry.entry) =
   match e.kind with
   | Schedulers.Registry.Builtin_cfs -> Cfs

@@ -13,6 +13,15 @@ type kind =
 (** The machine configuration for a scheduler-registry entry. *)
 val of_registry : Schedulers.Registry.entry -> kind
 
+(** [workload_seed ?seed name] is the PRNG seed for the generator called
+    [name].  With [seed = None] it returns the generator's canonical
+    default (schbench 42, rocksdb 7, memcached 11, otherwise 1), keeping
+    historical baselines byte-identical.  With [Some root] it mixes [root]
+    with a stable hash of [name], so one root seed fans out into an
+    independent, reproducible stream per generator — the single splitter
+    every workload (and the cluster tier) threads its seeds through. *)
+val workload_seed : ?seed:int -> string -> int
+
 type built = {
   machine : Kernsim.Machine.t;
   policy : int;  (** policy id for tasks of the scheduler under test *)

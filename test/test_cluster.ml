@@ -1,0 +1,274 @@
+(* Tests for lib/cluster: the open-loop traffic engine (deterministic
+   replay, window-size independence, bounded live-flow memory under 1M+
+   flow churn, diurnal rate integration), the load balancer (consistent
+   hashing remap bounds under churn, drained-host avoidance under random
+   op sequences, smooth-WRR proportions), and the fleet tier (bit-for-bit
+   determinism, rolling-upgrade pause/blackout accounting, chaos-drill
+   convergence). *)
+
+module Traffic = Cluster.Traffic
+module Lb = Cluster.Lb
+module Fleet = Cluster.Fleet
+
+let check = Alcotest.check
+
+let ms = Kernsim.Time.ms
+
+let small_mix ?(connections = 16) ?(load = 20.0) () =
+  Traffic.standard_mix ~connections ~flow_len:4.0 ~load_kreqs:load ()
+
+let entries names =
+  List.map
+    (fun n ->
+      match Schedulers.Registry.find n with
+      | Some e -> e
+      | None -> Alcotest.failf "unknown scheduler %s" n)
+    names
+
+(* ---------- traffic engine ---------- *)
+
+(* Same seed must give the same stream whether drained in one window or in
+   many small ones (the slot-pool design's epoch-independence), and a
+   different seed must give a different stream. *)
+let test_traffic_deterministic_window_independent () =
+  let mk seed = Traffic.create ~seed ~start:0 (small_mix ()) in
+  let big = Traffic.next_window (mk 42) ~until:(ms 50) in
+  let stepped =
+    let tr = mk 42 in
+    let acc = ref [] in
+    for i = 1 to 50 do
+      acc := List.rev_append (Traffic.next_window tr ~until:(ms i)) !acc
+    done;
+    List.rev !acc
+  in
+  check Alcotest.int "same request count" (List.length big) (List.length stepped);
+  check Alcotest.bool "streams identical across window sizes" true (big = stepped);
+  let other = Traffic.next_window (mk 43) ~until:(ms 50) in
+  check Alcotest.bool "different seed differs" true (big <> other)
+
+(* Churn through over a million flows and confirm the live-flow count
+   never moves off the slot-pool size: memory is bounded by construction,
+   independent of flow count. *)
+let test_bounded_live_flows_under_churn () =
+  let mix = Traffic.standard_mix ~connections:64 ~flow_len:1.2 ~load_kreqs:600.0 () in
+  let pool = List.fold_left (fun n (tn : Traffic.tenant) -> n + tn.connections) 0 mix in
+  let tr = Traffic.create ~seed:9 ~start:0 mix in
+  check Alcotest.int "live flows = slot pool at start" pool (Traffic.live_flows tr);
+  let t = ref 0 in
+  while Traffic.flows_completed tr < 1_000_000 do
+    t := !t + ms 100;
+    ignore (Traffic.next_window tr ~until:!t);
+    if Traffic.live_flows tr <> pool then
+      Alcotest.failf "live flows grew to %d (pool %d) at %d completed flows"
+        (Traffic.live_flows tr) pool (Traffic.flows_completed tr)
+  done;
+  check Alcotest.bool "churned 1M+ flows" true (Traffic.flows_completed tr >= 1_000_000);
+  check Alcotest.bool "emitted at least one request per flow" true
+    (Traffic.requests_emitted tr >= Traffic.flows_completed tr)
+
+(* The thinned diurnal process must integrate to its mean rate over whole
+   periods (statistical: ~5000 expected arrivals, so 10% is > 4 sigma). *)
+let prop_diurnal_integrates seed =
+  let period = ms 20 in
+  let tenant =
+    {
+      Traffic.name = "d";
+      arrival = Traffic.Diurnal { mean_rate = 50_000.0; amplitude = 0.7; period };
+      service = Stats.Dist.constant 1_000.0;
+      flow_len_mean = 4.0;
+      connections = 64;
+    }
+  in
+  let tr = Traffic.create ~seed ~start:0 [ tenant ] in
+  let horizon = 5 * period in
+  let n = List.length (Traffic.next_window tr ~until:horizon) in
+  let expected = 50_000.0 *. (float_of_int horizon /. 1e9) in
+  let err = Float.abs ((float_of_int n /. expected) -. 1.0) in
+  if err > 0.10 then
+    QCheck.Test.fail_reportf "diurnal drifted %.1f%% off mean rate (%d vs %.0f, seed %d)"
+      (100.0 *. err) n expected seed
+  else true
+
+(* ---------- load balancer ---------- *)
+
+(* Draining one host must only remap that host's keys (the classic
+   consistent-hashing bound), and re-admitting it must restore the
+   original placement exactly. *)
+let prop_consistent_hash_remap seed =
+  let hosts = 8 in
+  let lb = Lb.create ~policy:Lb.Consistent_hash ~hosts ~seed () in
+  let keys = List.init 2_000 (fun i -> (i * 0x9E37) lxor (seed * 7919)) in
+  let place () = List.map (fun k -> (k, Option.get (Lb.pick lb ~key:k))) keys in
+  let before = place () in
+  let victim = seed mod hosts in
+  Lb.drain lb victim;
+  let after = place () in
+  List.iter2
+    (fun (k, b) (_, a) ->
+      if b <> victim && a <> b then
+        QCheck.Test.fail_reportf "key %d moved %d -> %d though only host %d drained (seed %d)" k
+          b a victim seed;
+      if a = victim then
+        QCheck.Test.fail_reportf "key %d still on drained host %d (seed %d)" k victim seed)
+    before after;
+  Lb.admit lb victim;
+  if place () <> before then
+    QCheck.Test.fail_reportf "placement not restored after re-admit (seed %d)" seed
+  else true
+
+(* Random op soup over a 4-host balancer: pick must never return a drained
+   host, and must return None exactly when all hosts are drained. *)
+let prop_pick_never_drained (policy_ix, ops) =
+  let hosts = 4 in
+  let policy =
+    List.nth [ Lb.Round_robin; Lb.Least_outstanding; Lb.Weighted; Lb.Consistent_hash ]
+      (policy_ix mod 4)
+  in
+  let lb = Lb.create ~policy ~hosts ~seed:11 () in
+  let all_drained () = List.for_all (Lb.drained lb) (List.init hosts Fun.id) in
+  List.iter
+    (fun (op, arg) ->
+      let h = arg mod hosts in
+      match op mod 4 with
+      | 0 -> Lb.drain lb h
+      | 1 -> Lb.admit lb h
+      | 2 -> if Lb.outstanding lb h > 0 then Lb.complete lb h
+      | _ -> (
+        match Lb.pick lb ~key:arg with
+        | None ->
+          if not (all_drained ()) then
+            QCheck.Test.fail_reportf "%s: pick returned None with hosts up"
+              (Lb.policy_name policy)
+        | Some h ->
+          if Lb.drained lb h then
+            QCheck.Test.fail_reportf "%s: picked drained host %d" (Lb.policy_name policy) h;
+          Lb.dispatch lb h))
+    ops;
+  true
+
+(* Smooth WRR serves hosts in exact proportion to their weights over any
+   whole number of cycles. *)
+let test_weighted_exact_proportions () =
+  let lb = Lb.create ~weights:[| 6; 3; 1 |] ~policy:Lb.Weighted ~hosts:3 ~seed:1 () in
+  let counts = Array.make 3 0 in
+  for i = 1 to 1_000 do
+    let h = Option.get (Lb.pick lb ~key:i) in
+    counts.(h) <- counts.(h) + 1
+  done;
+  check Alcotest.(array int) "6:3:1 over 100 cycles" [| 600; 300; 100 |] counts
+
+(* ---------- fleet tier ---------- *)
+
+let small_fleet ?upgrade ?chaos ~seed () =
+  Fleet.create ?upgrade ?chaos ~workers:4 ~warmup:(ms 50) ~seed
+    ~hosts:(entries [ "wfq"; "cfs" ])
+    ~tenants:(small_mix ~connections:32 ~load:40.0 ())
+    ()
+
+let test_fleet_deterministic () =
+  let run seed =
+    let f = small_fleet ~seed () in
+    Fleet.run f ~until:(ms 200);
+    (Fleet.tenant_stats f, Fleet.host_stats f, Fleet.clock f)
+  in
+  check Alcotest.bool "same seed, bit-identical results" true (run 5 = run 5);
+  check Alcotest.bool "different seed differs" true (run 5 <> run 6)
+
+let test_rolling_upgrade_pause_and_blackout () =
+  let f =
+    (* both hosts need an Enoki module: CFS hosts have nothing to upgrade *)
+    Fleet.create
+      ~upgrade:{ Fleet.at = ms 120; stagger = ms 20 }
+      ~workers:4 ~warmup:(ms 50) ~seed:3
+      ~hosts:(entries [ "wfq"; "shinjuku" ])
+      ~tenants:(small_mix ~connections:32 ~load:40.0 ())
+      ()
+  in
+  Fleet.run f ~until:(ms 300);
+  let ups = Fleet.upgrades f in
+  check Alcotest.int "every host upgraded" 2 (List.length ups);
+  check Alcotest.int "no upgrade failures" 0 (Fleet.upgrade_failures f);
+  List.iter
+    (fun (h, pause) ->
+      if pause <= 0 then Alcotest.failf "host %d reported a zero-length upgrade pause" h)
+    ups;
+  check Alcotest.bool "blackout window saw completions under load" true
+    (Stats.Histogram.count (Fleet.blackout f) > 0);
+  let op_hosts op =
+    List.filter_map (fun (_, h, o) -> if o = op then Some h else None) (Fleet.oplog f)
+  in
+  check Alcotest.(list int) "oplog: staggered host order" [ 0; 1 ] (op_hosts "upgrade")
+
+let test_chaos_drill_converges () =
+  let f =
+    Fleet.create
+      ~chaos:{ Fleet.victim = 1; after_calls = 2_000; recovery = ms 5 }
+      ~workers:4 ~warmup:(ms 50) ~seed:7
+      ~hosts:(entries [ "wfq"; "wfq"; "wfq"; "wfq" ])
+      ~tenants:(small_mix ~connections:32 ~load:40.0 ())
+      ()
+  in
+  Fleet.run f ~until:(ms 300);
+  let ops = List.map (fun (_, h, op) -> (h, op)) (Fleet.oplog f) in
+  check Alcotest.bool "victim drained" true (List.mem (1, "drain") ops);
+  check Alcotest.bool "victim re-admitted" true (List.mem (1, "admit") ops);
+  check Alcotest.bool "drill converged" true (Fleet.converged f);
+  check Alcotest.bool "victim sanitizer clean" true (Fleet.sanitizer_ok f);
+  let victim = List.nth (Fleet.host_stats f) 1 in
+  check Alcotest.bool "victim failed over (module quarantined)" true victim.Fleet.quarantined;
+  check Alcotest.bool "victim back in rotation" false victim.Fleet.drained
+
+(* ---------- seed plumbing (the Setup.workload_seed satellite) ---------- *)
+
+let test_workload_seed_splitter () =
+  check Alcotest.int "canonical schbench seed" 42 (Workloads.Setup.workload_seed "schbench");
+  check Alcotest.int "canonical rocksdb seed" 7 (Workloads.Setup.workload_seed "rocksdb");
+  check Alcotest.int "canonical memcached seed" 11 (Workloads.Setup.workload_seed "memcached");
+  let a = Workloads.Setup.workload_seed ~seed:123 "schbench" in
+  check Alcotest.int "stable for (root, name)" a
+    (Workloads.Setup.workload_seed ~seed:123 "schbench");
+  check Alcotest.bool "names decorrelate" true
+    (a <> Workloads.Setup.workload_seed ~seed:123 "rocksdb");
+  check Alcotest.bool "roots decorrelate" true
+    (a <> Workloads.Setup.workload_seed ~seed:124 "schbench");
+  check Alcotest.bool "non-negative" true (a >= 0)
+
+(* ---------- suite ---------- *)
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "deterministic and window-independent" `Quick
+            test_traffic_deterministic_window_independent;
+          Alcotest.test_case "live flows bounded under 1M+ flow churn" `Slow
+            test_bounded_live_flows_under_churn;
+          qtest ~count:10 "diurnal integrates to mean rate" QCheck.small_nat
+            prop_diurnal_integrates;
+        ] );
+      ( "lb",
+        [
+          qtest ~count:25 "consistent hash: churn remaps only the victim" QCheck.small_nat
+            prop_consistent_hash_remap;
+          qtest ~count:100 "pick never returns a drained host"
+            QCheck.(pair small_nat (small_list (pair small_nat small_nat)))
+            prop_pick_never_drained;
+          Alcotest.test_case "smooth WRR exact proportions" `Quick
+            test_weighted_exact_proportions;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "bit-for-bit deterministic from seed" `Quick
+            test_fleet_deterministic;
+          Alcotest.test_case "rolling upgrade: pause and blackout attribution" `Quick
+            test_rolling_upgrade_pause_and_blackout;
+          Alcotest.test_case "chaos drill: panic, drain, failover, re-admit" `Quick
+            test_chaos_drill_converges;
+        ] );
+      ( "seeds",
+        [ Alcotest.test_case "workload_seed splitter" `Quick test_workload_seed_splitter ] );
+    ]

@@ -41,7 +41,7 @@ let test_pipe_userlevel_is_fast () =
 
 let quick_schbench =
   {
-    Workloads.Schbench.default_params with
+    (Workloads.Schbench.default_params ()) with
     warmup = Kernsim.Time.ms 100;
     duration = Kernsim.Time.ms 600;
     message_work = Kernsim.Time.ms 5;
