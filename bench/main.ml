@@ -2288,6 +2288,404 @@ let fleetgate () =
     if !regress_failed then print_endline "fleetgate: FAIL (see verdicts above)"
     else print_endline "fleetgate: ok"
 
+(* ---------- obs: observability-overhead suite ----------
+
+   How much does watching cost?  `obs` prices each observability layer in
+   host ns/event and allocated bytes/event, at two scales:
+
+   - machine rows: pipe-bench per scheduler under four configurations —
+     no observability, schedtrace tracer, metrics registry, both.  The
+     simulation is deterministic and the hooks must never perturb it, so
+     the [events] column has to be identical down a scheduler's configs;
+   - fleet rows: the cluster tier with observability off
+     ([observe:false], the no-observability baseline), the default
+     metrics pipeline, and the full request-anatomy decomposition.
+
+   The snapshot goes to BENCH_obs*.json; `obsgate` enforces (a) the
+   zero-perturbation invariant (event streams identical across configs),
+   (b) events and bytes/event drift against the committed baseline, (c)
+   the anatomy exact-sum invariant, and (d) the fast-path budget: the
+   default fleet must stay within 5% wall clock of the no-observability
+   baseline (best-of-N, interleaved so host noise hits both alike).  On
+   failure it writes the anatomy exemplar timeline for the CI artifact. *)
+
+let obs_suite () = if !quick then "obs-quick" else "obs"
+
+type obs_machine_row = {
+  om_sched : string;
+  om_config : string;
+  om_events : int;
+  om_wall_s : float;  (* best of N, recorded; only the in-process ratio gates *)
+  om_bytes_per_event : float;  (* deterministic, gated *)
+}
+
+let obs_machine_scheds = [ "wfq"; "cfs" ]
+
+let obs_machine_configs = [ "none"; "tracer"; "metrics"; "both" ]
+
+let obs_machine_cell ~sched ~config =
+  let kind =
+    match Schedulers.Registry.find sched with
+    | Some e -> Workloads.Setup.of_registry e
+    | None -> failwith ("obs: unknown scheduler " ^ sched)
+  in
+  let messages = if !quick then 10_000 else 50_000 in
+  let runs = if !quick then 1 else 3 in
+  let best_wall = ref infinity and bytes = ref 0. and events = ref 0 in
+  for _ = 1 to runs do
+    let nr_cpus = Kernsim.Topology.nr_cpus one_socket in
+    let tracer =
+      if config = "tracer" || config = "both" then Some (Trace.Tracer.create ~nr_cpus ())
+      else None
+    in
+    let registry =
+      if config = "metrics" || config = "both" then Some (Metrics.Registry.create ()) else None
+    in
+    let b = Workloads.Setup.build ?tracer ?registry ~topology:one_socket kind in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Workloads.Pipe_bench.run b ~messages ());
+    let wall = Unix.gettimeofday () -. t0 in
+    bytes := Gc.allocated_bytes () -. a0;
+    events := M.events_dispatched b.Workloads.Setup.machine;
+    if wall < !best_wall then best_wall := wall
+  done;
+  {
+    om_sched = sched;
+    om_config = config;
+    om_events = !events;
+    om_wall_s = !best_wall;
+    om_bytes_per_event = !bytes /. float_of_int (max 1 !events);
+  }
+
+(* machine cells run sequentially: the wall column would be perturbed by
+   competing domains, and the point of the suite is the overhead price *)
+let obs_machine_cells () =
+  List.concat_map
+    (fun sched -> List.map (fun config -> obs_machine_cell ~sched ~config) obs_machine_configs)
+    obs_machine_scheds
+
+type obs_fleet_row = {
+  ofl_config : string;
+  ofl_events : int;
+  ofl_wall_s : float;
+  ofl_bytes_per_event : float;
+  ofl_completed : int;
+}
+
+let obs_fleet_configs = [ "baseline"; "metrics"; "anatomy" ]
+
+let obs_fleet_build config =
+  Cluster.Fleet.create ~warmup:fleet_warmup ~observe:(config <> "baseline")
+    ~anatomy:(config = "anatomy") ~seed:(fleet_seed ())
+    ~hosts:(fleet_entries [ "wfq"; "cfs" ])
+    ~tenants:(fleet_mix ~scale:0.25 ())
+    ()
+
+let obs_fleet_duration () = Kernsim.Time.ms (if !quick then 600 else 1500)
+
+(* Interleaved best-of-N: each round runs baseline, metrics and anatomy
+   back to back, so transient host noise lands on all three alike — the
+   fast-path ratio is gated, so it must not be an artifact of when the
+   config happened to run. *)
+let obs_fleet_cells () =
+  let n = List.length obs_fleet_configs in
+  let rounds = 3 in
+  let best_wall = Array.make n infinity in
+  let kept = Array.make n None in
+  for _ = 1 to rounds do
+    List.iteri
+      (fun i config ->
+        let f = obs_fleet_build config in
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        Cluster.Fleet.run f ~until:(obs_fleet_duration ());
+        let wall = Unix.gettimeofday () -. t0 in
+        let bytes = Gc.allocated_bytes () -. a0 in
+        if wall < best_wall.(i) then best_wall.(i) <- wall;
+        (* events, bytes and completions are deterministic across rounds *)
+        kept.(i) <- Some (f, bytes))
+      obs_fleet_configs
+  done;
+  List.mapi
+    (fun i config ->
+      let f, bytes = Option.get kept.(i) in
+      let events = Cluster.Fleet.events_dispatched f in
+      let completed =
+        List.fold_left
+          (fun acc (s : Cluster.Fleet.tenant_stat) -> acc + s.completed)
+          0 (Cluster.Fleet.tenant_stats f)
+      in
+      ( {
+          ofl_config = config;
+          ofl_events = events;
+          ofl_wall_s = best_wall.(i);
+          ofl_bytes_per_event = bytes /. float_of_int (max 1 events);
+          ofl_completed = completed;
+        },
+        Cluster.Fleet.anatomy f ))
+    obs_fleet_configs
+
+let obs_collect () = (obs_machine_cells (), obs_fleet_cells ())
+
+let obs_fastpath_ratio fleet_rows =
+  let wall config =
+    List.find_map
+      (fun (r, _) -> if r.ofl_config = config then Some r.ofl_wall_s else None)
+      fleet_rows
+  in
+  match (wall "baseline", wall "metrics") with
+  | Some b, Some m when b > 0. -> m /. b
+  | _ -> nan
+
+let obs_json (machine, fleet_rows) =
+  let open Metrics.Json in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("suite", String (obs_suite ()));
+      ("git_rev", String (git_rev ()));
+      ("seed", Int (fleet_seed ()));
+      ( "machine",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("scheduler", String r.om_sched);
+                   ("config", String r.om_config);
+                   ("events", Int r.om_events);
+                   ("wall_s", Float r.om_wall_s);
+                   ("ns_per_event", Float (r.om_wall_s *. 1e9 /. float_of_int (max 1 r.om_events)));
+                   ("bytes_per_event", Float r.om_bytes_per_event);
+                 ])
+             machine) );
+      ( "fleet",
+        List
+          (List.map
+             (fun (r, anat) ->
+               Obj
+                 ([
+                    ("config", String r.ofl_config);
+                    ("events", Int r.ofl_events);
+                    ("wall_s", Float r.ofl_wall_s);
+                    ( "ns_per_event",
+                      Float (r.ofl_wall_s *. 1e9 /. float_of_int (max 1 r.ofl_events)) );
+                    ("bytes_per_event", Float r.ofl_bytes_per_event);
+                    ("completed", Int r.ofl_completed);
+                  ]
+                 @
+                 match anat with
+                 | None -> []
+                 | Some a ->
+                   [
+                     ("anatomy_completions", Int (Trace.Anatomy.completions a));
+                     ("anatomy_max_sum_error", Int (Trace.Anatomy.max_sum_error a));
+                   ]))
+             fleet_rows) );
+      ("fastpath_ratio", Float (obs_fastpath_ratio fleet_rows));
+    ]
+
+let obs_table (machine, fleet_rows) =
+  Report.note "machine rows: pipe-bench per scheduler x observability config; the";
+  Report.note "events column must be identical down a scheduler's configs (the hooks";
+  Report.note "never perturb the simulation).  Wall columns are host measurements.";
+  let base_wall sched =
+    List.find_map
+      (fun r -> if r.om_sched = sched && r.om_config = "none" then Some r.om_wall_s else None)
+      machine
+  in
+  Report.table
+    ~header:[ "scheduler"; "config"; "events"; "wall (s)"; "ns/event"; "B/event"; "vs none" ]
+    (List.map
+       (fun r ->
+         [
+           r.om_sched;
+           r.om_config;
+           string_of_int r.om_events;
+           Printf.sprintf "%.3f" r.om_wall_s;
+           Printf.sprintf "%.0f" (r.om_wall_s *. 1e9 /. float_of_int (max 1 r.om_events));
+           Printf.sprintf "%.1f" r.om_bytes_per_event;
+           (match base_wall r.om_sched with
+           | Some b when b > 0. -> Printf.sprintf "%.2fx" (r.om_wall_s /. b)
+           | _ -> "-");
+         ])
+       machine);
+  Report.note "";
+  Report.note "fleet rows: cluster tier (wfq+cfs hosts) with observability off, the";
+  Report.note "default metrics pipeline, and full request anatomy:";
+  Report.table
+    ~header:[ "config"; "events"; "completed"; "wall (s)"; "ns/event"; "B/event"; "anatomy" ]
+    (List.map
+       (fun (r, anat) ->
+         [
+           r.ofl_config;
+           string_of_int r.ofl_events;
+           string_of_int r.ofl_completed;
+           Printf.sprintf "%.3f" r.ofl_wall_s;
+           Printf.sprintf "%.0f" (r.ofl_wall_s *. 1e9 /. float_of_int (max 1 r.ofl_events));
+           Printf.sprintf "%.1f" r.ofl_bytes_per_event;
+           (match anat with
+           | None -> "-"
+           | Some a ->
+             Printf.sprintf "%d reqs, sum err %d" (Trace.Anatomy.completions a)
+               (Trace.Anatomy.max_sum_error a));
+         ])
+       fleet_rows);
+  let ratio = obs_fastpath_ratio fleet_rows in
+  if not (Float.is_nan ratio) then
+    Report.note
+      (Printf.sprintf "fast path: default fleet at %.3fx the no-observability baseline wall"
+         ratio)
+
+let obs () =
+  Report.section
+    (Printf.sprintf "Observability suite (%s): what watching costs" (obs_suite ()));
+  let results = obs_collect () in
+  obs_table results;
+  let path = Option.value !bench_out ~default:(Printf.sprintf "BENCH_%s.json" (obs_suite ())) in
+  Metrics.Json.save ~path (obs_json results);
+  Printf.printf "wrote %s (git %s)\n" path (git_rev ())
+
+(* Where obsgate drops the anatomy exemplar timeline on failure, so CI can
+   upload it as an artifact next to the gate log. *)
+let obs_exemplar_path = "obs-exemplars.trace.json"
+
+let obsgate () =
+  Report.section (Printf.sprintf "Observability gate (%s suite)" (obs_suite ()));
+  let machine, fleet_rows = obs_collect () in
+  let rows = ref [] in
+  let verdict label baseline now ok why =
+    if not ok then regress_failed := true;
+    rows := [ label; baseline; now; (if ok then "ok" else "REGRESSED: " ^ why) ] :: !rows
+  in
+  (* (a) zero perturbation: within a scheduler, every config dispatches the
+     exact same event count — no baseline needed, the run argues with
+     itself *)
+  List.iter
+    (fun sched ->
+      let events =
+        List.filter_map
+          (fun r -> if r.om_sched = sched then Some r.om_events else None)
+          machine
+      in
+      match events with
+      | [] -> ()
+      | e0 :: _ ->
+        let ok = List.for_all (fun e -> e = e0) events in
+        verdict
+          (Printf.sprintf "machine/%s events identical" sched)
+          (string_of_int e0)
+          (String.concat "/" (List.map string_of_int events))
+          ok "observability perturbed the event stream")
+    obs_machine_scheds;
+  (match List.map (fun (r, _) -> r.ofl_events) fleet_rows with
+  | [] -> ()
+  | e0 :: _ as events ->
+    verdict "fleet events identical" (string_of_int e0)
+      (String.concat "/" (List.map string_of_int events))
+      (List.for_all (fun e -> e = e0) events)
+      "observability perturbed the fleet");
+  (* (c) anatomy invariants: phases must sum exactly, and the decomposition
+     must actually have seen traffic *)
+  let anat = List.find_map (fun (_, a) -> a) fleet_rows in
+  (match anat with
+  | None ->
+    verdict "anatomy present" "yes" "no" false "anatomy fleet row missing"
+  | Some a ->
+    verdict "anatomy sum error" "0"
+      (string_of_int (Trace.Anatomy.max_sum_error a))
+      (Trace.Anatomy.max_sum_error a = 0)
+      "phase durations no longer sum to e2e";
+    verdict "anatomy completions" "> 0"
+      (string_of_int (Trace.Anatomy.completions a))
+      (Trace.Anatomy.completions a > 0)
+      "anatomy observed no requests");
+  (* (d) the fast-path budget: metrics-on fleet within 5% of the
+     no-observability baseline, measured interleaved in this process *)
+  let ratio = obs_fastpath_ratio fleet_rows in
+  verdict "fleet fast path" "<= 1.05x"
+    (if Float.is_nan ratio then "nan" else Printf.sprintf "%.3fx" ratio)
+    ((not (Float.is_nan ratio)) && ratio <= 1.05)
+    "observability on costs more than 5% wall clock";
+  (* (b) drift against the committed baseline *)
+  let path =
+    Option.value !baseline_path
+      ~default:(Printf.sprintf "bench/baselines/BENCH_%s.json" (obs_suite ()))
+  in
+  (match Metrics.Json.parse_file ~path with
+  | Error msg ->
+    Printf.eprintf "obsgate: cannot read baseline %s: %s\n" path msg;
+    regress_failed := true
+  | Ok base ->
+    let tol_bytes = Option.value !tolerance ~default:default_bytes_tolerance in
+    let get_float j k = Option.bind (Metrics.Json.member k j) Metrics.Json.to_float in
+    let get_str j k = Option.bind (Metrics.Json.member k j) Metrics.Json.to_str in
+    let diff label bj ~events ~bytes =
+      match bj with
+      | None -> rows := [ label; "-"; "-"; "new (no baseline)" ] :: !rows
+      | Some bj ->
+        (match get_float bj "events" with
+        | Some be when be > 0. ->
+          let drift = 100. *. Float.abs ((float_of_int events /. be) -. 1.) in
+          verdict (label ^ " events")
+            (Printf.sprintf "%.0f" be)
+            (string_of_int events)
+            (drift <= 1.)
+            (Printf.sprintf "drifted %.1f%%" drift)
+        | _ -> ());
+        (match get_float bj "bytes_per_event" with
+        | Some bb when bb > 0. ->
+          verdict (label ^ " B/event")
+            (Printf.sprintf "%.1f" bb)
+            (Printf.sprintf "%.1f" bytes)
+            (bytes <= bb *. (1. +. (tol_bytes /. 100.)))
+            (Printf.sprintf "+%.1f%%" (100. *. ((bytes /. bb) -. 1.)))
+        | _ -> ())
+    in
+    let base_machine =
+      Option.value ~default:[]
+        Option.(bind (Metrics.Json.member "machine" base) Metrics.Json.to_list)
+    in
+    List.iter
+      (fun r ->
+        let bj =
+          List.find_opt
+            (fun j -> get_str j "scheduler" = Some r.om_sched && get_str j "config" = Some r.om_config)
+            base_machine
+        in
+        diff
+          (Printf.sprintf "machine/%s/%s" r.om_sched r.om_config)
+          bj ~events:r.om_events ~bytes:r.om_bytes_per_event)
+      machine;
+    let base_fleet =
+      Option.value ~default:[]
+        Option.(bind (Metrics.Json.member "fleet" base) Metrics.Json.to_list)
+    in
+    List.iter
+      (fun (r, _) ->
+        let bj =
+          List.find_opt (fun j -> get_str j "config" = Some r.ofl_config) base_fleet
+        in
+        diff ("fleet/" ^ r.ofl_config) bj ~events:r.ofl_events ~bytes:r.ofl_bytes_per_event)
+      fleet_rows);
+  Report.table ~header:[ "check"; "baseline"; "now"; "verdict" ] (List.rev !rows);
+  Report.note
+    (Printf.sprintf
+       "baseline %s; events drift 1%%, bytes %.0f%%, fast path 5%%; wall never gated vs disk"
+       path
+       (Option.value !tolerance ~default:default_bytes_tolerance));
+  if !regress_failed then begin
+    (match anat with
+    | Some a ->
+      Trace.Anatomy.save_chrome a ~path:obs_exemplar_path;
+      Printf.printf "obsgate: wrote %s (worst-request timeline for the CI artifact)\n"
+        obs_exemplar_path
+    | None -> ());
+    print_endline "obsgate: FAIL (see verdicts above)"
+  end
+  else print_endline "obsgate: ok"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -2315,6 +2713,8 @@ let experiments =
     ("dsqgate", dsqgate);
     ("fleet", fleet);
     ("fleetgate", fleetgate);
+    ("obs", obs);
+    ("obsgate", obsgate);
   ]
 
 let () =
@@ -2400,7 +2800,7 @@ let () =
      everything" (regress needs a committed baseline to diff against) *)
   let default_set =
     List.filter
-      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate"; "dsq"; "dsqgate"; "fleet"; "fleetgate" ]))
+      (fun n -> not (List.mem n [ "perf"; "regress"; "speed"; "speedgate"; "dsq"; "dsqgate"; "fleet"; "fleetgate"; "obs"; "obsgate" ]))
       (List.map fst experiments)
   in
   let requested = match names with [] -> default_set | ns -> ns in

@@ -679,9 +679,34 @@ let fleet_chaos_after_arg =
     value & opt int 20_000
     & info [ "chaos-after" ] ~docv:"CALLS" ~doc:"Scheduler calls before the drill panic fires.")
 
+let fleet_anatomy_arg =
+  Arg.(
+    value & flag
+    & info [ "anatomy" ]
+        ~doc:
+          "Decompose every request's end-to-end latency into six exactly summing phases (LB \
+           decision, ingress wait, runqueue wait, service, preemption stall, migration cost) \
+           and print the per-tenant breakdown plus the worst-request exemplars.")
+
+let fleet_anatomy_top_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "anatomy-top" ] ~docv:"K" ~doc:"Worst-request exemplars to keep (default 8).")
+
+let fleet_anatomy_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "anatomy-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the top-K worst requests as a Chrome-trace flow-event timeline (arrows LB -> \
+           host ingress -> runqueue -> worker) to $(docv); implies $(b,--anatomy).")
+
 let fleet_cmd =
   let run hosts scheds lb load cores duration flows epoch_us workers queue_cap connections
-      flow_len seed upgrade_ms stagger_ms chaos_victim chaos_after metrics_out =
+      flow_len seed upgrade_ms stagger_ms chaos_victim chaos_after anatomy anatomy_top
+      anatomy_out metrics_out metrics_interval =
+    let anatomy = anatomy || anatomy_out <> None in
     let entries =
       match scheds with
       | [] -> (
@@ -706,15 +731,45 @@ let fleet_cmd =
     in
     let f =
       Cluster.Fleet.create ~topology:(topology_of_cores cores) ~workers ~queue_cap
-        ~epoch:(Kernsim.Time.us epoch_us) ~warmup:(Kernsim.Time.ms 100) ?upgrade ?chaos ~lb ~seed
-        ~hosts:entries ~tenants ()
+        ~epoch:(Kernsim.Time.us epoch_us) ~warmup:(Kernsim.Time.ms 100) ?upgrade ?chaos ~lb
+        ~anatomy ~anatomy_top ~seed ~hosts:entries ~tenants ()
     in
     Printf.printf "fleet: %d hosts (%s), lb %s, %.0fk req/s offered, seed %d\n" hosts
       (String.concat "," (List.map (fun (e : Schedulers.Registry.entry) -> e.name) entries))
       (Cluster.Lb.policy_name lb) load seed;
-    (match flows with
-    | Some n -> Cluster.Fleet.run_flows f ~flows:n ~max_time:(Kernsim.Time.ms duration)
-    | None -> Cluster.Fleet.run f ~until:(Kernsim.Time.ms duration));
+    (* drive epochs by hand so the sampler can tick at fleet scope: the
+       lock-step fleet has no machine-level defer spanning hosts, so the
+       --metrics-interval cadence is applied between epochs *)
+    let sampler =
+      Option.map (fun _ -> Metrics.Sampler.create ~interval:metrics_interval (Cluster.Fleet.registry f)) metrics_out
+    in
+    let next_sample = ref metrics_interval in
+    let sample_up_to now =
+      match sampler with
+      | Some s ->
+        while !next_sample <= now do
+          Metrics.Sampler.flush s ~ts:!next_sample;
+          next_sample := !next_sample + metrics_interval
+        done
+      | None -> ()
+    in
+    let limit = Kernsim.Time.ms duration in
+    let keep_going =
+      match flows with
+      | Some n ->
+        fun () ->
+          Cluster.Traffic.flows_completed (Cluster.Fleet.traffic f) < n
+          && Cluster.Fleet.clock f < limit
+      | None -> fun () -> Cluster.Fleet.clock f < limit
+    in
+    while keep_going () do
+      Cluster.Fleet.step f ~limit;
+      sample_up_to (Cluster.Fleet.clock f)
+    done;
+    (match sampler with
+    | Some s when !next_sample - metrics_interval < Cluster.Fleet.clock f ->
+      Metrics.Sampler.flush s ~ts:(Cluster.Fleet.clock f)
+    | _ -> ());
     let tr = Cluster.Fleet.traffic f in
     Printf.printf "ran %s: %d flows (%d live), %d requests emitted\n"
       (Kernsim.Time.to_string (Cluster.Fleet.clock f))
@@ -749,6 +804,83 @@ let fleet_cmd =
               else "up");
            ])
          (Cluster.Fleet.host_stats f));
+    (match Cluster.Fleet.anatomy f with
+    | Some a when anatomy ->
+      Report.section "request anatomy";
+      let phases = Trace.Anatomy.phases in
+      Report.table
+        ~header:
+          ("tenant" :: "requests" :: "e2e mean"
+          :: List.concat_map (fun ph -> [ Trace.Anatomy.phase_name ph; "%" ]) phases)
+        (List.filteri
+           (fun _ row -> row <> [])
+           (Array.to_list
+              (Array.mapi
+                 (fun tn name ->
+                   let count = Trace.Anatomy.tenant_count a tn in
+                   if count = 0 then []
+                   else
+                     let e2e = Trace.Anatomy.tenant_e2e_sum a tn in
+                     name
+                     :: string_of_int count
+                     :: Kernsim.Time.to_string (e2e / count)
+                     :: List.concat_map
+                          (fun ph ->
+                            let sum = Trace.Anatomy.tenant_phase_sum a tn ph in
+                            [
+                              Kernsim.Time.to_string (sum / count);
+                              Report.fmt_pct
+                                (if e2e = 0 then 0.0
+                                 else 100.0 *. float_of_int sum /. float_of_int e2e);
+                            ])
+                          phases)
+                 (Trace.Anatomy.tenant_names a))));
+      Report.note
+        (Printf.sprintf "phases sum to e2e exactly: max error %d ns over %d requests%s"
+           (Trace.Anatomy.max_sum_error a)
+           (Trace.Anatomy.completions a)
+           (if Trace.Anatomy.orphans a > 0 then
+              Printf.sprintf " (%d orphaned contexts)" (Trace.Anatomy.orphans a)
+            else ""));
+      let exs = Trace.Anatomy.exemplars a in
+      if exs <> [] then begin
+        Report.section "worst requests";
+        Report.table
+          ~header:[ "req"; "tenant"; "host"; "worker"; "e2e"; "dominant phase" ]
+          (List.map
+             (fun (c : Trace.Anatomy.completion) ->
+               let dominant =
+                 List.fold_left
+                   (fun (best, best_d) ph ->
+                     let d = c.Trace.Anatomy.durations.(Trace.Anatomy.phase_index ph) in
+                     if d > best_d then (ph, d) else (best, best_d))
+                   (Trace.Anatomy.Lb_decision, -1)
+                   phases
+                 |> fst
+               in
+               let names = Trace.Anatomy.tenant_names a in
+               [
+                 string_of_int c.Trace.Anatomy.req;
+                 (if c.Trace.Anatomy.tenant < Array.length names then
+                    names.(c.Trace.Anatomy.tenant)
+                  else string_of_int c.Trace.Anatomy.tenant);
+                 string_of_int c.Trace.Anatomy.host;
+                 string_of_int c.Trace.Anatomy.pid;
+                 Kernsim.Time.to_string (Trace.Anatomy.e2e c);
+                 Trace.Anatomy.phase_name dominant;
+               ])
+             exs)
+      end;
+      (match anatomy_out with
+      | Some path ->
+        (try
+           Trace.Anatomy.save_chrome a ~path;
+           Printf.printf "anatomy: top-%d exemplar timeline to %s\n" anatomy_top path
+         with Sys_error msg ->
+           Printf.eprintf "enoki_sim: cannot write anatomy trace: %s\n" msg;
+           exit 2)
+      | None -> ())
+    | _ -> ());
     List.iter
       (fun (host, pause) ->
         Printf.printf "upgrade: host %d paused %s\n" host (Kernsim.Time.to_string pause))
@@ -774,11 +906,16 @@ let fleet_cmd =
     (match metrics_out with
     | Some path ->
       let fmt = Metrics.Export.format_of_path path in
-      (try Metrics.Export.save ~path fmt (Cluster.Fleet.registry f)
-       with Sys_error msg ->
-         Printf.eprintf "enoki_sim: cannot write metrics: %s\n" msg;
-         exit 2);
-      Printf.printf "metrics: fleet registry to %s\n" path
+      (try Metrics.Export.save ~path ?sampler fmt (Cluster.Fleet.registry f)
+       with
+      | Sys_error msg ->
+        Printf.eprintf "enoki_sim: cannot write metrics: %s\n" msg;
+        exit 2
+      | Invalid_argument msg ->
+        Printf.eprintf "enoki_sim: cannot write metrics: %s\n" msg;
+        exit 2);
+      Printf.printf "metrics: fleet registry to %s (%d samples)\n" path
+        (match sampler with Some s -> List.length (Metrics.Sampler.samples s) | None -> 0)
     | None -> ());
     if (chaos <> None && not (Cluster.Fleet.converged f)) || not (Cluster.Fleet.sanitizer_ok f)
     then exit 3
@@ -792,7 +929,8 @@ let fleet_cmd =
       const run $ fleet_hosts_arg $ fleet_scheds_arg $ fleet_lb_arg $ load_arg $ cores_arg
       $ fleet_duration_arg $ fleet_flows_arg $ fleet_epoch_arg $ fleet_workers_arg
       $ fleet_queue_cap_arg $ fleet_conns_arg $ fleet_flow_len_arg $ seed_arg $ fleet_upgrade_arg
-      $ fleet_stagger_arg $ fleet_chaos_arg $ fleet_chaos_after_arg $ metrics_out_arg)
+      $ fleet_stagger_arg $ fleet_chaos_arg $ fleet_chaos_after_arg $ fleet_anatomy_arg
+      $ fleet_anatomy_top_arg $ fleet_anatomy_out_arg $ metrics_out_arg $ metrics_interval_arg)
 
 let () =
   let doc = "Enoki scheduler-framework simulator" in

@@ -33,12 +33,14 @@ type t = {
   queue_cap : int;
   dispatch_overhead : ns;
   recovery : ns;
+  observe : bool;  (* false = never measure: the no-observability baseline *)
   traffic : Traffic.t;
   lb : Lb.t;
   hosts : host array;
   reg : Reg.t;
   tenant_hist : Reg.histogram array;
   blackout_h : Reg.histogram;
+  anat : Trace.Anatomy.t option;
   completed : int array;  (* per tenant *)
   dropped : int array;
   rejected : int array;
@@ -68,6 +70,22 @@ let worker_beh t host =
       | None -> T.Block host.chan
       | Some req ->
         st := `Done req;
+        (* request-context markers ride the host tracer whenever one exists,
+           independent of the anatomy switch — so toggling anatomy cannot
+           change any event stream (the zero-perturbation contract) *)
+        (match host.tracer with
+        | Some tr ->
+          Trace.Tracer.emit tr ~ts:ctx.T.now ~cpu:ctx.T.cpu
+            (Trace.Event.Req_take { req = req.Traffic.req_id; pid = ctx.T.self })
+        | None -> ());
+        (match t.anat with
+        | Some a -> (
+          match M.find_task host.built.Workloads.Setup.machine ctx.T.self with
+          | Some task ->
+            Trace.Anatomy.take a ~req:req.Traffic.req_id ~pid:ctx.T.self
+              ~last_wake:task.T.last_wake ~migrations:task.T.migrations ~now:ctx.T.now
+          | None -> ())
+        | None -> ());
         T.Compute (t.dispatch_overhead + req.Traffic.service))
     | `Done req ->
       let lat = ctx.T.now - req.Traffic.arrived in
@@ -81,6 +99,19 @@ let worker_beh t host =
       end;
       if host.bl_from >= 0 && ctx.T.now >= host.bl_from && ctx.T.now <= host.bl_until then
         Reg.observe t.blackout_h lat;
+      (match host.tracer with
+      | Some tr ->
+        Trace.Tracer.emit tr ~ts:ctx.T.now ~cpu:ctx.T.cpu
+          (Trace.Event.Req_done { req = req.Traffic.req_id; pid = ctx.T.self })
+      | None -> ());
+      (match t.anat with
+      | Some a -> (
+        match M.find_task host.built.Workloads.Setup.machine ctx.T.self with
+        | Some task ->
+          Trace.Anatomy.complete a ~req:req.Traffic.req_id ~migrations:task.T.migrations
+            ~now:ctx.T.now
+        | None -> ())
+      | None -> ());
       st := `Take;
       T.Block host.chan
 
@@ -88,7 +119,8 @@ let host_label (e : Schedulers.Registry.entry) = e.Schedulers.Registry.name
 
 let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap = 4096)
     ?(epoch = Kernsim.Time.ms 1) ?(warmup = 0) ?(dispatch_overhead = Kernsim.Time.us 2) ?weights
-    ?(lb = Lb.Least_outstanding) ?upgrade ?chaos ~seed ~hosts ~tenants () =
+    ?(lb = Lb.Least_outstanding) ?upgrade ?chaos ?(anatomy = false) ?(anatomy_top = 8) ?record
+    ?(observe = true) ~seed ~hosts ~tenants () =
   if hosts = [] then invalid_arg "Fleet.create: no hosts";
   let entries = Array.of_list hosts in
   let n = Array.length entries in
@@ -129,7 +161,14 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
       end
       else (None, None)
     in
-    let built = Workloads.Setup.build ?tracer ~topology kind in
+    (* tracer-ring probes for the victim land in the fleet registry under a
+       host label, so they survive next to the per-tenant series *)
+    (match tracer with
+    | Some tr ->
+      Workloads.Setup.register_tracer_probes ~labels:[ ("host", string_of_int id) ] reg tr
+    | None -> ());
+    let record = if id = 0 then record else None in
+    let built = Workloads.Setup.build ?record ?tracer ~topology kind in
     let chan = M.new_chan built.Workloads.Setup.machine in
     let hist =
       Reg.histogram reg ~help:"end-to-end request latency per host (ns)"
@@ -166,6 +205,17 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
     Reg.histogram reg ~help:"request latency inside upgrade blackout windows (ns)"
       "fleet_blackout_latency_ns"
   in
+  let anat =
+    if not anatomy then None
+    else
+      let migration_cost =
+        (M.costs hosts.(0).built.Workloads.Setup.machine).Kernsim.Costs.migration
+      in
+      Some
+        (Trace.Anatomy.create ~top_k:anatomy_top ~registry:reg ~migration_cost
+           ~tenants:(Array.init nt (Traffic.tenant_name traffic))
+           ~hosts:n ())
+  in
   let t =
     {
       epoch;
@@ -173,17 +223,19 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
       queue_cap;
       dispatch_overhead;
       recovery = (match chaos with Some c -> c.recovery | None -> Kernsim.Time.ms 10);
+      observe;
       traffic;
       lb = balancer;
       hosts;
       reg;
       tenant_hist;
       blackout_h;
+      anat;
       completed = Array.make nt 0;
       dropped = Array.make nt 0;
       rejected = Array.make nt 0;
       clock = 0;
-      measuring = warmup <= 0;
+      measuring = observe && warmup <= 0;
       oplog = [];
       upgrades_done = [];
       upgrade_failures = 0;
@@ -302,12 +354,24 @@ let place t (req : Traffic.request) =
         else begin
           Queue.add req host.queue;
           host.inflight <- host.inflight + 1;
+          (match host.tracer with
+          | Some tr ->
+            Trace.Tracer.emit tr ~ts:(M.now m) ~cpu:0
+              (Trace.Event.Req_enqueue { req = req.Traffic.req_id; tenant = req.Traffic.tenant })
+          | None -> ());
+          (match t.anat with
+          | Some a ->
+            Trace.Anatomy.enqueue a ~req:req.Traffic.req_id ~tenant:req.Traffic.tenant ~host:h
+              ~arrived:req.Traffic.arrived
+              ~service:(t.dispatch_overhead + req.Traffic.service)
+              ~now:(M.now m)
+          | None -> ());
           M.signal m host.chan
         end)
 
 let step t ~limit =
   let until = min (t.clock + t.epoch) limit in
-  if (not t.measuring) && t.clock >= t.warmup then t.measuring <- true;
+  if t.observe && (not t.measuring) && t.clock >= t.warmup then t.measuring <- true;
   List.iter (place t) (Traffic.next_window t.traffic ~until);
   Array.iter (fun h -> M.run_until h.built.Workloads.Setup.machine until) t.hosts;
   t.clock <- until;
@@ -325,6 +389,11 @@ let clock t = t.clock
 let nr_hosts t = Array.length t.hosts
 
 let registry t = t.reg
+
+let anatomy t = t.anat
+
+let events_dispatched t =
+  Array.fold_left (fun n h -> n + M.events_dispatched h.built.Workloads.Setup.machine) 0 t.hosts
 
 let traffic t = t.traffic
 

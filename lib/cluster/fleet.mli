@@ -45,7 +45,18 @@ type t
     ingress queue ([queue_cap] deep; overflow counts a drop); each request
     costs [dispatch_overhead] plus its own service time.  Latency
     histograms only record after [warmup].  A chaos victim must be an
-    Enoki-module host. *)
+    Enoki-module host.
+
+    [anatomy] switches on the request-anatomy layer ({!Trace.Anatomy}):
+    every request's end-to-end latency is decomposed into six exactly
+    summing phases, aggregated per tenant/host/phase into the fleet
+    registry, with the [anatomy_top] worst requests kept as exemplars.
+    The switch draws no randomness and charges no simulated time, so
+    anatomy on/off produces bit-identical fleet runs.  [record] attaches
+    a replay-grade record log to host 0's Enoki boundary (ignored for
+    non-Enoki host 0).  [observe:false] keeps every latency histogram
+    cold for the whole run — the no-observability baseline the overhead
+    bench compares against. *)
 val create :
   ?topology:Kernsim.Topology.t ->
   ?workers:int ->
@@ -57,11 +68,22 @@ val create :
   ?lb:Lb.policy ->
   ?upgrade:upgrade ->
   ?chaos:chaos ->
+  ?anatomy:bool ->
+  ?anatomy_top:int ->
+  ?record:Enoki.Record.t ->
+  ?observe:bool ->
   seed:int ->
   hosts:Schedulers.Registry.entry list ->
   tenants:Traffic.tenant list ->
   unit ->
   t
+
+(** Advance the whole fleet by one epoch (clamped to [limit]): drain the
+    traffic window, place every request, run each host to the boundary,
+    poll the drill state machine.  Exposed so callers can interleave
+    fleet-scope work — e.g. the CLI's periodic metrics sampling — at
+    epoch granularity; {!run} is a [step] loop. *)
+val step : t -> limit:ns -> unit
 
 (** Advance the whole fleet to simulated time [until]. *)
 val run : t -> until:ns -> unit
@@ -77,6 +99,13 @@ val nr_hosts : t -> int
 (** The fleet-level metrics registry (per-tenant / per-host labelled
     series), for export. *)
 val registry : t -> Metrics.Registry.t
+
+(** The request-anatomy aggregator when [create ~anatomy:true] was given. *)
+val anatomy : t -> Trace.Anatomy.t option
+
+(** Total simulator events dispatched across every host machine — the
+    denominator for per-event overhead accounting. *)
+val events_dispatched : t -> int
 
 val traffic : t -> Traffic.t
 

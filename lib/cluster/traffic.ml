@@ -29,7 +29,7 @@ type tenant = {
   connections : int;
 }
 
-type request = { tenant : int; flow_key : int; arrived : ns; service : ns }
+type request = { req_id : int; tenant : int; flow_key : int; arrived : ns; service : ns }
 
 let standard_mix ?(connections = 256) ?(flow_len = 8.0) ~load_kreqs () =
   let total = load_kreqs *. 1000.0 in
@@ -185,6 +185,7 @@ let next_window t ~until =
             in
             let req =
               {
+                req_id = 0;
                 tenant = ti;
                 flow_key = key ~tenant:ti ~slot:si ~seq:slot.flow_seq;
                 arrived = slot.next_at;
@@ -202,9 +203,13 @@ let next_window t ~until =
           done)
         slots)
     t.tenants;
+  (* request-ids are dense in (time, tenant, slot) order, assigned after
+     the sort: windows partition the stream by arrival time, so the ids a
+     request gets are independent of the caller's window size *)
+  let base = t.requests_emitted - List.length !acc in
   !acc
   |> List.sort (fun (a, ta, sa, _) (b, tb, sb, _) -> compare (a, ta, sa) (b, tb, sb))
-  |> List.map (fun (_, _, _, r) -> r)
+  |> List.mapi (fun i (_, _, _, r) -> { r with req_id = base + i })
 
 let tenant_name t i = t.tenants.(i).name
 

@@ -44,10 +44,12 @@ type tenant = {
   connections : int;  (** slot-pool size: the live-flow bound *)
 }
 
-(** A request emitted by the engine.  [flow_key] is stable for all requests
+(** A request emitted by the engine.  [req_id] is a dense fleet-wide
+    request-id (emission order, deterministic for a seed) that the anatomy
+    layer threads through the stack; [flow_key] is stable for all requests
     of one flow and unique across the run (consistent-hash LB affinity keys
     on it); [tenant] indexes the creation-time tenant list. *)
-type request = { tenant : int; flow_key : int; arrived : ns; service : ns }
+type request = { req_id : int; tenant : int; flow_key : int; arrived : ns; service : ns }
 
 (** The canonical three-tenant fleet mix, splitting [load_kreqs] (total
     thousand req/s) as: [web] 60% steady Poisson with 5–25 us services,

@@ -285,6 +285,7 @@ and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
     then begin
       let from_cpu = task.cpu in
       task.cpu <- to_cpu;
+      task.migrations <- task.migrations + 1;
       Accounting.count_migration t.metrics;
       obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
       charge t ~cpu:to_cpu t.costs.migration;
@@ -703,6 +704,7 @@ let rec enforce_affinity t pid =
         let to_cpu = first_allowed t task in
         let from_cpu = task.cpu in
         task.cpu <- to_cpu;
+        task.migrations <- task.migrations + 1;
         Accounting.count_migration t.metrics;
         obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
         if t.tr_on then

@@ -41,6 +41,7 @@ type t = {
   mutable sum_exec : ns;
   mutable last_wake : ns;
   mutable wake_pending : bool;
+  mutable migrations : int;
   mutable inbox : hint list;
   mutable pending_policy : int option;
   mutable spawned_at : ns;
@@ -65,6 +66,7 @@ let make (spec : spec) ~pid ~now =
     sum_exec = 0;
     last_wake = now;
     wake_pending = false;
+    migrations = 0;
     inbox = [];
     pending_policy = None;
     spawned_at = now;

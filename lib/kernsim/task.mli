@@ -60,6 +60,7 @@ type t = {
   mutable sum_exec : ns;  (** total cpu time consumed *)
   mutable last_wake : ns;
   mutable wake_pending : bool;  (** a wakeup latency sample is outstanding *)
+  mutable migrations : int;  (** lifetime cross-cpu moves (includes affinity fixups) *)
   mutable inbox : hint list;  (** kernel-to-user hint mailbox (newest first) *)
   mutable pending_policy : int option;
       (** policy change to apply at the next deschedule *)

@@ -63,6 +63,56 @@ let prometheus reg =
           (Printf.sprintf "%s_count%s %d\n" base labels (Stats.Histogram.count h)));
   Buffer.contents buf
 
+(* RFC-4180 quoting: a labelled series name contains commas and double
+   quotes ([name{a="x",b="y"}]), which would shear the header row apart
+   in any CSV reader.  Quote when needed, doubling embedded quotes. *)
+let csv_cell s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+(* Inverse of one row of [csv]: split a line into cells, honouring
+   RFC-4180 quoting.  Used by the round-trip tests and any downstream
+   tooling that wants the labelled column names back. *)
+let csv_split line =
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 32 in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = line.[!i] in
+    (if !in_quotes then
+       if c = '"' then
+         if !i + 1 < n && line.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       else Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' ->
+         cells := Buffer.contents buf :: !cells;
+         Buffer.clear buf
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  cells := Buffer.contents buf :: !cells;
+  List.rev !cells
+
 let csv sampler =
   let samples = Sampler.samples sampler in
   (* column order: first appearance across the run, so metrics created
@@ -81,7 +131,7 @@ let csv sampler =
     samples;
   let cols = List.rev !cols in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (String.concat "," ("ts_ns" :: cols));
+  Buffer.add_string buf (String.concat "," ("ts_ns" :: List.map csv_cell cols));
   Buffer.add_char buf '\n';
   List.iter
     (fun (s : Sampler.sample) ->

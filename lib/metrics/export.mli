@@ -12,8 +12,19 @@ val prometheus : Registry.t -> string
 
 (** CSV time series of the sampler's snapshots: one row per tick, one
     column per metric (union across ticks; metrics created mid-run leave
-    early cells empty). *)
+    early cells empty).  Labelled series names (which embed commas and
+    quotes) are RFC-4180-quoted in the header so they survive as single
+    columns. *)
 val csv : Sampler.t -> string
+
+(** RFC-4180 cell quoting as applied to the CSV header: quotes the cell
+    when it contains a comma, quote, or newline, doubling embedded
+    quotes.  [csv_cell "n{a=\"x\"}"] is ["\"n{a=\"\"x\"\"}\""]. *)
+val csv_cell : string -> string
+
+(** Split one CSV line back into cells, honouring {!csv_cell} quoting:
+    [csv_split (String.concat "," (List.map csv_cell cells)) = cells]. *)
+val csv_split : string -> string list
 
 (** JSON summary: every counter and gauge, plus
     count/min/max/mean/p50/p95/p99/p999 per histogram. *)

@@ -65,6 +65,63 @@ let base_name name =
   | Some i -> String.sub name 0 i
   | None -> name
 
+(* Inverse of [labeled]: parse the label block back into pairs.  Returns
+   [(name, [])] when there is no block, and degrades to the stripped base
+   name with no labels when the block is malformed — exporters must never
+   raise on a hand-written series name. *)
+let split name =
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some i ->
+    let base = String.sub name 0 i in
+    let n = String.length name in
+    let malformed = ref false in
+    let labels = ref [] in
+    let pos = ref (i + 1) in
+    let peek () = if !pos < n then Some name.[!pos] else None in
+    (* one k="v" pair; cursor left after the closing quote *)
+    let parse_pair () =
+      let kstart = !pos in
+      while !pos < n && name.[!pos] <> '=' do incr pos done;
+      if !pos >= n || !pos = kstart then malformed := true
+      else begin
+        let key = String.sub name kstart (!pos - kstart) in
+        incr pos;
+        if peek () <> Some '"' then malformed := true
+        else begin
+          incr pos;
+          let buf = Buffer.create 16 in
+          let closed = ref false in
+          while (not !closed) && (not !malformed) && !pos < n do
+            (match name.[!pos] with
+            | '\\' ->
+              incr pos;
+              (match peek () with
+              | Some '"' -> Buffer.add_char buf '"'
+              | Some '\\' -> Buffer.add_char buf '\\'
+              | Some 'n' -> Buffer.add_char buf '\n'
+              | Some c -> Buffer.add_char buf c
+              | None -> malformed := true)
+            | '"' -> closed := true
+            | c -> Buffer.add_char buf c);
+            incr pos
+          done;
+          if !closed then labels := (key, Buffer.contents buf) :: !labels
+          else malformed := true
+        end
+      end
+    in
+    let finished = ref false in
+    while (not !finished) && not !malformed do
+      parse_pair ();
+      if not !malformed then
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' when !pos = n - 1 -> finished := true
+        | _ -> malformed := true
+    done;
+    if !malformed then (base, []) else (base, List.rev !labels)
+
 let counter t ?(help = "") name =
   register t ~help name
     (fun () -> Counter { c_shards = Array.make t.nr 0 })

@@ -45,6 +45,13 @@ val labeled : string -> (string * string) list -> string
 (** The name with any label block stripped: [base_name (labeled n ls) = n]. *)
 val base_name : string -> string
 
+(** Inverse of {!labeled}: [split (labeled n ls) = (n, ls)], unescaping the
+    label values.  A name without a block splits to [(name, [])]; a
+    malformed block degrades to the stripped base name with no labels
+    rather than raising.  Exporters use this for label parity across the
+    Prometheus, CSV and JSON paths. *)
+val split : string -> string * (string * string) list
+
 val counter : t -> ?help:string -> string -> counter
 
 val gauge : t -> ?help:string -> string -> gauge

@@ -25,6 +25,13 @@ type kind =
   | Fleet_op of { host : int; op : string }
       (* a fleet orchestration action (drain/admit/upgrade/drill) touched
          the labelled host; observability marker, sanitizer-ignored *)
+  | Req_enqueue of { req : int; tenant : int }
+      (* a cluster request landed in the host ingress queue; anatomy
+         context marker, sanitizer-ignored *)
+  | Req_take of { req : int; pid : int }
+      (* a worker task pulled the request off the ingress queue *)
+  | Req_done of { req : int; pid : int }
+      (* the worker finished serving the request *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 
@@ -51,6 +58,9 @@ let name = function
   | Dsq_insert _ -> "dsq_insert"
   | Dsq_consume _ -> "dsq_consume"
   | Fleet_op _ -> "fleet_op"
+  | Req_enqueue _ -> "req_enqueue"
+  | Req_take _ -> "req_take"
+  | Req_done _ -> "req_done"
 
 let pid_of = function
   | Wakeup { pid; _ }
@@ -62,10 +72,13 @@ let pid_of = function
   | Migrate { pid; _ }
   | Pnt_err { pid; _ }
   | Dsq_insert { pid; _ }
-  | Dsq_consume { pid; _ } -> Some pid
+  | Dsq_consume { pid; _ }
+  | Req_take { pid; _ }
+  | Req_done { pid; _ } -> Some pid
   | Sched_switch { next = Some pid; _ } -> Some pid
   | Sched_switch _ | Tick | Idle | Lock_acquire _ | Lock_release _ | Msg_call _ | Panic _
-  | Failover _ | Overrun _ | Watchdog_fire _ | Metric_flush _ | Fleet_op _ -> None
+  | Failover _ | Overrun _ | Watchdog_fire _ | Metric_flush _ | Fleet_op _ | Req_enqueue _ ->
+    None
 
 let opt_pid = function None -> "idle" | Some p -> string_of_int p
 
@@ -95,6 +108,10 @@ let args = function
   | Dsq_consume { dsq; pid; wait } ->
     [ ("dsq", dsq); ("pid", string_of_int pid); ("wait", string_of_int wait) ]
   | Fleet_op { host; op } -> [ ("host", string_of_int host); ("op", op) ]
+  | Req_enqueue { req; tenant } ->
+    [ ("req", string_of_int req); ("tenant", string_of_int tenant) ]
+  | Req_take { req; pid } | Req_done { req; pid } ->
+    [ ("req", string_of_int req); ("pid", string_of_int pid) ]
 
 let pp fmt t =
   Format.fprintf fmt "[%d] %d %s" t.cpu t.ts (name t.kind);

@@ -56,6 +56,14 @@ type kind =
       (** a cluster orchestration action ("drain", "admit", "upgrade",
           "panic-drill") hit the labelled fleet host; an observability
           marker the sanitizer ignores in invariant checks *)
+  | Req_enqueue of { req : int; tenant : int }
+      (** a cluster request with a fleet-wide request-id entered the host's
+          ingress queue; an anatomy context marker the sanitizer ignores *)
+  | Req_take of { req : int; pid : int }
+      (** the worker task [pid] dequeued request [req] and began serving
+          it; closes the request's {!Spans.Ingress_wait} span *)
+  | Req_done of { req : int; pid : int }
+      (** the worker task [pid] completed request [req]; sanitizer-ignored *)
 
 type t = { ts : ns; cpu : int; kind : kind }
 

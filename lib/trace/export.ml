@@ -77,7 +77,8 @@ let run_slices events =
       | Event.Sched_switch _ | Event.Wakeup _ | Event.Migrate _ | Event.Tick | Event.Pnt_err _
       | Event.Lock_acquire _ | Event.Lock_release _ | Event.Msg_call _ | Event.Panic _
       | Event.Failover _ | Event.Overrun _ | Event.Watchdog_fire _ | Event.Metric_flush _
-      | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ -> ())
+      | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ | Event.Req_enqueue _
+      | Event.Req_take _ | Event.Req_done _ -> ())
     events;
   (* close dangling slices at the last timestamp seen *)
   let last_ts = List.fold_left (fun acc (ev : Event.t) -> max acc ev.ts) 0 events in
@@ -112,9 +113,17 @@ let chrome_json ?(spans = true) events =
       add (meta_event ~pid:1 ~tid:0 ~name:"process_name" ~value:"latency spans");
       add (meta_event ~pid:1 ~tid:0 ~name:"thread_name" ~value:"wakeup_to_dispatch");
       add (meta_event ~pid:1 ~tid:1 ~name:"thread_name" ~value:"preempt_to_resched");
+      add (meta_event ~pid:1 ~tid:2 ~name:"thread_name" ~value:"migration");
+      add (meta_event ~pid:1 ~tid:3 ~name:"thread_name" ~value:"ingress_wait");
       List.iter
         (fun (s : Spans.t) ->
-          let tid = match s.kind with Spans.Wakeup_to_dispatch -> 0 | Spans.Preempt_to_resched -> 1 in
+          let tid =
+            match s.kind with
+            | Spans.Wakeup_to_dispatch -> 0
+            | Spans.Preempt_to_resched -> 1
+            | Spans.Migration -> 2
+            | Spans.Ingress_wait -> 3
+          in
           add
             (complete_event
                ~name:(Printf.sprintf "pid %d" s.pid)

@@ -202,9 +202,11 @@ let feed t (ev : Event.t) =
     (* fault-subsystem markers; the watchdog consumes these, the invariant
        checks above keep deriving state from the scheduling events alone *)
     ()
-  | Event.Metric_flush _ | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ ->
+  | Event.Metric_flush _ | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _
+  | Event.Req_enqueue _ | Event.Req_take _ | Event.Req_done _ ->
     (* observability markers (metrics sampler, dispatch-queue movements,
-       fleet orchestration): never part of any scheduling invariant *)
+       fleet orchestration, request anatomy): never part of any scheduling
+       invariant *)
     ()
 
 let attach t tracer = Tracer.subscribe tracer (feed t)

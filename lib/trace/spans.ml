@@ -1,4 +1,4 @@
-type kind = Wakeup_to_dispatch | Preempt_to_resched
+type kind = Wakeup_to_dispatch | Preempt_to_resched | Migration | Ingress_wait
 
 type t = { pid : int; cpu : int; kind : kind; start_ts : int; stop_ts : int }
 
@@ -7,10 +7,14 @@ let duration s = s.stop_ts - s.start_ts
 let kind_name = function
   | Wakeup_to_dispatch -> "wakeup_to_dispatch"
   | Preempt_to_resched -> "preempt_to_resched"
+  | Migration -> "migration"
+  | Ingress_wait -> "ingress_wait"
 
 let of_events events =
   let pending_wake : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let pending_preempt : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pending_migrate : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pending_ingress : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let spans = ref [] in
   List.iter
     (fun (ev : Event.t) ->
@@ -20,6 +24,10 @@ let of_events events =
         Hashtbl.remove pending_preempt pid
       | Event.Preempt { pid } | Event.Yield { pid } ->
         if not (Hashtbl.mem pending_preempt pid) then Hashtbl.replace pending_preempt pid ev.ts
+      | Event.Migrate { pid; _ } ->
+        (* keep the first migration ts so chained migrations measure the full
+           off-cpu displacement, not just the last hop *)
+        if not (Hashtbl.mem pending_migrate pid) then Hashtbl.replace pending_migrate pid ev.ts
       | Event.Dispatch { pid } ->
         (match Hashtbl.find_opt pending_wake pid with
         | Some start_ts ->
@@ -33,13 +41,27 @@ let of_events events =
               { pid; cpu = ev.cpu; kind = Preempt_to_resched; start_ts; stop_ts = ev.ts }
               :: !spans
           | None -> ()));
+        (match Hashtbl.find_opt pending_migrate pid with
+        | Some start_ts ->
+          Hashtbl.remove pending_migrate pid;
+          spans := { pid; cpu = ev.cpu; kind = Migration; start_ts; stop_ts = ev.ts } :: !spans
+        | None -> ());
         Hashtbl.remove pending_preempt pid
       | Event.Block { pid } | Event.Exit { pid } ->
         Hashtbl.remove pending_wake pid;
-        Hashtbl.remove pending_preempt pid
-      | Event.Sched_switch _ | Event.Migrate _ | Event.Tick | Event.Idle | Event.Pnt_err _
+        Hashtbl.remove pending_preempt pid;
+        Hashtbl.remove pending_migrate pid
+      | Event.Req_enqueue { req; _ } ->
+        if not (Hashtbl.mem pending_ingress req) then Hashtbl.replace pending_ingress req ev.ts
+      | Event.Req_take { req; pid } ->
+        (match Hashtbl.find_opt pending_ingress req with
+        | Some start_ts ->
+          Hashtbl.remove pending_ingress req;
+          spans := { pid; cpu = ev.cpu; kind = Ingress_wait; start_ts; stop_ts = ev.ts } :: !spans
+        | None -> ())
+      | Event.Sched_switch _ | Event.Tick | Event.Idle | Event.Pnt_err _
       | Event.Lock_acquire _ | Event.Lock_release _ | Event.Msg_call _ | Event.Panic _
       | Event.Failover _ | Event.Overrun _ | Event.Watchdog_fire _ | Event.Metric_flush _
-      | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ -> ())
+      | Event.Dsq_insert _ | Event.Dsq_consume _ | Event.Fleet_op _ | Event.Req_done _ -> ())
     events;
   List.rev !spans

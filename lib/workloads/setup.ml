@@ -52,13 +52,14 @@ type built = {
 
 (* Tracer ring accounting surfaces in the registry as probes: reads at
    sample/export time, nothing on the emit path. *)
-let register_tracer_probes reg tracer =
-  Metrics.Registry.gauge_probe reg ~help:"trace events accepted into rings" "trace_emitted_total"
-    (fun () -> float_of_int (Trace.Tracer.emitted tracer));
+let register_tracer_probes ?(labels = []) reg tracer =
+  let name n = Metrics.Registry.labeled n labels in
+  Metrics.Registry.gauge_probe reg ~help:"trace events accepted into rings"
+    (name "trace_emitted_total") (fun () -> float_of_int (Trace.Tracer.emitted tracer));
   Metrics.Registry.gauge_probe reg ~help:"trace events dropped on ring overrun"
-    "trace_dropped_total" (fun () -> float_of_int (Trace.Tracer.dropped tracer));
-  Metrics.Registry.gauge_probe reg ~help:"trace events currently buffered" "trace_buffered"
-    (fun () -> float_of_int (Trace.Tracer.buffered tracer))
+    (name "trace_dropped_total") (fun () -> float_of_int (Trace.Tracer.dropped tracer));
+  Metrics.Registry.gauge_probe reg ~help:"trace events currently buffered"
+    (name "trace_buffered") (fun () -> float_of_int (Trace.Tracer.buffered tracer))
 
 let build ?costs ?record ?tracer ?registry ?profile ?isolate ?call_budget ?sim_backend ~topology
     kind =

@@ -36,6 +36,13 @@ type built = {
           request latencies into it *)
 }
 
+(** Register ring emit/drop/buffered gauge probes for [tracer] in [reg],
+    optionally under a {!Metrics.Registry.labeled} block (the fleet labels
+    its chaos victim's tracer by host).  [build] calls this automatically
+    when given both a registry and a tracer. *)
+val register_tracer_probes :
+  ?labels:(string * string) list -> Metrics.Registry.t -> Trace.Tracer.t -> unit
+
 (** [tracer] attaches a schedtrace sink to both the machine and (for
     [Enoki_sched]) the Enoki-C layer; building a machine always resets the
     process-global lock trace tap first, so at most one machine traces lock

@@ -218,6 +218,123 @@ let test_chaos_drill_converges () =
   check Alcotest.bool "victim failed over (module quarantined)" true victim.Fleet.quarantined;
   check Alcotest.bool "victim back in rotation" false victim.Fleet.drained
 
+(* ---------- request anatomy ---------- *)
+
+module Anatomy = Trace.Anatomy
+
+let lb_policies = [ Lb.Round_robin; Lb.Least_outstanding; Lb.Weighted; Lb.Consistent_hash ]
+
+(* Run a small fleet with anatomy on, asserting on every completion that
+   the six phase durations are non-negative and sum exactly — not within
+   epsilon — to the measured end-to-end latency. *)
+let assert_exact_sums ?(lb = Lb.Least_outstanding) ~seed ~hosts () =
+  let f =
+    Fleet.create ~workers:4 ~warmup:(ms 50) ~lb ~anatomy:true ~seed ~hosts:(entries hosts)
+      ~tenants:(small_mix ~connections:16 ~load:30.0 ())
+      ()
+  in
+  let a = Option.get (Fleet.anatomy f) in
+  let seen = ref 0 in
+  Anatomy.on_complete a (fun c ->
+      incr seen;
+      let sum = Array.fold_left ( + ) 0 c.Anatomy.durations in
+      if sum <> Anatomy.e2e c then
+        Alcotest.failf "req %d: phases sum to %d, e2e is %d (%s)" c.Anatomy.req sum
+          (Anatomy.e2e c) (String.concat "," hosts);
+      Array.iteri
+        (fun i d ->
+          if d < 0 then
+            Alcotest.failf "req %d: negative %s (%d)" c.Anatomy.req
+              (Anatomy.phase_name (List.nth Anatomy.phases i))
+              d)
+        c.Anatomy.durations);
+  Fleet.run f ~until:(ms 150);
+  if !seen = 0 then Alcotest.fail "anatomy saw no completions";
+  check Alcotest.int "exact-sum error counter" 0 (Anatomy.max_sum_error a);
+  check Alcotest.int "no orphaned observations" 0 (Anatomy.orphans a);
+  f
+
+(* The decomposition must hold under every scheduler a host can run, not
+   just the ones the fleet suite happens to use — wakeup clamping and the
+   preemption/migration split are where a new policy would break it. *)
+let test_anatomy_sums_every_scheduler () =
+  List.iter
+    (fun (e : Schedulers.Registry.entry) ->
+      (* arbiters schedule other schedulers, not worker tasks *)
+      if not e.Schedulers.Registry.arbiter then
+        ignore (assert_exact_sums ~seed:5 ~hosts:[ e.Schedulers.Registry.name ] ()))
+    Schedulers.Registry.all
+
+let test_anatomy_sums_every_lb () =
+  List.iter (fun lb -> ignore (assert_exact_sums ~lb ~seed:6 ~hosts:[ "wfq"; "cfs" ] ())) lb_policies
+
+let prop_anatomy_sums (sched_ix, lb_ix, seed) =
+  let workers =
+    List.filter (fun e -> not e.Schedulers.Registry.arbiter) Schedulers.Registry.all
+  in
+  let e = List.nth workers (sched_ix mod List.length workers) in
+  let lb = List.nth lb_policies (lb_ix mod List.length lb_policies) in
+  ignore (assert_exact_sums ~lb ~seed ~hosts:[ e.Schedulers.Registry.name; "cfs" ] ());
+  true
+
+(* Anatomy must be a pure observer: with it on or off, the same seed has
+   to produce byte-identical Enoki record logs (the strictest equality the
+   stack offers — every scheduler call in order) and identical stats. *)
+let test_anatomy_zero_perturbation () =
+  let run anatomy =
+    let record = Enoki.Record.create () in
+    let f =
+      Fleet.create ~workers:4 ~warmup:(ms 50) ~anatomy ~record ~seed:9
+        ~hosts:(entries [ "wfq"; "cfs" ])
+        ~tenants:(small_mix ~connections:16 ~load:30.0 ())
+        ()
+    in
+    Fleet.run f ~until:(ms 200);
+    (Enoki.Record.contents record, Fleet.tenant_stats f, Fleet.clock f)
+  in
+  let log_on, stats_on, clock_on = run true in
+  let log_off, stats_off, clock_off = run false in
+  check Alcotest.bool "record captured scheduler calls" true (String.length log_off > 0);
+  check Alcotest.bool "record logs byte-identical" true (log_on = log_off);
+  check Alcotest.bool "tenant stats identical" true (stats_on = stats_off);
+  check Alcotest.int "clocks identical" clock_off clock_on
+
+let test_anatomy_exemplars_deterministic () =
+  let run () =
+    let f =
+      Fleet.create ~workers:4 ~warmup:(ms 50) ~anatomy:true ~anatomy_top:4 ~seed:11
+        ~hosts:(entries [ "wfq"; "cfs" ])
+        ~tenants:(small_mix ~connections:16 ~load:30.0 ())
+        ()
+    in
+    Fleet.run f ~until:(ms 200);
+    Option.get (Fleet.anatomy f)
+  in
+  let a = run () in
+  let key (c : Anatomy.completion) = (c.Anatomy.req, Anatomy.e2e c, c.Anatomy.durations) in
+  check Alcotest.bool "same seed, same exemplars" true
+    (List.map key (Anatomy.exemplars a) = List.map key (Anatomy.exemplars (run ())));
+  let es = Anatomy.exemplars a in
+  check Alcotest.bool "ring bounded by top_k" true (List.length es <= 4 && es <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Anatomy.e2e a >= Anatomy.e2e b && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "exemplars worst-first" true (sorted es);
+  let json = Anatomy.chrome_json a in
+  check Alcotest.bool "chrome flow export non-empty" true (String.length json > 2);
+  (* every exemplar's flow arrows ride on its request-id *)
+  List.iter
+    (fun (c : Anatomy.completion) ->
+      let needle = Printf.sprintf "\"id\":%d" c.Anatomy.req in
+      let found =
+        let n = String.length needle and l = String.length json in
+        let rec scan i = i + n <= l && (String.sub json i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      if not found then Alcotest.failf "exemplar req %d missing from chrome export" c.Anatomy.req)
+    es
+
 (* ---------- seed plumbing (the Setup.workload_seed satellite) ---------- *)
 
 let test_workload_seed_splitter () =
@@ -268,6 +385,20 @@ let () =
             test_rolling_upgrade_pause_and_blackout;
           Alcotest.test_case "chaos drill: panic, drain, failover, re-admit" `Quick
             test_chaos_drill_converges;
+        ] );
+      ( "anatomy",
+        [
+          Alcotest.test_case "phases sum exactly: every scheduler" `Slow
+            test_anatomy_sums_every_scheduler;
+          Alcotest.test_case "phases sum exactly: every LB policy" `Quick
+            test_anatomy_sums_every_lb;
+          qtest ~count:8 "phases sum exactly: random sched x lb x seed"
+            QCheck.(triple small_nat small_nat small_nat)
+            prop_anatomy_sums;
+          Alcotest.test_case "anatomy on/off: zero perturbation" `Quick
+            test_anatomy_zero_perturbation;
+          Alcotest.test_case "exemplars deterministic, worst-first, exported" `Quick
+            test_anatomy_exemplars_deterministic;
         ] );
       ( "seeds",
         [ Alcotest.test_case "workload_seed splitter" `Quick test_workload_seed_splitter ] );

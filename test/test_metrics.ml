@@ -247,6 +247,85 @@ let test_sampler_ticks () =
       (String.length header >= 5 && String.sub header 0 5 = "ts_ns")
   | [] -> Alcotest.fail "empty csv")
 
+(* ---------- label parity across exporters ---------- *)
+
+(* Registry.split must invert Registry.labeled for any label set, including
+   values that embed the escape-worthy characters. *)
+let prop_labeled_split_roundtrip labels =
+  (* keys must be identifier-ish (labeled does not escape keys); values are
+     arbitrary *)
+  let labels =
+    List.mapi (fun i (k, v) -> (Printf.sprintf "k%d_%s" i (String.map (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else 'x') k), v))
+      labels
+  in
+  let name = R.labeled "fleet_latency_ns" labels in
+  let base, parsed = R.split name in
+  if base <> "fleet_latency_ns" then
+    QCheck.Test.fail_reportf "base %S from %S" base name
+  else if parsed <> labels then
+    QCheck.Test.fail_reportf "labels did not roundtrip through %S" name
+  else true
+
+let test_split_escapes () =
+  let labels = [ ("tenant", "we\"b,1"); ("host", "a\\b\nc") ] in
+  let name = R.labeled "m" labels in
+  check
+    (Alcotest.pair Alcotest.string (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)))
+    "escaped values roundtrip" ("m", labels) (R.split name);
+  check
+    (Alcotest.pair Alcotest.string (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)))
+    "unlabeled passes through" ("plain", []) (R.split "plain")
+
+(* csv_split must invert csv_cell for any cell list — this is what keeps a
+   labelled series name (embedded commas, quotes) one CSV column. *)
+let prop_csv_cell_roundtrip cells =
+  (* an empty line is one empty cell in CSV, so [] cannot roundtrip *)
+  let cells = if cells = [] then [ "" ] else cells in
+  let line = String.concat "," (List.map Metrics.Export.csv_cell cells) in
+  let back = Metrics.Export.csv_split line in
+  if back <> cells then
+    QCheck.Test.fail_reportf "cells did not roundtrip through %S" line
+  else true
+
+(* End to end: a registry with labelled series, sampled and exported to
+   CSV, must come back with every labelled column intact — header cells
+   parse with csv_split, then split back into (base, labels). *)
+let test_labeled_csv_roundtrip () =
+  let reg = R.create ~nr_cpus:1 () in
+  let labels = [ ("tenant", "we\"b"); ("sched", "wfq,2") ] in
+  let c = R.counter reg (R.labeled "fleet_completed_total" labels) in
+  R.incr c ~n:3 ();
+  let smp = Metrics.Sampler.create ~interval:10 reg in
+  Metrics.Sampler.flush smp ~ts:10;
+  let csv = Metrics.Export.csv smp in
+  match String.split_on_char '\n' (String.trim csv) with
+  | header :: _ :: _ ->
+    (match Metrics.Export.csv_split header with
+    | [ ts; col ] ->
+      check Alcotest.string "ts column" "ts_ns" ts;
+      check
+        (Alcotest.pair Alcotest.string
+           (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)))
+        "labelled column survives csv" ("fleet_completed_total", labels) (R.split col)
+    | cells -> Alcotest.failf "expected 2 header cells, got %d" (List.length cells))
+  | _ -> Alcotest.fail "expected header + row"
+
+(* And the JSON summary: labelled series names are object keys; they must
+   survive our own parser byte for byte. *)
+let test_labeled_json_roundtrip () =
+  let reg = R.create ~nr_cpus:1 () in
+  let name = R.labeled "fleet_completed_total" [ ("tenant", "we\"b") ] in
+  R.incr (R.counter reg name) ~n:7 ();
+  let j = Metrics.Export.json_summary reg in
+  match Metrics.Json.parse (Metrics.Json.to_string ~pretty:true j) with
+  | Error e -> Alcotest.failf "summary does not reparse: %s" e
+  | Ok j ->
+    let counters = Option.get (Metrics.Json.member "counters" j) in
+    (match Option.bind (Metrics.Json.member name counters) Metrics.Json.to_int with
+    | Some v -> check Alcotest.int "labelled key intact" 7 v
+    | None -> Alcotest.failf "labelled key %S lost in json round-trip" name)
+
 (* ---------- profiler ---------- *)
 
 let test_profile_rows () =
@@ -391,6 +470,20 @@ let () =
           Alcotest.test_case "format from path" `Quick test_format_of_path;
         ] );
       ("sampler", [ Alcotest.test_case "periodic ticks" `Quick test_sampler_ticks ]);
+      ( "labels",
+        [
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~count:200 ~name:"split inverts labeled"
+               QCheck.(small_list (pair string string))
+               prop_labeled_split_roundtrip);
+          Alcotest.test_case "split handles escapes" `Quick test_split_escapes;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~count:200 ~name:"csv_split inverts csv_cell"
+               QCheck.(small_list string)
+               prop_csv_cell_roundtrip);
+          Alcotest.test_case "labelled series survive csv" `Quick test_labeled_csv_roundtrip;
+          Alcotest.test_case "labelled series survive json" `Quick test_labeled_json_roundtrip;
+        ] );
       ("profile", [ Alcotest.test_case "row aggregation" `Quick test_profile_rows ]);
       ( "zero-perturbation",
         [

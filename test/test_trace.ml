@@ -201,6 +201,64 @@ let test_spans_from_synthetic_stream () =
   | [ s ] -> check Alcotest.int "preempt->resched duration" 30 (Trace.Spans.duration s)
   | l -> Alcotest.failf "expected 1 preempt span, got %d" (List.length l)
 
+(* A migration span covers the full off-cpu displacement, first Migrate to
+   the next Dispatch, even when the task hops through several cpus. *)
+let test_spans_migration () =
+  let events =
+    [
+      ev 10 0 (Trace.Event.Migrate { pid = 5; from_cpu = 0; to_cpu = 1 });
+      ev 25 1 (Trace.Event.Migrate { pid = 5; from_cpu = 1; to_cpu = 2 });
+      ev 40 2 (Trace.Event.Dispatch { pid = 5 });
+      (* a blocked task's pending migration must not leak a span *)
+      ev 50 0 (Trace.Event.Migrate { pid = 7; from_cpu = 0; to_cpu = 1 });
+      ev 60 0 (Trace.Event.Block { pid = 7 });
+      ev 70 1 (Trace.Event.Dispatch { pid = 7 });
+    ]
+  in
+  let mg =
+    List.filter
+      (fun (s : Trace.Spans.t) -> s.kind = Trace.Spans.Migration)
+      (Trace.Spans.of_events events)
+  in
+  match mg with
+  | [ s ] ->
+    check Alcotest.int "span pid" 5 s.pid;
+    check Alcotest.int "chained hops measured from the first" 30 (Trace.Spans.duration s);
+    check Alcotest.int "closed on the dispatching cpu" 2 s.cpu
+  | l -> Alcotest.failf "expected 1 migration span, got %d" (List.length l)
+
+(* Ingress-wait spans are keyed by request-id, not pid, and must survive a
+   fleet-orchestration event stream interleaved between enqueue and take. *)
+let test_spans_ingress_wait_interleaved () =
+  let events =
+    [
+      ev 100 0 (Trace.Event.Req_enqueue { req = 41; tenant = 0 });
+      ev 105 0 (Trace.Event.Fleet_op { host = 1; op = "drain" });
+      ev 110 0 (Trace.Event.Req_enqueue { req = 42; tenant = 1 });
+      ev 120 1 (Trace.Event.Wakeup { pid = 9; waker_cpu = 0; affinity = None });
+      ev 130 1 (Trace.Event.Dispatch { pid = 9 });
+      (* later requests may be taken first (work stealing off the queue) *)
+      ev 140 1 (Trace.Event.Req_take { req = 42; pid = 9 });
+      ev 150 0 (Trace.Event.Fleet_op { host = 1; op = "admit" });
+      ev 160 2 (Trace.Event.Req_take { req = 41; pid = 8 });
+      ev 170 2 (Trace.Event.Req_done { req = 41; pid = 8 });
+      (* a take with no enqueue (pre-trace backlog) must be ignored *)
+      ev 180 2 (Trace.Event.Req_take { req = 99; pid = 8 });
+    ]
+  in
+  let ing =
+    List.filter
+      (fun (s : Trace.Spans.t) -> s.kind = Trace.Spans.Ingress_wait)
+      (Trace.Spans.of_events events)
+  in
+  match List.sort (fun (a : Trace.Spans.t) b -> compare a.start_ts b.start_ts) ing with
+  | [ a; b ] ->
+    check Alcotest.int "req 41 waited enqueue->take" 60 (Trace.Spans.duration a);
+    check Alcotest.int "req 41 span pid = taker" 8 a.pid;
+    check Alcotest.int "req 42 waited enqueue->take" 30 (Trace.Spans.duration b);
+    check Alcotest.int "req 42 span pid = taker" 9 b.pid
+  | l -> Alcotest.failf "expected 2 ingress spans, got %d" (List.length l)
+
 (* ---------- exporters, on a real run ---------- *)
 
 let traced_pipe_run kind =
@@ -493,7 +551,14 @@ let () =
           ("counts, drops, subscribers", `Quick, test_tracer_counts_and_drops);
           ("out-of-range cpu folded", `Quick, test_tracer_folds_out_of_range_cpu);
         ] );
-      ("spans", [ ("synthetic stream", `Quick, test_spans_from_synthetic_stream) ]);
+      ( "spans",
+        [
+          ("synthetic stream", `Quick, test_spans_from_synthetic_stream);
+          ("migration span covers chained hops", `Quick, test_spans_migration);
+          ( "ingress wait keyed by request, fleet ops interleaved",
+            `Quick,
+            test_spans_ingress_wait_interleaved );
+        ] );
       ( "export",
         [
           ("chrome JSON is valid and multi-cpu", `Quick, test_chrome_export_is_valid_json);
