@@ -59,34 +59,47 @@ let trace_path : string option ref = ref None
 
 let effective_jobs () = if !trace_path <> None then 1 else max 1 !jobs
 
-(* bytes allocated inside worker domains, for the per-experiment footer
-   (Gc.allocated_bytes is domain-local) *)
+(* bytes allocated inside the pool's domains, for the per-experiment
+   footer (Gc.allocated_bytes is domain-local) *)
 let cells_allocated = Atomic.make 0
 
-let parallel_map (xs : 'a list) ~(f : 'a -> 'b) : 'b list =
-  let n = List.length xs in
-  let j = min (effective_jobs ()) n in
-  if j <= 1 then List.map f xs
-  else begin
-    let inputs = Array.of_list xs in
-    let out = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let a0 = Gc.allocated_bytes () in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          out.(i) <- Some (f inputs.(i));
-          loop ()
-        end
-      in
-      loop ();
-      ignore
-        (Atomic.fetch_and_add cells_allocated (int_of_float (Gc.allocated_bytes () -. a0)))
+(* one shared pool for the whole bench run, spawned lazily on the first
+   parallel batch and parked between batches; every cell starts from a
+   fresh Lock context so no mode/tap/id state leaks between cells or from
+   the main domain into a worker *)
+let the_pool : Ds.Domain_pool.t option ref = ref None
+
+let get_pool () =
+  match !the_pool with
+  | Some p -> p
+  | None ->
+    let p =
+      Ds.Domain_pool.create
+        ~on_task:(fun () -> Enoki.Lock.install_ctx (Enoki.Lock.fresh_ctx ()))
+        ~domains:(effective_jobs ()) ()
     in
-    let doms = List.init (j - 1) (fun _ -> Domain.spawn worker) in
-    Fun.protect worker ~finally:(fun () -> List.iter Domain.join doms);
-    Array.to_list (Array.map Option.get out)
+    the_pool := Some p;
+    p
+
+let () = at_exit (fun () -> Option.iter Ds.Domain_pool.shutdown !the_pool)
+
+let parallel_map (xs : 'a list) ~(f : 'a -> 'b) : 'b list =
+  if effective_jobs () <= 1 || List.length xs <= 1 then List.map f xs
+  else begin
+    let pool = get_pool () in
+    (* the main domain claims cells too, and the on_task hook resets its
+       Lock context per cell — restore it once the batch settles *)
+    let ctx = Enoki.Lock.capture_ctx () in
+    let a0 = Ds.Domain_pool.allocated_bytes pool in
+    let out =
+      Fun.protect
+        (fun () -> Ds.Domain_pool.map_list pool xs ~f)
+        ~finally:(fun () -> Enoki.Lock.install_ctx ctx)
+    in
+    ignore
+      (Atomic.fetch_and_add cells_allocated
+         (int_of_float (Ds.Domain_pool.allocated_bytes pool -. a0)));
+    out
   end
 
 let traced : (string * Trace.Tracer.t * Trace.Sanitizer.t option) list ref = ref []
@@ -985,6 +998,10 @@ let bench_out : string option ref = ref None
 let baseline_path : string option ref = ref None
 
 let tolerance : float option ref = ref None
+
+(* minimum parallel-fleet speedup fleetgate demands at -j N; None derives
+   a floor from the domains the host can actually run concurrently *)
+let speedup_floor : float option ref = ref None
 
 let regress_failed = ref false
 
@@ -1963,14 +1980,36 @@ let fleet_warmup = Kernsim.Time.ms 100
 (* steady state: 8 heterogeneous hosts, least-outstanding *)
 let fleet_steady_scheds = [ "wfq"; "shinjuku"; "cfs"; "scx-simple" ]
 
-let fleet_steady () =
+let fleet_steady ?pool () =
   let hosts = fleet_entries (List.init 8 (fun i -> List.nth fleet_steady_scheds (i mod 4))) in
   let f =
-    Cluster.Fleet.create ~warmup:fleet_warmup ~seed:(fleet_seed ()) ~hosts ~tenants:(fleet_mix ())
-      ()
+    Cluster.Fleet.create ?pool ~warmup:fleet_warmup ~seed:(fleet_seed ()) ~hosts
+      ~tenants:(fleet_mix ()) ()
   in
   Cluster.Fleet.run f ~until:(fleet_duration ());
   f
+
+(* parallel fleet execution: the same steady fleet advanced across a
+   j-domain pool.  The fingerprint digests every deterministic output the
+   fleet exposes — identical for every j is the byte-identity contract. *)
+let fleet_par_fingerprint f =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( Cluster.Fleet.tenant_stats f,
+            Cluster.Fleet.host_stats f,
+            Cluster.Fleet.clock f,
+            Cluster.Fleet.events_dispatched f,
+            Metrics.Export.prometheus (Cluster.Fleet.registry f) )
+          []))
+
+let fleet_par_run j =
+  let pool = if j > 1 then Some (Ds.Domain_pool.create ~domains:j ()) else None in
+  let t0 = Unix.gettimeofday () in
+  let f = fleet_steady ?pool () in
+  let wall = Unix.gettimeofday () -. t0 in
+  Option.iter Ds.Domain_pool.shutdown pool;
+  (f, wall)
 
 let fleet_lb_cells () =
   parallel_map
@@ -2121,6 +2160,35 @@ let fleet () =
     (match op_at "admit" with
     | Some ts -> Printf.sprintf ", re-admitted at %s" (Kernsim.Time.to_string ts)
     | None -> "");
+  (* parallel execution: the steady fleet across a domain pool *)
+  let par_rows =
+    List.map
+      (fun j ->
+        let f, wall = fleet_par_run j in
+        (j, wall, Cluster.Fleet.events_dispatched f, fleet_par_fingerprint f))
+      [ 1; 2; 4; 8 ]
+  in
+  let base_wall, base_fp =
+    match par_rows with (_, w, _, fp) :: _ -> (w, fp) | [] -> (0., "")
+  in
+  Report.table
+    ~header:[ "-j"; "wall"; "events/s"; "speedup"; "fingerprint" ]
+    (List.map
+       (fun (j, wall, events, fp) ->
+         [
+           string_of_int j;
+           Printf.sprintf "%.2fs" wall;
+           Printf.sprintf "%.2fM" (float_of_int events /. wall /. 1e6);
+           Printf.sprintf "%.2fx" (base_wall /. wall);
+           (String.sub fp 0 12 ^ if fp = base_fp then "" else " DIVERGED");
+         ])
+       par_rows);
+  Report.note
+    (Printf.sprintf
+       "steady fleet advanced on a -j domain pool (host has %d); fingerprint digests tenant/host"
+       (Domain.recommended_domain_count ()));
+  Report.note "stats, clock, events and the metrics export — identical down the column is the";
+  Report.note "parallel-determinism contract.";
   (* snapshot *)
   let tenant_json (s : Cluster.Fleet.tenant_stat) =
     Obj
@@ -2186,6 +2254,21 @@ let fleet () =
               ("sanitizer_ok", Bool (Cluster.Fleet.sanitizer_ok cf));
               ("rejected", Int rejected);
             ] );
+        ( "par",
+          List
+            (List.map
+               (fun (j, wall, events, fp) ->
+                 Obj
+                   [
+                     ("jobs", Int j);
+                     ("seed", Int seed);
+                     ("wall_s", Float wall);
+                     ("events_per_s", Float (float_of_int events /. wall));
+                     ("speedup", Float (base_wall /. wall));
+                     ("deterministic", Bool (fp = base_fp));
+                     ("fingerprint", String fp);
+                   ])
+               par_rows) );
       ]
   in
   let path = Option.value !bench_out ~default:(Printf.sprintf "BENCH_%s.json" (fleet_suite ())) in
@@ -2226,8 +2309,8 @@ let fleetgate () =
           ]
           :: !rows
     in
-    (* steady tenants *)
-    let steady = fleet_steady () in
+    (* steady tenants (timed: the sequential side of the parallel checks) *)
+    let steady, seq_wall = fleet_par_run 1 in
     let base_tenants =
       Option.value ~default:[]
         Option.(
@@ -2281,6 +2364,42 @@ let fleetgate () =
         (if conv && clean then "ok" else "REGRESSED");
       ]
       :: !rows;
+    (* parallel execution: at -j N the steady fleet must be byte-identical
+       to the sequential run and clear the speedup floor.  The derived
+       floor only engages for the domains the host can actually run
+       concurrently — on a one-core runner it degrades to determinism-only
+       (override with --speedup-floor=). *)
+    let j = effective_jobs () in
+    if j > 1 then begin
+      let par, par_wall = fleet_par_run j in
+      let same = fleet_par_fingerprint steady = fleet_par_fingerprint par in
+      if not same then regress_failed := true;
+      rows :=
+        [
+          Printf.sprintf "par/-j %d determinism" j;
+          "identical";
+          (if same then "identical" else "DIVERGED");
+          (if same then "ok" else "REGRESSED");
+        ]
+        :: !rows;
+      let speedup = seq_wall /. par_wall in
+      let avail = min j (Domain.recommended_domain_count ()) in
+      let floor =
+        match !speedup_floor with
+        | Some f -> f
+        | None -> if avail <= 1 then 0.0 else 1.0 +. (0.15 *. float_of_int (avail - 1))
+      in
+      let ok = speedup >= floor in
+      if not ok then regress_failed := true;
+      rows :=
+        [
+          Printf.sprintf "par/-j %d speedup" j;
+          Printf.sprintf ">= %.2fx" floor;
+          Printf.sprintf "%.2fx" speedup;
+          (if ok then "ok" else "REGRESSED: below floor");
+        ]
+        :: !rows
+    end;
     Report.table ~header:[ "check"; "baseline"; "now"; "verdict" ] (List.rev !rows);
     Report.note
       (Printf.sprintf "baseline %s; completion drift 1%%, tails %.0f%%, chaos must converge" path
@@ -2791,6 +2910,12 @@ let () =
           (match float_of_string_opt (cut ~prefix:"--tolerance=" arg) with
           | Some pct -> tolerance := Some pct
           | None -> Printf.eprintf "bad tolerance in %s (percent expected)\n" arg);
+          false
+        end
+        else if has_prefix ~prefix:"--speedup-floor=" arg then begin
+          (match float_of_string_opt (cut ~prefix:"--speedup-floor=" arg) with
+          | Some x -> speedup_floor := Some x
+          | None -> Printf.eprintf "bad speedup floor in %s (e.g. 1.3)\n" arg);
           false
         end
         else true)

@@ -702,10 +702,20 @@ let fleet_anatomy_out_arg =
           "Write the top-K worst requests as a Chrome-trace flow-event timeline (arrows LB -> \
            host ingress -> runqueue -> worker) to $(docv); implies $(b,--anatomy).")
 
+let fleet_jobs_arg =
+  Arg.(
+    value
+    & opt ~vopt:(-1) int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Advance hosts in parallel on $(docv) OCaml domains.  Results are byte-identical to \
+           the sequential run for any $(docv) — only wall clock changes.  0 (the default) runs \
+           sequentially; bare $(b,-j) uses the machine's recommended domain count.")
+
 let fleet_cmd =
   let run hosts scheds lb load cores duration flows epoch_us workers queue_cap connections
       flow_len seed upgrade_ms stagger_ms chaos_victim chaos_after anatomy anatomy_top
-      anatomy_out metrics_out metrics_interval =
+      anatomy_out jobs metrics_out metrics_interval =
     let anatomy = anatomy || anatomy_out <> None in
     let entries =
       match scheds with
@@ -729,10 +739,15 @@ let fleet_cmd =
           { Cluster.Fleet.victim; after_calls = chaos_after; recovery = Kernsim.Time.ms 20 })
         chaos_victim
     in
+    let jobs = if jobs < 0 then Domain.recommended_domain_count () else jobs in
+    if jobs > hosts then
+      Printf.eprintf
+        "enoki_sim: fleet: -j %d exceeds %d hosts; the extra domains will idle\n%!" jobs hosts;
+    let pool = if jobs > 1 then Some (Ds.Domain_pool.create ~domains:jobs ()) else None in
     let f =
       Cluster.Fleet.create ~topology:(topology_of_cores cores) ~workers ~queue_cap
         ~epoch:(Kernsim.Time.us epoch_us) ~warmup:(Kernsim.Time.ms 100) ?upgrade ?chaos ~lb
-        ~anatomy ~anatomy_top ~seed ~hosts:entries ~tenants ()
+        ~anatomy ~anatomy_top ?pool ~seed ~hosts:entries ~tenants ()
     in
     Printf.printf "fleet: %d hosts (%s), lb %s, %.0fk req/s offered, seed %d\n" hosts
       (String.concat "," (List.map (fun (e : Schedulers.Registry.entry) -> e.name) entries))
@@ -762,10 +777,15 @@ let fleet_cmd =
           && Cluster.Fleet.clock f < limit
       | None -> fun () -> Cluster.Fleet.clock f < limit
     in
-    while keep_going () do
-      Cluster.Fleet.step f ~limit;
-      sample_up_to (Cluster.Fleet.clock f)
-    done;
+    (try
+       while keep_going () do
+         Cluster.Fleet.step f ~limit;
+         sample_up_to (Cluster.Fleet.clock f)
+       done
+     with e ->
+       Option.iter Ds.Domain_pool.shutdown pool;
+       raise e);
+    Option.iter Ds.Domain_pool.shutdown pool;
     (match sampler with
     | Some s when !next_sample - metrics_interval < Cluster.Fleet.clock f ->
       Metrics.Sampler.flush s ~ts:(Cluster.Fleet.clock f)
@@ -930,7 +950,8 @@ let fleet_cmd =
       $ fleet_duration_arg $ fleet_flows_arg $ fleet_epoch_arg $ fleet_workers_arg
       $ fleet_queue_cap_arg $ fleet_conns_arg $ fleet_flow_len_arg $ seed_arg $ fleet_upgrade_arg
       $ fleet_stagger_arg $ fleet_chaos_arg $ fleet_chaos_after_arg $ fleet_anatomy_arg
-      $ fleet_anatomy_top_arg $ fleet_anatomy_out_arg $ metrics_out_arg $ metrics_interval_arg)
+      $ fleet_anatomy_top_arg $ fleet_anatomy_out_arg $ fleet_jobs_arg $ metrics_out_arg
+      $ metrics_interval_arg)
 
 let () =
   let doc = "Enoki scheduler-framework simulator" in

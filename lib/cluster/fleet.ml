@@ -8,6 +8,27 @@ type upgrade = { at : ns; stagger : ns }
 
 type chaos = { victim : int; after_calls : int; recovery : ns }
 
+(* Cross-host side effects produced while a host's machine advances.
+
+   Under `-j N` the hosts of one epoch run concurrently, so anything that
+   touches fleet-shared state (the balancer, per-tenant counters, shared
+   histograms, the anatomy aggregator, the oplog) is not applied inline:
+   the advancing host buffers it here — with every input value captured at
+   emission time — and the coordinating domain replays the buffers in
+   fixed host order at the epoch barrier.  Sequential runs go through the
+   same buffers, and the replay order (host 0's effects, then host 1's,
+   each host chronological) is exactly the order the old sequential loop
+   produced them in, which is why `-j N` is byte-identical to `-j 1`. *)
+type fx =
+  | Fx_done of { tenant : int; lat : ns; measured : bool; blackout : bool }
+  | Fx_drop of { tenant : int }
+  | Fx_anat_enq of { req : int; tenant : int; arrived : ns; service : ns; now : ns }
+  | Fx_anat_take of { req : int; pid : int; last_wake : ns; migrations : int; now : ns }
+  | Fx_anat_done of { req : int; migrations : int; now : ns }
+  | Fx_oplog of { ts : ns; name : string }
+  | Fx_upgraded of { pause : ns }
+  | Fx_upgrade_failed
+
 type host = {
   id : int;
   entry : Schedulers.Registry.entry;
@@ -17,6 +38,12 @@ type host = {
   tracer : Trace.Tracer.t option;  (* chaos victim only *)
   sanitizer : Trace.Sanitizer.t option;
   hist : Reg.histogram;
+  (* the host's domain-local lock state (mode, tap, id counter) as a value:
+     installed around every machine advance so the host's lock identity —
+     including host 0's record stream — travels with the host, whichever
+     domain runs it *)
+  mutable lock_ctx : Enoki.Lock.ctx;
+  mutable fx : fx list;  (* newest first; deferred to the epoch barrier *)
   mutable inflight : int;  (* queued + executing *)
   mutable completed : int;
   mutable pending_drain : string option;  (* set by the watchdog *)
@@ -34,6 +61,7 @@ type t = {
   dispatch_overhead : ns;
   recovery : ns;
   observe : bool;  (* false = never measure: the no-observability baseline *)
+  pool : Ds.Domain_pool.t option;  (* epoch-parallel host advance *)
   traffic : Traffic.t;
   lb : Lb.t;
   hosts : host array;
@@ -51,6 +79,8 @@ type t = {
   mutable upgrade_failures : int;
 }
 
+let fx host e = host.fx <- e :: host.fx
+
 let op t host ~ts name =
   t.oplog <- (ts, host.id, name) :: t.oplog;
   match host.tracer with
@@ -60,7 +90,10 @@ let op t host ~ts name =
 (* A server task: pull a request off the host queue, pay dispatch overhead
    plus its service time, account the end-to-end latency, block on the
    doorbell for the next one.  Signals pair one-to-one with enqueued
-   requests, so a woken worker always finds work. *)
+   requests, so a woken worker always finds work.  Runs inside the host's
+   machine, possibly on a pool domain: host-local state (queue, inflight,
+   the host's own histogram, its tracer) is touched directly; everything
+   fleet-shared goes through the [fx] buffer. *)
 let worker_beh t host =
   let st = ref `Take in
   fun (ctx : T.ctx) ->
@@ -79,11 +112,18 @@ let worker_beh t host =
             (Trace.Event.Req_take { req = req.Traffic.req_id; pid = ctx.T.self })
         | None -> ());
         (match t.anat with
-        | Some a -> (
+        | Some _ -> (
           match M.find_task host.built.Workloads.Setup.machine ctx.T.self with
           | Some task ->
-            Trace.Anatomy.take a ~req:req.Traffic.req_id ~pid:ctx.T.self
-              ~last_wake:task.T.last_wake ~migrations:task.T.migrations ~now:ctx.T.now
+            fx host
+              (Fx_anat_take
+                 {
+                   req = req.Traffic.req_id;
+                   pid = ctx.T.self;
+                   last_wake = task.T.last_wake;
+                   migrations = task.T.migrations;
+                   now = ctx.T.now;
+                 })
           | None -> ())
         | None -> ());
         T.Compute (t.dispatch_overhead + req.Traffic.service))
@@ -91,25 +131,28 @@ let worker_beh t host =
       let lat = ctx.T.now - req.Traffic.arrived in
       host.inflight <- host.inflight - 1;
       host.completed <- host.completed + 1;
-      Lb.complete t.lb host.id;
-      t.completed.(req.Traffic.tenant) <- t.completed.(req.Traffic.tenant) + 1;
-      if t.measuring then begin
-        Reg.observe t.tenant_hist.(req.Traffic.tenant) lat;
-        Reg.observe host.hist lat
-      end;
-      if host.bl_from >= 0 && ctx.T.now >= host.bl_from && ctx.T.now <= host.bl_until then
-        Reg.observe t.blackout_h lat;
+      if t.measuring then Reg.observe host.hist lat;
+      fx host
+        (Fx_done
+           {
+             tenant = req.Traffic.tenant;
+             lat;
+             measured = t.measuring;
+             blackout =
+               host.bl_from >= 0 && ctx.T.now >= host.bl_from && ctx.T.now <= host.bl_until;
+           });
       (match host.tracer with
       | Some tr ->
         Trace.Tracer.emit tr ~ts:ctx.T.now ~cpu:ctx.T.cpu
           (Trace.Event.Req_done { req = req.Traffic.req_id; pid = ctx.T.self })
       | None -> ());
       (match t.anat with
-      | Some a -> (
+      | Some _ -> (
         match M.find_task host.built.Workloads.Setup.machine ctx.T.self with
         | Some task ->
-          Trace.Anatomy.complete a ~req:req.Traffic.req_id ~migrations:task.T.migrations
-            ~now:ctx.T.now
+          fx host
+            (Fx_anat_done
+               { req = req.Traffic.req_id; migrations = task.T.migrations; now = ctx.T.now })
         | None -> ())
       | None -> ());
       st := `Take;
@@ -120,7 +163,7 @@ let host_label (e : Schedulers.Registry.entry) = e.Schedulers.Registry.name
 let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap = 4096)
     ?(epoch = Kernsim.Time.ms 1) ?(warmup = 0) ?(dispatch_overhead = Kernsim.Time.us 2) ?weights
     ?(lb = Lb.Least_outstanding) ?upgrade ?chaos ?(anatomy = false) ?(anatomy_top = 8) ?record
-    ?(observe = true) ~seed ~hosts ~tenants () =
+    ?(observe = true) ?pool ~seed ~hosts ~tenants () =
   if hosts = [] then invalid_arg "Fleet.create: no hosts";
   let entries = Array.of_list hosts in
   let n = Array.length entries in
@@ -168,7 +211,15 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
       Workloads.Setup.register_tracer_probes ~labels:[ ("host", string_of_int id) ] reg tr
     | None -> ());
     let record = if id = 0 then record else None in
+    (* each host builds — and later advances — under its own pristine lock
+       context, so one host's record mode or trace tap can never leak into
+       another host's (previously, whichever host built last owned the
+       whole fleet's ambient lock state) *)
+    let outer_ctx = Enoki.Lock.capture_ctx () in
+    Enoki.Lock.install_ctx (Enoki.Lock.fresh_ctx ());
     let built = Workloads.Setup.build ?record ?tracer ~topology kind in
+    let lock_ctx = Enoki.Lock.capture_ctx () in
+    Enoki.Lock.install_ctx outer_ctx;
     let chan = M.new_chan built.Workloads.Setup.machine in
     let hist =
       Reg.histogram reg ~help:"end-to-end request latency per host (ns)"
@@ -184,6 +235,8 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
       tracer;
       sanitizer;
       hist;
+      lock_ctx;
+      fx = [];
       inflight = 0;
       completed = 0;
       pending_drain = None;
@@ -224,6 +277,7 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
       dispatch_overhead;
       recovery = (match chaos with Some c -> c.recovery | None -> Kernsim.Time.ms 10);
       observe;
+      pool;
       traffic;
       lb = balancer;
       hosts;
@@ -293,7 +347,10 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
         in
         Fault.Watchdog.attach w tr
       | None, _ -> ());
-      (* the rolling-upgrade schedule, staggered by host id *)
+      (* the rolling-upgrade schedule, staggered by host id; the callback
+         fires mid-advance (possibly on a pool domain), so its fleet-wide
+         bookkeeping rides the fx buffer while the host-local blackout
+         window and trace marker apply in place *)
       match (upgrade, host.built.Workloads.Setup.enoki, Schedulers.Registry.enoki_module host.entry)
       with
       | Some u, Some e, Some m ->
@@ -301,13 +358,18 @@ let create ?(topology = Kernsim.Topology.one_socket) ?(workers = 6) ?(queue_cap 
           ~delay:(u.at + (host.id * u.stagger))
           (fun () ->
             let now = M.now host.built.Workloads.Setup.machine in
-            op t host ~ts:now "upgrade";
+            fx host (Fx_oplog { ts = now; name = "upgrade" });
+            (match host.tracer with
+            | Some tr ->
+              Trace.Tracer.emit tr ~ts:now ~cpu:0
+                (Trace.Event.Fleet_op { host = host.id; op = "upgrade" })
+            | None -> ());
             match Enoki.Enoki_c.upgrade e m with
             | Ok (s : Enoki.Upgrade.stats) ->
               host.bl_from <- now;
               host.bl_until <- now + s.Enoki.Upgrade.pause + t.epoch;
-              t.upgrades_done <- (host.id, s.Enoki.Upgrade.pause) :: t.upgrades_done
-            | Error _ -> t.upgrade_failures <- t.upgrade_failures + 1)
+              fx host (Fx_upgraded { pause = s.Enoki.Upgrade.pause })
+            | Error _ -> fx host Fx_upgrade_failed)
       | _ -> ())
     hosts;
   t
@@ -347,10 +409,8 @@ let place t (req : Traffic.request) =
     let m = host.built.Workloads.Setup.machine in
     let delay = max 0 (req.Traffic.arrived - M.now m) in
     M.at m ~delay (fun () ->
-        if Queue.length host.queue >= t.queue_cap then begin
-          t.dropped.(req.Traffic.tenant) <- t.dropped.(req.Traffic.tenant) + 1;
-          Lb.complete t.lb host.id
-        end
+        if Queue.length host.queue >= t.queue_cap then
+          fx host (Fx_drop { tenant = req.Traffic.tenant })
         else begin
           Queue.add req host.queue;
           host.inflight <- host.inflight + 1;
@@ -360,20 +420,82 @@ let place t (req : Traffic.request) =
               (Trace.Event.Req_enqueue { req = req.Traffic.req_id; tenant = req.Traffic.tenant })
           | None -> ());
           (match t.anat with
-          | Some a ->
-            Trace.Anatomy.enqueue a ~req:req.Traffic.req_id ~tenant:req.Traffic.tenant ~host:h
-              ~arrived:req.Traffic.arrived
-              ~service:(t.dispatch_overhead + req.Traffic.service)
-              ~now:(M.now m)
+          | Some _ ->
+            fx host
+              (Fx_anat_enq
+                 {
+                   req = req.Traffic.req_id;
+                   tenant = req.Traffic.tenant;
+                   arrived = req.Traffic.arrived;
+                   service = t.dispatch_overhead + req.Traffic.service;
+                   now = M.now m;
+                 })
           | None -> ());
           M.signal m host.chan
         end)
+
+(* Replay one host's buffered effects on the coordinating domain.  Called
+   in host order at the epoch barrier; within a host the buffer replays
+   chronologically — together that is exactly the order the sequential
+   loop used to produce these side effects in, so the shared state (LB
+   outstanding counts, tenant counters, shared histograms, anatomy, the
+   oplog) ends every epoch bit-identical for any [-j]. *)
+let apply_fx t host =
+  List.iter
+    (fun e ->
+      match e with
+      | Fx_done { tenant; lat; measured; blackout } ->
+        Lb.complete t.lb host.id;
+        t.completed.(tenant) <- t.completed.(tenant) + 1;
+        if measured then Reg.observe t.tenant_hist.(tenant) lat;
+        if blackout then Reg.observe t.blackout_h lat
+      | Fx_drop { tenant } ->
+        t.dropped.(tenant) <- t.dropped.(tenant) + 1;
+        Lb.complete t.lb host.id
+      | Fx_anat_enq { req; tenant; arrived; service; now } -> (
+        match t.anat with
+        | Some a -> Trace.Anatomy.enqueue a ~req ~tenant ~host:host.id ~arrived ~service ~now
+        | None -> ())
+      | Fx_anat_take { req; pid; last_wake; migrations; now } -> (
+        match t.anat with
+        | Some a -> Trace.Anatomy.take a ~req ~pid ~last_wake ~migrations ~now
+        | None -> ())
+      | Fx_anat_done { req; migrations; now } -> (
+        match t.anat with
+        | Some a -> Trace.Anatomy.complete a ~req ~migrations ~now
+        | None -> ())
+      | Fx_oplog { ts; name } -> t.oplog <- (ts, host.id, name) :: t.oplog
+      | Fx_upgraded { pause } -> t.upgrades_done <- (host.id, pause) :: t.upgrades_done
+      | Fx_upgrade_failed -> t.upgrade_failures <- t.upgrade_failures + 1)
+    (List.rev host.fx);
+  host.fx <- []
+
+(* Advance one host's machine to the epoch boundary under the host's own
+   lock context.  Safe on any domain: everything it mutates is host-local
+   or buffered in [host.fx]. *)
+let advance_host host ~until =
+  let outer = Enoki.Lock.capture_ctx () in
+  Enoki.Lock.install_ctx host.lock_ctx;
+  Fun.protect
+    (fun () -> M.run_until host.built.Workloads.Setup.machine until)
+    ~finally:(fun () ->
+      (* a live upgrade may have reinstalled the host's tap/record mode *)
+      host.lock_ctx <- Enoki.Lock.capture_ctx ();
+      Enoki.Lock.install_ctx outer)
 
 let step t ~limit =
   let until = min (t.clock + t.epoch) limit in
   if t.observe && (not t.measuring) && t.clock >= t.warmup then t.measuring <- true;
   List.iter (place t) (Traffic.next_window t.traffic ~until);
-  Array.iter (fun h -> M.run_until h.built.Workloads.Setup.machine until) t.hosts;
+  (* the epoch is a conservative-lookahead barrier: no host-to-host event
+     crosses it (LB and ingress happen above, at epoch edges), so the
+     hosts advance independently — in parallel when a pool is attached *)
+  (match t.pool with
+  | Some pool when Ds.Domain_pool.size pool > 1 ->
+    Ds.Domain_pool.run pool (Array.map (fun h () -> advance_host h ~until) t.hosts)
+  | _ -> Array.iter (fun h -> advance_host h ~until) t.hosts);
+  (* deterministic merge: fixed host order, chronological within a host *)
+  Array.iter (apply_fx t) t.hosts;
   t.clock <- until;
   poll_drills t
 

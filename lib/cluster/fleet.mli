@@ -8,9 +8,25 @@
     per epoch it drains the traffic engine's next arrival window, places
     every request through the balancer, injects each one into its host at
     its exact arrival time via the {!Kernsim.Machine.signal} doorbell, and
-    runs every machine to the epoch boundary in host order — one fixed
-    interleaving, so a (seed, config) pair reproduces the whole fleet run
-    bit for bit.
+    runs every machine to the epoch boundary — one fixed interleaving, so
+    a (seed, config) pair reproduces the whole fleet run bit for bit.
+
+    The epoch is a {e conservative-lookahead barrier}: no host-to-host
+    event crosses an epoch (load balancing and ingress placement happen at
+    epoch edges, on the coordinating domain), so within an epoch the host
+    machines are independent and may advance concurrently on a
+    {!Ds.Domain_pool} ([create ?pool]).  Anything a host would write to
+    fleet-shared state mid-advance (balancer completions, per-tenant
+    counters, shared histograms, request anatomy, the oplog) is instead
+    buffered per host with its inputs captured at emission time, and the
+    buffers are replayed on the coordinating domain at the barrier in
+    fixed host order, chronological within a host — exactly the sequential
+    order.  Hence the hard contract the tests and `fleetgate` enforce:
+    {b a fleet run is byte-identical for any pool size}, down to metric
+    exports, anatomy tables, trace streams, and record-log bytes.  Each
+    host also carries its own {!Enoki.Lock.ctx}, installed around every
+    advance, so lock ids, record streams, and trace taps follow the host
+    rather than whichever domain happens to run it.
 
     Orchestration rides on top:
 
@@ -56,7 +72,14 @@ type t
     a replay-grade record log to host 0's Enoki boundary (ignored for
     non-Enoki host 0).  [observe:false] keeps every latency histogram
     cold for the whole run — the no-observability baseline the overhead
-    bench compares against. *)
+    bench compares against.
+
+    [pool] attaches a {!Ds.Domain_pool}: each {!step} then advances the
+    hosts concurrently across the pool's domains (a pool of size 1, or no
+    pool, advances them in place on the same code path).  Results are
+    byte-identical for any pool size; only wall clock changes.  The caller
+    owns the pool's lifecycle (it may be shared between fleets, one run at
+    a time) and shuts it down. *)
 val create :
   ?topology:Kernsim.Topology.t ->
   ?workers:int ->
@@ -72,6 +95,7 @@ val create :
   ?anatomy_top:int ->
   ?record:Enoki.Record.t ->
   ?observe:bool ->
+  ?pool:Ds.Domain_pool.t ->
   seed:int ->
   hosts:Schedulers.Registry.entry list ->
   tenants:Traffic.tenant list ->

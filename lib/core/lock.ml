@@ -131,6 +131,37 @@ let with_lock t f =
     in
     Fun.protect f ~finally
 
+(* The whole domain-local lock state as a first-class value, so a host's
+   lock identity (its mode, tap, id counter and replay-created locks) can
+   travel with the host rather than with whichever domain happens to run
+   it.  The fleet tier installs a host's context around every machine
+   advance: under `fleet -j N` a host may run on a different domain each
+   epoch, and without this its lock ids, record stream and trace tap would
+   come from the wrong host (or from a pristine worker domain) — breaking
+   the byte-identity of record logs between sequential and parallel runs. *)
+type ctx = {
+  ctx_mode : mode;
+  ctx_tap : (op -> lock_id:int -> unit) option;
+  ctx_ids : int ref;  (* aliased, not copied: creations during a run persist *)
+  ctx_replay_locks : t list ref;
+}
+
+let fresh_ctx () = { ctx_mode = Passthrough; ctx_tap = None; ctx_ids = ref 0; ctx_replay_locks = ref [] }
+
+let capture_ctx () =
+  {
+    ctx_mode = Domain.DLS.get mode_key;
+    ctx_tap = Domain.DLS.get tap_key;
+    ctx_ids = Domain.DLS.get next_id_key;
+    ctx_replay_locks = Domain.DLS.get replay_locks_key;
+  }
+
+let install_ctx c =
+  Domain.DLS.set mode_key c.ctx_mode;
+  Domain.DLS.set tap_key c.ctx_tap;
+  Domain.DLS.set next_id_key c.ctx_ids;
+  Domain.DLS.set replay_locks_key c.ctx_replay_locks
+
 let set_record_mode ~sink ~tid = Domain.DLS.set mode_key (Record { sink; tid })
 
 let set_replay_mode ~order ~tid =

@@ -72,6 +72,37 @@ val set_passthrough_mode : unit -> unit
     than the log says and wedge every thread on a turn that never comes. *)
 val abandon_replay_order : unit -> unit
 
+(** The domain-local lock state (mode, trace tap, id counter, replay-created
+    locks) as a first-class value.
+
+    Domain-safety contract: {!t} values themselves are plain mutable
+    structures — a given lock must be used from one domain at a time
+    (Passthrough/Record; Replay uses a real mutex and is thread-safe by
+    construction).  The {e ambient} state ({!set_record_mode}, the tap, the
+    id counter) is domain-local, which is right when one domain owns one
+    machine for its whole life (the bench pool) but wrong when a machine
+    may advance on a different domain each step: the fleet tier captures a
+    context per host at build time and installs it around every machine
+    advance, so a host's lock identity travels with the host, not with the
+    domain.  Ids then count per host — deterministic for any [-j]. *)
+type ctx
+
+(** A pristine context: Passthrough, no tap, ids from 0.  Install one
+    before building a machine so the build can't inherit the ambient
+    mode/tap of a previously built machine in the same domain. *)
+val fresh_ctx : unit -> ctx
+
+(** Snapshot the calling domain's current lock state.  The id counter and
+    replay-lock list are aliased, not copied: lock creations that happen
+    while a captured context is installed persist into later installs of
+    the same context. *)
+val capture_ctx : unit -> ctx
+
+(** Make [ctx] the calling domain's lock state.  Callers are expected to
+    capture the previous context first and restore it after — see
+    [Cluster.Fleet]'s host advance for the pattern. *)
+val install_ctx : ctx -> unit
+
 (** Tracing tap, orthogonal to the record/replay mode: when set, every
     {!with_lock} reports [Acquire] before running the body and [Release]
     after (and {!create} reports [Create]), in all three modes.  The

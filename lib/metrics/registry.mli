@@ -15,7 +15,18 @@
 
     Recording never allocates after metric creation and never touches
     simulated time — observability must not perturb scheduling decisions
-    (the zero-perturbation contract tested in [test_metrics.ml]). *)
+    (the zero-perturbation contract tested in [test_metrics.ml]).
+
+    Domain-safety contract: registration ({!counter}, {!histogram}, …)
+    mutates the registry's table and must stay in one domain (build time).
+    After registration, recording into {e distinct} metrics — or distinct
+    [cpu] shards of one metric — from different domains is safe as long as
+    each series has a single writer at a time and readers ({!merged}, the
+    exporters) run after a synchronization point.  This is how the fleet
+    tier shares one registry across `-j` domains: each host owns its own
+    labelled series during an epoch, multi-writer series are buffered
+    per host and applied in fixed host order at the epoch barrier, and all
+    reads happen on the coordinating domain after the barrier. *)
 
 type t
 

@@ -7,7 +7,15 @@ type Kernsim.Task.hint +=
 
 let registered = ref false
 
+(* [Hint_codec]'s codec list is process-global, and machines are built
+   concurrently in pool domains (the bench matrix, `fleet -j`), so the
+   one-shot registration must be mutual-exclusive as well as idempotent:
+   two unguarded first calls would interleave their [register] read-modify-
+   writes and silently drop codecs. *)
+let register_mutex = Mutex.create ()
+
 let register_codecs () =
+  Mutex.protect register_mutex @@ fun () ->
   if not !registered then begin
     registered := true;
     Enoki.Hint_codec.register ~name:"locality"

@@ -19,5 +19,8 @@ type Kernsim.Task.hint +=
       (** user -> kernel: [pid]'s work should complete within [relative]
           of each wakeup (the EDF extension scheduler) *)
 
-(** Idempotently register the record/replay codecs for the above. *)
+(** Idempotently register the record/replay codecs for the above.  Safe to
+    call from any domain (the codec table is process-global, so the
+    one-shot registration is mutex-guarded); machines built concurrently
+    in pool domains all go through this via [Workloads.Setup.build]. *)
 val register_codecs : unit -> unit

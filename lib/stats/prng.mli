@@ -6,7 +6,15 @@
 
     The generator is xoshiro256** seeded through splitmix64, both from
     Blackman & Vigna; state fits in four [int64]s and splitting a fresh
-    independent stream is cheap. *)
+    independent stream is cheap.
+
+    Domain-safety contract: a [t] is plain mutable state with no global
+    backing — safe across domains only with one owner at a time.  Code
+    that fans out across domains must {!split} one stream per independent
+    unit {e before} the fan-out, in a fixed order (the fleet splits
+    traffic/lb/chaos streams at build time and draws from them only on the
+    coordinating domain), so the draw sequence — and therefore the whole
+    run — is identical for any [-j]. *)
 
 type t
 

@@ -218,11 +218,95 @@ let test_chaos_drill_converges () =
   check Alcotest.bool "victim failed over (module quarantined)" true victim.Fleet.quarantined;
   check Alcotest.bool "victim back in rotation" false victim.Fleet.drained
 
+let lb_policies = [ Lb.Round_robin; Lb.Least_outstanding; Lb.Weighted; Lb.Consistent_hash ]
+
+(* ---------- parallel fleet execution ---------- *)
+
+(* The whole observable surface of a run, down to exported bytes: if any
+   host-shared effect were applied off the coordinating domain, or merged
+   in a claim-order-dependent order, one of these components would drift. *)
+let fleet_fingerprint f =
+  let anat =
+    match Fleet.anatomy f with
+    | None -> ""
+    | Some a ->
+      Printf.sprintf "%d|%d|%s"
+        (List.length (Trace.Anatomy.exemplars a))
+        (Trace.Anatomy.max_sum_error a)
+        (Trace.Anatomy.chrome_json a)
+  in
+  ( Fleet.tenant_stats f,
+    Fleet.host_stats f,
+    Fleet.clock f,
+    Fleet.oplog f,
+    Fleet.events_dispatched f,
+    Metrics.Export.prometheus (Fleet.registry f),
+    anat )
+
+let par_scheds = [| "wfq"; "cfs"; "shinjuku"; "scx-simple" |]
+
+(* The hard contract from fleet.mli: a run is byte-identical for any pool
+   size.  Random (seed, host mix, lb policy, k in 1..4), sequential vs a
+   k-domain pool, compared on the full fingerprint plus the record log —
+   the strictest equality the stack offers (every scheduler call of host 0
+   in order, so a lock id or trace tap leaking across domains shows up as
+   a byte diff). *)
+let prop_fleet_parallel_deterministic (seed, nhosts_r, lb_ix, k_r) =
+  let nhosts = 2 + (nhosts_r mod 4) in
+  let k = 1 + (k_r mod 4) in
+  let lb = List.nth lb_policies (lb_ix mod List.length lb_policies) in
+  let hosts =
+    List.init nhosts (fun i ->
+        par_scheds.((seed + i) mod Array.length par_scheds))
+  in
+  let run pool =
+    let record = Enoki.Record.create () in
+    let f =
+      Fleet.create ?pool ~workers:4 ~warmup:(ms 30) ~lb ~anatomy:true ~record ~seed
+        ~hosts:(entries hosts)
+        ~tenants:(small_mix ~connections:16 ~load:30.0 ())
+        ()
+    in
+    Fleet.run f ~until:(ms 150);
+    (fleet_fingerprint f, Enoki.Record.contents record)
+  in
+  let seq = run None in
+  let pool = Ds.Domain_pool.create ~domains:k () in
+  let par = Fun.protect (fun () -> run (Some pool)) ~finally:(fun () -> Ds.Domain_pool.shutdown pool) in
+  if fst seq <> fst par then
+    QCheck.Test.fail_reportf "fleet diverged at -j %d (seed %d, hosts %s, lb %s)" k seed
+      (String.concat "," hosts) (Lb.policy_name lb)
+  else if snd seq <> snd par then
+    QCheck.Test.fail_reportf "record log not byte-identical at -j %d (seed %d)" k seed
+  else true
+
+(* Chaos drills are the most side-effectful path (panic injection, drain /
+   admit oplog writes, sanitizer over the victim's trace): the drill must
+   converge identically with hosts advancing on separate domains. *)
+let test_chaos_drill_parallel_identical () =
+  let run pool =
+    let f =
+      Fleet.create ?pool
+        ~chaos:{ Fleet.victim = 1; after_calls = 2_000; recovery = ms 5 }
+        ~workers:4 ~warmup:(ms 50) ~seed:7
+        ~hosts:(entries [ "wfq"; "wfq"; "wfq"; "wfq" ])
+        ~tenants:(small_mix ~connections:32 ~load:40.0 ())
+        ()
+    in
+    Fleet.run f ~until:(ms 300);
+    (Fleet.converged f, Fleet.sanitizer_ok f, fleet_fingerprint f)
+  in
+  let seq = run None in
+  let pool = Ds.Domain_pool.create ~domains:3 () in
+  let par = Fun.protect (fun () -> run (Some pool)) ~finally:(fun () -> Ds.Domain_pool.shutdown pool) in
+  let converged, sanitizer, _ = par in
+  check Alcotest.bool "drill converged under -j 3" true converged;
+  check Alcotest.bool "victim sanitizer clean under -j 3" true sanitizer;
+  check Alcotest.bool "chaos run byte-identical sequential vs -j 3" true (seq = par)
+
 (* ---------- request anatomy ---------- *)
 
 module Anatomy = Trace.Anatomy
-
-let lb_policies = [ Lb.Round_robin; Lb.Least_outstanding; Lb.Weighted; Lb.Consistent_hash ]
 
 (* Run a small fleet with anatomy on, asserting on every completion that
    the six phase durations are non-negative and sum exactly — not within
@@ -385,6 +469,14 @@ let () =
             test_rolling_upgrade_pause_and_blackout;
           Alcotest.test_case "chaos drill: panic, drain, failover, re-admit" `Quick
             test_chaos_drill_converges;
+        ] );
+      ( "parallel",
+        [
+          qtest ~count:6 "fleet -j k byte-identical to sequential"
+            QCheck.(quad small_nat small_nat small_nat small_nat)
+            prop_fleet_parallel_deterministic;
+          Alcotest.test_case "chaos drill under parallelism: identical" `Quick
+            test_chaos_drill_parallel_identical;
         ] );
       ( "anatomy",
         [
