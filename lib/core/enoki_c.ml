@@ -327,9 +327,12 @@ let task_departed t (task : Kernsim.Task.t) ~cpu =
 
 let task_tick t ~cpu ~queued = unit_reply (dispatch t ~cpu (Task_tick { cpu; queued }))
 
+(* Int-encoded Sched_class boundary: option/token replies stay on the
+   Message wire (record/replay compatibility), but what crosses into the
+   machine's per-schedule hot path is a plain pid or -1. *)
 let pick_next_task t ~cpu =
   match dispatch t ~cpu (Pick_next_task { cpu; curr = None; curr_runtime = 0 }) with
-  | R_sched_opt None -> None
+  | R_sched_opt None -> -1
   | R_sched_opt (Some token) ->
     let reject err =
       (* wrong core, stale or forged token: hand ownership back via
@@ -338,7 +341,7 @@ let pick_next_task t ~cpu =
       emit t ~cpu (Trace.Event.Pnt_err { pid = Schedulable.pid token; err });
       unit_reply
         (dispatch t ~cpu (Pnt_err { cpu; pid = Schedulable.pid token; err; sched = Some token }));
-      None
+      -1
     in
     if token_valid t token ~cpu then begin
       let pid = Schedulable.pid token in
@@ -349,7 +352,7 @@ let pick_next_task t ~cpu =
       | Some task when task.state = Kernsim.Task.Runnable && task.cpu = cpu ->
         Schedulable.Private.consume token;
         invalidate t ~pid;
-        Some pid
+        pid
       | Some _ | None -> reject "not_runnable"
     end
     else
@@ -361,7 +364,8 @@ let pick_next_task t ~cpu =
 
 let balance t ~cpu =
   match dispatch t ~cpu (Balance { cpu }) with
-  | R_pid_opt p -> p
+  | R_pid_opt (Some p) -> p
+  | R_pid_opt None -> -1
   | r -> invalid_arg ("Enoki_c: bad balance reply " ^ Message.encode_reply r)
 
 let balance_err t (task : Kernsim.Task.t) ~cpu =
@@ -569,11 +573,12 @@ let factory t : Kernsim.Sched_class.factory =
             ~failed:(fun fb -> fb.pick_next_task ~cpu)
             ()
         in
-        (match (picked, t.quarantined, t.blackout) with
-        | Some _, Some (_, since), None ->
-          (* first successful dispatch after failover closes the blackout *)
-          t.blackout <- Some (ops.now () - since)
-        | _ -> ());
+        (if picked >= 0 then
+           match (t.quarantined, t.blackout) with
+           | Some (_, since), None ->
+             (* first successful dispatch after failover closes the blackout *)
+             t.blackout <- Some (ops.now () - since)
+           | _ -> ());
         picked);
     balance =
       (fun ~cpu ->

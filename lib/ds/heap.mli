@@ -27,6 +27,14 @@ val peek : 'a t -> 'a option
 (** Remove and return the smallest element. *)
 val pop : 'a t -> 'a option
 
+(** Smallest element without removing it; allocation-free.
+    Raises [Invalid_argument] if the heap is empty. *)
+val top_exn : 'a t -> 'a
+
+(** Remove and return the smallest element; allocation-free.
+    Raises [Invalid_argument] if the heap is empty. *)
+val pop_exn : 'a t -> 'a
+
 (** [remove_at t i] removes and returns the element currently at index
     [i] (as reported by [on_move]) in O(log n).  Raises
     [Invalid_argument] if [i] is out of bounds. *)

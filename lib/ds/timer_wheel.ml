@@ -3,30 +3,38 @@
    only moves forward (the popper's clock is monotone) and ties are broken
    FIFO by [seq].
 
-   Layout: 4 levels x 256 slots.  An event whose time differs from the
-   cursor first in byte [l] (little-endian byte of the int) lives at level
-   [l], slot [byte_l time].  Events differing in bits >= 32 go to an
-   overflow binary heap.  Invariants maintained by [place]:
+   Layout: a wide 4096-slot level 0 (bits 0-11) topped by 3 upper levels of
+   256 slots each (bits 12-19, 20-27, 28-35), for a 2^36 horizon.  An event
+   whose time first differs from the cursor inside level [l]'s bit range
+   lives at level [l]; events differing in bits >= 36 go to an overflow
+   binary heap.  The wide bottom level is a deliberate trade: simulator
+   deltas are overwhelmingly kernel-scale (sub-4-microsecond slice ends and
+   wakeups), so a 4096 ns direct-indexed window turns most inserts into
+   straight level-0 filing and most pops into cascade-free slot drains —
+   cascades only happen when the cursor crosses a 4096 ns boundary.
+
+   Invariants maintained by [place]:
 
    - every stored time is >= cursor;
-   - wheel events agree with the cursor on bits >= 32 (so everything in
+   - wheel events agree with the cursor on bits >= 36 (so everything in
      the overflow tier is strictly later than everything in the wheel);
-   - at level l >= 1, occupied digits are > byte_l cursor; at level 0 the
-     digits are >= byte_0 cursor, and all events sharing a level-0 slot
+   - at level l >= 1, occupied digits are > digit_l cursor; at level 0 the
+     digits are >= digit_0 cursor, and all events sharing a level-0 slot
      have exactly the same time.
 
    Advancing works like Linux's cascade: when level 0 is empty, the lowest
    occupied (level, digit) is opened, the cursor jumps to the start of that
-   range (lower bytes zeroed), and its list is re-placed one level down in
+   range (lower bits zeroed), and its list is re-placed one level down in
    order.  When the whole wheel is empty the cursor jumps to the overflow
-   minimum and every overflow event now within the 2^32 horizon migrates in
-   heap order — which is exactly (time, seq) order, so FIFO stability
-   survives the tier change.
+   minimum and every overflow event now within the horizon migrates in heap
+   order — which is exactly (time, seq) order, so FIFO stability survives
+   the tier change.
 
    Slots are sentinel-headed intrusive doubly-linked lists; one-shot nodes
    are recycled through a free list so steady-state [add]/[pop_exn] does
    not allocate.  [make_timer]/[arm]/[cancel] give callers a reusable,
-   O(1)-cancellable cell for recurring timers. *)
+   O(1)-cancellable cell for recurring timers.  [drain_ready] dispatches a
+   whole ready slot per call — the simulator's batched-expiry hook. *)
 
 type 'a node = {
   mutable time : int;
@@ -42,23 +50,47 @@ type 'a node = {
 
 type 'a timer = 'a node
 
+(* Geometry.  Level 0 owns bits 0..11 (4096 slots); levels 1..3 own 8 bits
+   each above that.  The hot-path comparisons below use the matching hex
+   literals (0x1000, 0x10_0000, 0x1000_0000) directly so they compile to
+   immediate operands. *)
+let l0_bits = 12
+let l0_slots = 0x1000
+let upper_levels = 3
+let horizon_bits = 36
+
 type 'a t = {
   dummy : 'a;
   mutable cursor : int;
-  slots : 'a node array; (* 1024 sentinels, index = level*256 + digit *)
-  bitmap : int array; (* 4 levels x 8 words x 32 bits *)
+  (* 4096 level-0 sentinels, then 3 x 256 upper sentinels: level-0 digit
+     [d] lives at index [d]; upper (level, digit) at
+     [l0_slots + (level-1)*256 + digit]. *)
+  slots : 'a node array;
+  (* Level-0 occupancy: 128 words x 32 bits, summarised twice over — bit
+     [w] of [summary0.(w/32)] set iff bitmap word [w] is non-zero, bit [s]
+     of [super0] set iff summary word [s] is non-zero.  "Lowest occupied
+     level-0 digit" is then three ctz lookups, and "level 0 occupied" a
+     single load of [super0]. *)
+  bitmap0 : int array;
+  summary0 : int array;
+  mutable super0 : int;
+  (* Upper-level occupancy: 8 words per level plus a per-level summary
+     byte (bit [w] set iff word is non-zero), one ctz pair per lookup. *)
+  bitmap_up : int array;
+  summary_up : int array;
   overflow : 'a node Heap.t;
   nil : 'a node;
   mutable pool : 'a node; (* free list chained through [next]; [nil] = empty *)
   mutable count : int;
-  occ : int array; (* per-level count of occupied slots *)
-  (* No occupied level-0 digit is < [l0from]: pops sweep it forward, so
-     the level-0 bitmap scan usually starts at the right word. *)
-  mutable l0from : int;
+  (* Ready-slot cache: when >= 0, the lowest occupied level-0 digit, whose
+     slot is non-empty — [next_before]/[pop_exn]/[drain_ready] then skip
+     the bitmap scan entirely and drain the slot O(1) per event (all
+     events in a level-0 slot share one exact time).  -1 = unknown,
+     recompute lazily.  Invariant: [ready >= 0] implies level 0 is
+     occupied, so cascades (which require an empty level 0) never run with
+     a live cache. *)
+  mutable ready : int;
 }
-
-let levels = 4
-let horizon_bits = 32
 
 let cmp_node a b =
   if a.time < b.time then -1
@@ -78,29 +110,52 @@ let create ~dummy () =
   let nil = make_sentinel dummy in
   { dummy;
     cursor = 0;
-    slots = Array.init (levels * 256) (fun _ -> make_sentinel dummy);
-    bitmap = Array.make (levels * 8) 0;
+    slots = Array.init (l0_slots + (upper_levels * 256)) (fun _ -> make_sentinel dummy);
+    bitmap0 = Array.make (l0_slots / 32) 0;
+    summary0 = Array.make (l0_slots / 32 / 32) 0;
+    super0 = 0;
+    bitmap_up = Array.make (upper_levels * 8) 0;
+    summary_up = Array.make upper_levels 0;
     overflow = Heap.create ~on_move:(fun n i -> n.heap_idx <- i) ~compare:cmp_node ();
     nil;
     pool = nil;
     count = 0;
-    occ = Array.make levels 0;
-    l0from = 0 }
+    ready = -1 }
 
 let length t = t.count
 let is_empty t = t.count = 0
 
-(* Only called on empty<->nonempty slot transitions, so [occ] counts
-   occupied slots exactly. *)
-let set_bit t level digit =
-  let i = (level lsl 3) + (digit lsr 5) in
-  t.bitmap.(i) <- t.bitmap.(i) lor (1 lsl (digit land 31));
-  t.occ.(level) <- t.occ.(level) + 1
+(* Occupancy maintenance.  Only called on empty<->nonempty slot
+   transitions, so each summary tier tracks its tier below exactly. *)
+let set_bit0 t digit =
+  let w = digit lsr 5 in
+  t.bitmap0.(w) <- t.bitmap0.(w) lor (1 lsl (digit land 31));
+  let s = w lsr 5 in
+  t.summary0.(s) <- t.summary0.(s) lor (1 lsl (w land 31));
+  t.super0 <- t.super0 lor (1 lsl s)
 
-let clear_bit t level digit =
-  let i = (level lsl 3) + (digit lsr 5) in
-  t.bitmap.(i) <- t.bitmap.(i) land lnot (1 lsl (digit land 31));
-  t.occ.(level) <- t.occ.(level) - 1
+let clear_bit0 t digit =
+  let w = digit lsr 5 in
+  let word = t.bitmap0.(w) land lnot (1 lsl (digit land 31)) in
+  t.bitmap0.(w) <- word;
+  if word = 0 then begin
+    let s = w lsr 5 in
+    let sw = t.summary0.(s) land lnot (1 lsl (w land 31)) in
+    t.summary0.(s) <- sw;
+    if sw = 0 then t.super0 <- t.super0 land lnot (1 lsl s)
+  end
+
+let set_bit_up t level digit =
+  let i = ((level - 1) lsl 3) + (digit lsr 5) in
+  t.bitmap_up.(i) <- t.bitmap_up.(i) lor (1 lsl (digit land 31));
+  t.summary_up.(level - 1) <- t.summary_up.(level - 1) lor (1 lsl (digit lsr 5))
+
+let clear_bit_up t level digit =
+  let i = ((level - 1) lsl 3) + (digit lsr 5) in
+  let word = t.bitmap_up.(i) land lnot (1 lsl (digit land 31)) in
+  t.bitmap_up.(i) <- word;
+  if word = 0 then
+    t.summary_up.(level - 1) <- t.summary_up.(level - 1) land lnot (1 lsl (digit lsr 5))
 
 (* Index of the lowest set bit of a non-zero 32-bit word, via the classic
    De Bruijn multiply — branch- and allocation-free (this runs on every
@@ -111,14 +166,18 @@ let debruijn32 =
 
 let ctz32 x = Array.unsafe_get debruijn32 ((((x land (-x)) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
 
-(* Lowest occupied digit at [level], or -1.  [first_from] is toplevel on
-   purpose: a local recursive closure here would allocate on every bitmap
-   scan of the pop hot path. *)
-let rec first_from bitmap base w =
-  if w = 8 then -1
-  else
-    let word = Array.unsafe_get bitmap (base + w) in
-    if word <> 0 then (w lsl 5) + ctz32 word else first_from bitmap base (w + 1)
+(* Lowest occupied level-0 digit (level 0 must be occupied): super word
+   picks the summary word, summary word picks the bitmap word, bitmap word
+   picks the bit. *)
+let first_digit0 t =
+  let s = ctz32 t.super0 in
+  let w = (s lsl 5) + ctz32 (Array.unsafe_get t.summary0 s) in
+  (w lsl 5) + ctz32 (Array.unsafe_get t.bitmap0 w)
+
+(* Lowest occupied digit at upper [level], which must be occupied. *)
+let first_digit_up t level =
+  let w = ctz32 (Array.unsafe_get t.summary_up (level - 1)) in
+  (w lsl 5) + ctz32 (Array.unsafe_get t.bitmap_up (((level - 1) lsl 3) + w))
 
 let unlink n =
   n.prev.next <- n.next;
@@ -140,37 +199,48 @@ let place t n =
     n.where <- -1;
     Heap.add t.overflow n
   end
+  else if x < 0x1000 then begin
+    (* level 0: direct-indexed; the common case for kernel-scale deltas *)
+    let digit = n.time land (l0_slots - 1) in
+    let sent = t.slots.(digit) in
+    if sent.next == sent then set_bit0 t digit;
+    (* a lower level-0 digit displaces the cached minimum; with no cache
+       (-1) stay lazy — [next_before] recomputes *)
+    if t.ready >= 0 && digit < t.ready then t.ready <- digit;
+    append sent n;
+    n.where <- digit
+  end
   else begin
     let level =
-      if x >= 0x100_0000 then 3
-      else if x >= 0x1_0000 then 2
-      else if x >= 0x100 then 1
-      else 0
+      if x >= 0x1000_0000 then 3
+      else if x >= 0x10_0000 then 2
+      else 1
     in
-    let digit = (n.time lsr (level lsl 3)) land 0xff in
-    let w = (level lsl 8) lor digit in
+    let digit = (n.time lsr (l0_bits + ((level - 1) lsl 3))) land 0xff in
+    let w = l0_slots + ((level - 1) lsl 8) + digit in
     let sent = t.slots.(w) in
-    if sent.next == sent then set_bit t level digit;
-    if level = 0 && digit < t.l0from then t.l0from <- digit;
+    if sent.next == sent then set_bit_up t level digit;
     append sent n;
     n.where <- w
   end
 
-(* Lowest occupied (level >= 1, digit), encoded level*256+digit, or -1. *)
+(* Lowest occupied upper slot, as a [slots] index, or -1. *)
 let rec lowest_upper_from t l =
-  if l >= levels then -1
-  else if t.occ.(l) = 0 then lowest_upper_from t (l + 1)
-  else (l lsl 8) lor first_from t.bitmap (l lsl 3) 0
+  if l > upper_levels then -1
+  else if t.summary_up.(l - 1) = 0 then lowest_upper_from t (l + 1)
+  else l0_slots + ((l - 1) lsl 8) + first_digit_up t l
 
 let lowest_upper_slot t = lowest_upper_from t 1
 
-(* Cursor value that opening slot [w] commits to: higher bytes kept, the
-   slot's digit installed, lower bytes zeroed — the start of the slot's
+(* Cursor value that opening slot [w] commits to: higher bits kept, the
+   slot's digit installed, lower bits zeroed — the start of the slot's
    time range, hence a lower bound on every event inside it. *)
 let cascade_target t w =
-  let level = w lsr 8 and digit = w land 0xff in
-  let keep = t.cursor land lnot ((1 lsl ((level + 1) lsl 3)) - 1) in
-  keep lor (digit lsl (level lsl 3))
+  let u = w - l0_slots in
+  let level = (u lsr 8) + 1 and digit = u land 0xff in
+  let shift = l0_bits + ((level - 1) lsl 3) in
+  let keep = t.cursor land lnot ((1 lsl (shift + 8)) - 1) in
+  keep lor (digit lsl shift)
 
 let rec drain_replace t sent =
   let n = sent.next in
@@ -180,12 +250,13 @@ let rec drain_replace t sent =
     drain_replace t sent
   end
 
-(* Open slot [w]: move the cursor to the start of its range and re-place
-   its events (order-preserving, so same-time events keep their FIFO
-   order). *)
+(* Open upper slot [w]: move the cursor to the start of its range and
+   re-place its events (order-preserving, so same-time events keep their
+   FIFO order). *)
 let cascade t w =
   t.cursor <- cascade_target t w;
-  clear_bit t (w lsr 8) (w land 0xff);
+  let u = w - l0_slots in
+  clear_bit_up t ((u lsr 8) + 1) (u land 0xff);
   drain_replace t t.slots.(w)
 
 let rec migrate_overflow t =
@@ -215,9 +286,16 @@ let jump t m =
    all lower bounds on the remaining events, so the cursor also never
    overtakes a pending event. *)
 let rec next_before t ~until =
-  if t.occ.(0) > 0 then begin
+  if t.ready >= 0 then begin
+    (* fastest path: the lowest occupied level-0 slot is cached from the
+       previous scan, no bitmap work at all *)
+    let tn = t.slots.(t.ready).next.time in
+    if tn > until then max_int else tn
+  end
+  else if t.super0 <> 0 then begin
     (* fast path: level-0 events are globally earliest, and exact *)
-    let d0 = first_from t.bitmap 0 (t.l0from lsr 5) in
+    let d0 = first_digit0 t in
+    t.ready <- d0;
     let tn = t.slots.(d0).next.time in
     if tn > until then max_int else tn
   end
@@ -235,17 +313,20 @@ let rec next_before t ~until =
 let next_time t = next_before t ~until:max_int
 
 let pop_exn t =
-  if t.occ.(0) = 0 && next_time t = max_int then
+  (* [next_time]'s fast path caches the ready slot whenever level 0 is
+     (or becomes, after cascading) occupied, so a cold call both advances
+     the structure and fills [ready]; steady-state pops are pure O(1)
+     slot drains with no bitmap scan. *)
+  if t.ready < 0 && next_time t = max_int then
     invalid_arg "Timer_wheel.pop_exn: empty";
-  let s = first_from t.bitmap 0 (t.l0from lsr 5) in
+  let s = t.ready in
   let sent = t.slots.(s) in
   let n = sent.next in
   unlink n;
   if sent.next == sent then begin
-    clear_bit t 0 s;
-    t.l0from <- s + 1
-  end
-  else t.l0from <- s;
+    clear_bit0 t s;
+    t.ready <- -1
+  end;
   t.cursor <- n.time;
   t.count <- t.count - 1;
   n.where <- -2;
@@ -256,6 +337,37 @@ let pop_exn t =
     t.pool <- n
   end;
   v
+
+(* The drain loop is a toplevel recursive function with an int
+   accumulator, not a local closure over a counter ref: both would
+   allocate per batch, and batches are usually size 1. *)
+let rec drain_loop t sent s k f =
+  let n = sent.next in
+  if n == sent then k
+  else begin
+    unlink n;
+    if sent.next == sent then begin
+      clear_bit0 t s;
+      t.ready <- -1
+    end;
+    t.count <- t.count - 1;
+    n.where <- -2;
+    let v = n.value in
+    if n.pooled then begin
+      n.value <- t.dummy;
+      n.next <- t.pool;
+      t.pool <- n
+    end;
+    f v;
+    drain_loop t sent s (k + 1) f
+  end
+
+let drain_ready t f =
+  let s = t.ready in
+  if s < 0 then invalid_arg "Timer_wheel.drain_ready: no ready slot";
+  let sent = t.slots.(s) in
+  t.cursor <- sent.next.time;
+  drain_loop t sent s 0 f
 
 let add t ~time ~seq v =
   let time = if time < t.cursor then t.cursor else time in
@@ -291,7 +403,18 @@ let cancel t n =
     let w = n.where in
     unlink n;
     let sent = t.slots.(w) in
-    if sent.next == sent then clear_bit t (w lsr 8) (w land 0xff);
+    if sent.next == sent then begin
+      if w < l0_slots then begin
+        clear_bit0 t w;
+        (* emptied the cached ready slot: cache is stale, recompute lazily
+           (a cancel below [ready] is impossible — [ready] is the minimum) *)
+        if w = t.ready then t.ready <- -1
+      end
+      else begin
+        let u = w - l0_slots in
+        clear_bit_up t ((u lsr 8) + 1) (u land 0xff)
+      end
+    end;
     n.where <- -2;
     t.count <- t.count - 1
   end

@@ -7,11 +7,14 @@
     exists — {e cancellation}, which is O(1) instead of a tombstone
     dispatch.
 
-    Layout is the classic Linux timer wheel: 4 levels of 256 slots (8 bits
-    per level, 2^32 horizon) with sentinel-headed intrusive lists, per-level
+    Layout is a Linux-style hierarchical wheel with a deliberately wide
+    bottom: 4096 level-0 slots (bits 0-11) plus three upper levels of 256
+    slots (2^36 horizon), sentinel-headed intrusive lists, hierarchical
     occupancy bitmaps, and an overflow binary heap for events beyond the
-    horizon.  One-shot nodes are pooled, so steady-state [add]/[pop_exn]
-    does not allocate.
+    horizon.  Simulator deltas are overwhelmingly sub-4-microsecond, so
+    the wide level 0 makes most inserts direct-indexed and most pops
+    cascade-free.  One-shot nodes are pooled, so steady-state
+    [add]/[pop_exn]/[drain_ready] does not allocate.
 
     The one contract the caller must respect: times passed to {!add} and
     {!arm} must be >= the time of the last popped event (they are clamped
@@ -50,6 +53,19 @@ val next_before : 'a t -> until:int -> int
 (** Remove and return the payload of the earliest [(time, seq)] event.
     Raises [Invalid_argument] when empty. *)
 val pop_exn : 'a t -> 'a
+
+(** [drain_ready t f] — batched expiry: dispatch {e every} event in the
+    current minimum level-0 slot (they all share one exact time) in FIFO
+    order, calling [f] on each payload as it is removed, and return the
+    number dispatched.  Equivalent to, but cheaper than, a [pop_exn] loop:
+    the slot scan and ready-cache bookkeeping run once per slot instead of
+    once per event.  Callbacks may insert and cancel freely — same-time
+    inserts land at the slot tail and are picked up by the same drain
+    (FIFO by [seq]), and cancelled events are skipped, because nodes stay
+    linked until the moment they are dispatched.  Must be called
+    immediately after {!next_before}/{!next_time} returned a real time;
+    raises [Invalid_argument] otherwise. *)
+val drain_ready : 'a t -> ('a -> unit) -> int
 
 (** [make_timer t v] allocates a detached reusable cell carrying [v].
     Armed cells pop exactly like {!add}ed events. *)

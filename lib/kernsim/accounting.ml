@@ -1,8 +1,17 @@
+(* Resolved handles for one group: callers on hot paths (the machine's
+   per-segment accounting) resolve once and skip the string hash. [reset]
+   clears cell contents in place, so cached handles stay live across
+   metric-window resets. *)
+type cells = { c_busy : int ref; c_wake : Stats.Histogram.t }
+
 type t = {
   wakeup : Stats.Histogram.t;
   wakeup_by_group : (string, Stats.Histogram.t) Hashtbl.t;
   busy_cpu : int array;
   busy_group : (string, int ref) Hashtbl.t;
+  (* one record per group, interned: repeated [cells] resolutions return
+     the same block instead of allocating a fresh pair of handles *)
+  cells_by_group : (string, cells) Hashtbl.t;
   mutable schedules : int;
   mutable migrations : int;
   mutable pick_violations : int;
@@ -15,36 +24,40 @@ let create ~nr_cpus =
     wakeup_by_group = Hashtbl.create 16;
     busy_cpu = Array.make nr_cpus 0;
     busy_group = Hashtbl.create 16;
+    cells_by_group = Hashtbl.create 16;
     schedules = 0;
     migrations = 0;
     pick_violations = 0;
     context_switches = 0;
   }
 
-(* Resolved handles for one group: callers on hot paths (the machine's
-   per-segment accounting) resolve once and skip the string hash. [reset]
-   clears cell contents in place, so cached handles stay live across
-   metric-window resets. *)
-type cells = { c_busy : int ref; c_wake : Stats.Histogram.t }
+(* Detached handles recording nowhere visible: the machine's group memo
+   starts out pointing here so the hot path never matches an option. *)
+let null_cells () = { c_busy = ref 0; c_wake = Stats.Histogram.create () }
 
 let cells t ~group =
-  let c_busy =
-    match Hashtbl.find_opt t.busy_group group with
-    | Some r -> r
-    | None ->
-      let r = ref 0 in
-      Hashtbl.add t.busy_group group r;
-      r
-  in
-  let c_wake =
-    match Hashtbl.find_opt t.wakeup_by_group group with
-    | Some h -> h
-    | None ->
-      let h = Stats.Histogram.create () in
-      Hashtbl.add t.wakeup_by_group group h;
-      h
-  in
-  { c_busy; c_wake }
+  match Hashtbl.find_opt t.cells_by_group group with
+  | Some c -> c
+  | None ->
+    let c_busy =
+      match Hashtbl.find_opt t.busy_group group with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add t.busy_group group r;
+        r
+    in
+    let c_wake =
+      match Hashtbl.find_opt t.wakeup_by_group group with
+      | Some h -> h
+      | None ->
+        let h = Stats.Histogram.create () in
+        Hashtbl.add t.wakeup_by_group group h;
+        h
+    in
+    let c = { c_busy; c_wake } in
+    Hashtbl.add t.cells_by_group group c;
+    c
 
 let record_wakeup_fast t c lat =
   Stats.Histogram.record t.wakeup lat;

@@ -19,6 +19,11 @@ type cells
 
 val cells : t -> group:string -> cells
 
+(** A detached handle attached to no accounting instance: what memo fields
+    point at before their first hit, so hot paths never match an option.
+    Records into it are lost by design. *)
+val null_cells : unit -> cells
+
 val record_wakeup_fast : t -> cells -> Time.ns -> unit
 
 val add_busy_fast : t -> cells -> cpu:int -> Time.ns -> unit

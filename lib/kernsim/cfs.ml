@@ -32,91 +32,151 @@ let weight_of_nice nice =
   let nice = max (-20) (min 19 nice) in
   prio_to_weight.(nice + 20)
 
-(* Runqueue keys order by (vruntime, pid); the pid tiebreak keeps equal
-   vruntimes deterministic. *)
-module Key = struct
-  type t = int * int
-
-  let compare (v1, p1) (v2, p2) =
-    match Int.compare v1 v2 with 0 -> Int.compare p1 p2 | c -> c
-end
-
-module Rq_tree = Ds.Rbtree.Make (Key)
-
-type ent = {
-  pid : int;
-  mutable vruntime : int;
-  mutable weight : int;
-  mutable on_rq : bool; (* present in some cpu's tree *)
-  mutable rq_cpu : int;
-  mutable last_sum_exec : Time.ns; (* checkpoint for vruntime deltas *)
-  mutable slice_start_exec : Time.ns; (* sum_exec when last dispatched *)
-}
-
+(* Per-cpu run-queue: an inline binary min-heap of pids ordered by
+   (vruntime, pid).  The pid tiebreak keeps equal vruntimes deterministic
+   and makes the order total, so the heap minimum coincides with the old
+   red-black tree's min binding.  [curr] is -1 when no CFS task is
+   dispatched on the cpu. *)
 type cfs_rq = {
-  mutable tree : unit Rq_tree.t;
+  mutable heap : int array;
+  mutable hlen : int;
   mutable min_vruntime : int;
-  mutable load_waiting : int; (* sum of weights in the tree *)
-  mutable curr : int option; (* pid of the dispatched CFS task, if any *)
+  mutable load_waiting : int; (* sum of weights in the heap *)
+  mutable curr : int; (* pid of the dispatched CFS task, -1 = none *)
 }
 
+(* Scheduling state lives in parallel pid-indexed int arrays rather than a
+   record per task: machine pids are handed out contiguously, so every
+   entity access on the pick/tick/dequeue hot paths is a bounds check plus
+   an unboxed array load, and adopting a task allocates nothing. *)
 type t = {
   ops : Sched_class.kernel_ops;
   params : params;
   rqs : cfs_rq array;
-  (* Dense pid-indexed views of the adopted tasks: machine pids are handed
-     out contiguously, so a bounds check plus an array load replaces the
-     hash of every entity lookup on the pick/tick/dequeue hot paths. *)
-  mutable ents : ent option array;
+  (* waiting tasks across every rq: lets [balance] prove "nothing to pull
+     anywhere" in O(1) instead of walking the topology's cpu lists on every
+     schedule operation (pullable is 0 wherever nr_waiting is 0) *)
+  mutable nr_waiting_total : int;
+  mutable present : bool array; (* pid adopted by this class *)
+  mutable vruntime : int array;
+  mutable weight : int array;
+  mutable pos : int array; (* pid -> index in its rq's heap, -1 = not queued *)
+  mutable rq_cpu : int array;
+  mutable last_sum_exec : int array; (* checkpoint for vruntime deltas *)
+  mutable slice_start_exec : int array; (* sum_exec when last dispatched *)
   mutable tasks : Task.t option array; (* pid -> task_struct view *)
-  mutable last_periodic_check : Time.ns;
 }
 
-let find_ent t pid =
-  if pid >= 0 && pid < Array.length t.ents then Array.unsafe_get t.ents pid else None
+let has_ent t pid = pid >= 0 && pid < Array.length t.present && t.present.(pid)
 
 let find_ctask t pid =
   if pid >= 0 && pid < Array.length t.tasks then Array.unsafe_get t.tasks pid else None
 
 let ensure_cap t pid =
-  if pid >= Array.length t.ents then begin
-    let n = max (pid + 1) (2 * Array.length t.ents) in
-    let ents = Array.make n None in
-    Array.blit t.ents 0 ents 0 (Array.length t.ents);
-    t.ents <- ents;
-    let tasks = Array.make n None in
-    Array.blit t.tasks 0 tasks 0 (Array.length t.tasks);
-    t.tasks <- tasks
+  if pid >= Array.length t.present then begin
+    let n = max (pid + 1) (2 * Array.length t.present) in
+    let grow src fill =
+      let dst = Array.make n fill in
+      Array.blit src 0 dst 0 (Array.length src);
+      dst
+    in
+    t.present <- grow t.present false;
+    t.vruntime <- grow t.vruntime 0;
+    t.weight <- grow t.weight 0;
+    t.pos <- grow t.pos (-1);
+    t.rq_cpu <- grow t.rq_cpu 0;
+    t.last_sum_exec <- grow t.last_sum_exec 0;
+    t.slice_start_exec <- grow t.slice_start_exec 0;
+    t.tasks <- grow t.tasks None
   end
 
-let ent_of t (task : Task.t) =
-  match find_ent t task.pid with
-  | Some e -> e
-  | None ->
-    let e =
-      {
-        pid = task.pid;
-        vruntime = 0;
-        weight = weight_of_nice task.nice;
-        on_rq = false;
-        rq_cpu = 0;
-        last_sum_exec = 0;
-        slice_start_exec = 0;
-      }
-    in
-    ensure_cap t task.pid;
-    t.ents.(task.pid) <- Some e;
-    t.tasks.(task.pid) <- Some task;
-    e
+let ensure_ent t (task : Task.t) =
+  ensure_cap t task.pid;
+  if not t.present.(task.pid) then begin
+    let pid = task.pid in
+    t.present.(pid) <- true;
+    t.vruntime.(pid) <- 0;
+    t.weight.(pid) <- weight_of_nice task.nice;
+    t.pos.(pid) <- -1;
+    t.rq_cpu.(pid) <- 0;
+    t.last_sum_exec.(pid) <- 0;
+    t.slice_start_exec.(pid) <- 0;
+    t.tasks.(pid) <- Some task
+  end
 
-let curr_weight t rq =
-  match rq.curr with
-  | None -> 0
-  | Some pid -> ( match find_ent t pid with Some e -> e.weight | None -> 0)
+(* ---------- heap primitives ---------- *)
 
-let nr_waiting rq = Rq_tree.cardinal rq.tree
+(* strict (vruntime, pid) order; pids are unique so this is total *)
+let ent_lt t p q =
+  let vp = t.vruntime.(p) and vq = t.vruntime.(q) in
+  vp < vq || (vp = vq && p < q)
 
-let nr_running rq = nr_waiting rq + if rq.curr = None then 0 else 1
+let rec sift_up t rq i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let pi = rq.heap.(i) and pp = rq.heap.(parent) in
+    if ent_lt t pi pp then begin
+      rq.heap.(i) <- pp;
+      rq.heap.(parent) <- pi;
+      t.pos.(pp) <- i;
+      t.pos.(pi) <- parent;
+      sift_up t rq parent
+    end
+  end
+
+let rec sift_down t rq i =
+  let l = (2 * i) + 1 in
+  if l < rq.hlen then begin
+    let r = l + 1 in
+    let m = if r < rq.hlen && ent_lt t rq.heap.(r) rq.heap.(l) then r else l in
+    if ent_lt t rq.heap.(m) rq.heap.(i) then begin
+      let a = rq.heap.(i) and b = rq.heap.(m) in
+      rq.heap.(i) <- b;
+      rq.heap.(m) <- a;
+      t.pos.(b) <- i;
+      t.pos.(a) <- m;
+      sift_down t rq m
+    end
+  end
+
+let rq_insert t rq pid =
+  if rq.hlen = Array.length rq.heap then begin
+    let bigger = Array.make (2 * max 4 rq.hlen) (-1) in
+    Array.blit rq.heap 0 bigger 0 rq.hlen;
+    rq.heap <- bigger
+  end;
+  rq.heap.(rq.hlen) <- pid;
+  t.pos.(pid) <- rq.hlen;
+  rq.hlen <- rq.hlen + 1;
+  rq.load_waiting <- rq.load_waiting + t.weight.(pid);
+  t.nr_waiting_total <- t.nr_waiting_total + 1;
+  sift_up t rq (rq.hlen - 1)
+
+(* no-op when the pid is not queued, like the old on_rq-guarded removal *)
+let rq_remove t rq pid =
+  let i = t.pos.(pid) in
+  if i >= 0 then begin
+    rq.load_waiting <- rq.load_waiting - t.weight.(pid);
+    t.nr_waiting_total <- t.nr_waiting_total - 1;
+    t.pos.(pid) <- -1;
+    let last = rq.hlen - 1 in
+    rq.hlen <- last;
+    if i <> last then begin
+      let moved = rq.heap.(last) in
+      rq.heap.(i) <- moved;
+      t.pos.(moved) <- i;
+      sift_up t rq i;
+      if t.pos.(moved) = i then sift_down t rq i
+    end
+  end
+
+(* ---------- accounting ---------- *)
+
+let curr_weight t rq = if rq.curr >= 0 && has_ent t rq.curr then t.weight.(rq.curr) else 0
+
+let nr_waiting rq = rq.hlen
+
+let nr_running rq = rq.hlen + if rq.curr < 0 then 0 else 1
 
 let rq_load t rq = rq.load_waiting + curr_weight t rq
 
@@ -125,45 +185,31 @@ let calc_delta_fair delta weight = delta * nice_0_load / max 1 weight
 
 let update_min_vruntime t rq =
   let candidate =
-    match Rq_tree.min_binding_opt rq.tree with
-    | Some ((v, _), ()) -> (
-      match rq.curr with
-      | Some pid -> (
-        match find_ent t pid with Some e -> min v e.vruntime | None -> v)
-      | None -> v)
-    | None -> (
-      match rq.curr with
-      | Some pid -> (
-        match find_ent t pid with Some e -> e.vruntime | None -> rq.min_vruntime)
-      | None -> rq.min_vruntime)
+    if rq.hlen > 0 then begin
+      let v = t.vruntime.(rq.heap.(0)) in
+      if rq.curr >= 0 && has_ent t rq.curr then min v t.vruntime.(rq.curr) else v
+    end
+    else if rq.curr >= 0 && has_ent t rq.curr then t.vruntime.(rq.curr)
+    else rq.min_vruntime
   in
   if candidate > rq.min_vruntime then rq.min_vruntime <- candidate
 
 (* Fold freshly consumed cpu time (tracked by the kernel in sum_exec) into
-   the entity's vruntime. *)
+   the entity's vruntime.  Only ever called on the descheduling/running
+   task, which pick removed from the heap — vruntime is never mutated while
+   the pid is queued, the same discipline the tree's immutable keys forced. *)
 let update_curr t rq (task : Task.t) =
-  let e = ent_of t task in
-  let delta = task.sum_exec - e.last_sum_exec in
+  ensure_ent t task;
+  let pid = task.pid in
+  let delta = task.sum_exec - t.last_sum_exec.(pid) in
   if delta > 0 then begin
-    e.last_sum_exec <- task.sum_exec;
-    e.vruntime <- e.vruntime + calc_delta_fair delta e.weight;
+    t.last_sum_exec.(pid) <- task.sum_exec;
+    t.vruntime.(pid) <- t.vruntime.(pid) + calc_delta_fair delta t.weight.(pid);
     update_min_vruntime t rq
   end
 
-let tree_insert rq (e : ent) =
-  rq.tree <- Rq_tree.add (e.vruntime, e.pid) () rq.tree;
-  rq.load_waiting <- rq.load_waiting + e.weight;
-  e.on_rq <- true
-
-let tree_remove rq (e : ent) =
-  if e.on_rq then begin
-    rq.tree <- Rq_tree.remove (e.vruntime, e.pid) rq.tree;
-    rq.load_waiting <- rq.load_waiting - e.weight;
-    e.on_rq <- false
-  end
-
 (* CFS slice: the share of one latency period this entity is owed. *)
-let sched_slice t rq (e : ent) =
+let sched_slice t rq pid =
   let nr = max 1 (nr_running rq) in
   let period =
     if nr > t.params.sched_latency / t.params.min_granularity then
@@ -171,18 +217,19 @@ let sched_slice t rq (e : ent) =
     else t.params.sched_latency
   in
   let load = max 1 (rq_load t rq) in
-  max t.params.min_granularity (period * e.weight / load)
+  max t.params.min_granularity (period * t.weight.(pid) / load)
 
-let place_entity t rq (e : ent) ~newly_woken =
+let place_entity t rq pid ~newly_woken =
   let floor_v =
-    if newly_woken then rq.min_vruntime - calc_delta_fair (t.params.sched_latency / 2) e.weight
+    if newly_woken then
+      rq.min_vruntime - calc_delta_fair (t.params.sched_latency / 2) t.weight.(pid)
     else rq.min_vruntime
   in
-  if e.vruntime < floor_v then e.vruntime <- floor_v;
+  if t.vruntime.(pid) < floor_v then t.vruntime.(pid) <- floor_v;
   (* also bound the deficit: queues whose min_vruntime raced ahead (e.g.
      under a lone low-weight task) must not exile this entity for seconds *)
   let ceiling = rq.min_vruntime + t.params.sched_latency in
-  if e.vruntime > ceiling then e.vruntime <- ceiling
+  if t.vruntime.(pid) > ceiling then t.vruntime.(pid) <- ceiling
 
 (* ---------- placement ---------- *)
 
@@ -190,61 +237,66 @@ let allowed (task : Task.t) cpu = Task.allowed_cpu task cpu
 
 let rec find_idle_in t (task : Task.t) cpus =
   match cpus with
-  | [] -> None
+  | [] -> -1
   | c :: tl ->
-    if
-      allowed task c && t.ops.cpu_is_idle c && t.rqs.(c).curr = None
-      && nr_waiting t.rqs.(c) = 0
-    then Some c
+    if allowed task c && t.ops.cpu_is_idle c && t.rqs.(c).curr < 0 && t.rqs.(c).hlen = 0
+    then c
     else find_idle_in t task tl
 
 (* weight-based, like find_idlest_cpu: a cpu running only nice-19 batch
    work is much less loaded than one stacked with high-priority tasks *)
 let least_loaded t (task : Task.t) =
-  let best = ref None in
+  let best_c = ref (-1) in
+  let best_l = ref max_int in
   for c = 0 to t.ops.nr_cpus - 1 do
     if allowed task c then begin
       let load = rq_load t t.rqs.(c) in
-      match !best with
-      | Some (_, l) when l <= load -> ()
-      | _ -> best := Some (c, load)
+      if !best_c < 0 || load < !best_l then begin
+        best_c := c;
+        best_l := load
+      end
     end
   done;
-  match !best with Some (c, _) -> c | None -> task.cpu
+  if !best_c >= 0 then !best_c else task.cpu
 
 let select_task_rq t (task : Task.t) ~waker_cpu =
   let prev = task.cpu in
   let topo = t.ops.topology in
   if allowed task prev && t.ops.cpu_is_idle prev && nr_waiting t.rqs.(prev) = 0 then prev
-  else
-    match find_idle_in t task (Topology.llc_cpus topo prev) with
-    | Some c -> c
-    | None -> (
-      match find_idle_in t task (Topology.node_cpus topo prev) with
-      | Some c -> c
-      | None -> (
+  else begin
+    let c = find_idle_in t task (Topology.llc_cpus topo prev) in
+    if c >= 0 then c
+    else begin
+      let c = find_idle_in t task (Topology.node_cpus topo prev) in
+      if c >= 0 then c
+      else begin
         (* consider the waker's side of the machine before a full scan *)
-        match find_idle_in t task (Topology.node_cpus topo waker_cpu) with
-        | Some c -> c
-        | None -> (
-          match find_idle_in t task (Topology.all_cpus topo) with
-          | Some c -> c
-          | None -> least_loaded t task)))
+        let c = find_idle_in t task (Topology.node_cpus topo waker_cpu) in
+        if c >= 0 then c
+        else begin
+          let c = find_idle_in t task (Topology.all_cpus topo) in
+          if c >= 0 then c else least_loaded t task
+        end
+      end
+    end
+  end
 
 (* ---------- balancing ---------- *)
 
-(* A pullable waiting task on [from]'s tree, preferring the one that would
-   run last (largest vruntime), that may run on [to_cpu]. *)
+(* A pullable waiting task on [from]'s heap, preferring the one that would
+   run last (largest (vruntime, pid)), that may run on [to_cpu].  The heap
+   is scanned out of order; taking the maximum key reproduces exactly the
+   keep-last fold over the old tree's in-order iteration. *)
 let steal_candidate t ~from ~to_cpu =
   let rq = t.rqs.(from) in
-  let found = ref None in
-  Rq_tree.iter
-    (fun (_, pid) () ->
-      match find_ctask t pid with
-      | Some task when allowed task to_cpu -> found := Some pid (* keep last = largest *)
-      | Some _ | None -> ())
-    rq.tree;
-  !found
+  let best = ref (-1) in
+  for i = 0 to rq.hlen - 1 do
+    let pid = rq.heap.(i) in
+    match find_ctask t pid with
+    | Some task when allowed task to_cpu -> if !best < 0 || ent_lt t !best pid then best := pid
+    | Some _ | None -> ()
+  done;
+  !best
 
 (* Only run-queues that cannot drain themselves promptly are eligible
    sources: something running plus waiters, or several waiters.  An idle
@@ -253,13 +305,14 @@ let steal_candidate t ~from ~to_cpu =
 let pullable t c =
   let rq = t.rqs.(c) in
   let w = nr_waiting rq in
-  if rq.curr <> None then w else if w >= 2 then w else 0
+  if rq.curr >= 0 then w else if w >= 2 then w else 0
 
 (* First maximum wins, matching the old fold; toplevel recursion so the
-   per-schedule balance scan allocates nothing but its final result. *)
+   per-schedule balance scan allocates nothing at all (callers recompute
+   [pullable] from the returned cpu instead of receiving a tuple). *)
 let rec busiest_from t ~excluding cs best_c best_w =
   match cs with
-  | [] -> if best_w > 0 then Some (best_c, best_w) else None
+  | [] -> if best_w > 0 then best_c else -1
   | c :: tl ->
     if c <> excluding then begin
       let w = pullable t c in
@@ -270,75 +323,75 @@ let rec busiest_from t ~excluding cs best_c best_w =
 
 let busiest_cpu t ~among ~excluding = busiest_from t ~excluding among (-1) 0
 
-let balance t ~cpu =
-  let rq = t.rqs.(cpu) in
+(* [pullable src] is pure, so recomputing it here sees exactly the value
+   the busiest scan compared.  Toplevel, not closures inside [balance]:
+   balance runs on every schedule operation and must not allocate. *)
+let try_pull t src ~to_cpu ~here ~threshold =
+  if src >= 0 && pullable t src >= here + threshold then
+    steal_candidate t ~from:src ~to_cpu
+  else -1
+
+let remote_pull t ~cpu ~here =
+  try_pull t
+    (busiest_cpu t ~among:(Topology.all_cpus t.ops.topology) ~excluding:cpu)
+    ~to_cpu:cpu ~here ~threshold:t.params.numa_imbalance_threshold
+
+let balance_scan t ~cpu rq =
   let topo = t.ops.topology in
   let here = nr_running rq in
   let local = busiest_cpu t ~among:(Topology.node_cpus topo cpu) ~excluding:cpu in
-  let remote () = busiest_cpu t ~among:(Topology.all_cpus topo) ~excluding:cpu in
-  let try_pull (src, waiting) ~threshold =
-    if waiting >= here + threshold then steal_candidate t ~from:src ~to_cpu:cpu else None
-  in
-  match local with
-  | Some src -> (
+  if local >= 0 then begin
     (* newidle: pull whenever someone local is waiting and we are idle;
        periodic: pull only past an imbalance of 2 *)
     let threshold = if here = 0 then 1 else 2 in
-    match try_pull src ~threshold with
-    | Some pid -> Some pid
-    | None ->
-      if here = 0 then
-        match remote () with
-        | Some src -> try_pull src ~threshold:t.params.numa_imbalance_threshold
-        | None -> None
-      else None)
-  | None ->
-    if here = 0 then
-      match remote () with
-      | Some src -> try_pull src ~threshold:t.params.numa_imbalance_threshold
-      | None -> None
-    else None
+    let pid = try_pull t local ~to_cpu:cpu ~here ~threshold in
+    if pid >= 0 then pid else if here = 0 then remote_pull t ~cpu ~here else -1
+  end
+  else if here = 0 then remote_pull t ~cpu ~here
+  else -1
+
+let balance t ~cpu =
+  let rq = t.rqs.(cpu) in
+  (* no waiter anywhere but here => pullable is 0 on every other cpu and
+     both busiest scans would come back empty; prove it in O(1) *)
+  if t.nr_waiting_total - rq.hlen = 0 then -1 else balance_scan t ~cpu rq
 
 (* ---------- hooks ---------- *)
 
 let task_new t (task : Task.t) ~cpu =
-  let e = ent_of t task in
-  e.weight <- weight_of_nice task.nice;
-  e.rq_cpu <- cpu;
+  ensure_ent t task;
+  let pid = task.pid in
+  t.weight.(pid) <- weight_of_nice task.nice;
+  t.rq_cpu.(pid) <- cpu;
   let rq = t.rqs.(cpu) in
-  e.vruntime <- rq.min_vruntime;
-  e.last_sum_exec <- task.sum_exec;
-  tree_insert rq e
+  t.vruntime.(pid) <- rq.min_vruntime;
+  t.last_sum_exec.(pid) <- task.sum_exec;
+  rq_insert t rq pid
 
 let task_wakeup t (task : Task.t) ~cpu ~waker_cpu =
   ignore waker_cpu;
-  let e = ent_of t task in
+  ensure_ent t task;
+  let pid = task.pid in
   let rq = t.rqs.(cpu) in
-  e.rq_cpu <- cpu;
-  place_entity t rq e ~newly_woken:true;
-  tree_insert rq e;
-  (* wakeup preemption *)
-  match rq.curr with
-  | Some curr_pid -> (
-    match find_ent t curr_pid with
-    | Some curr_e ->
-      (* granularity scales with the woken entity's weight, as in
-         wakeup_gran(): heavy (high-priority) wakers preempt sooner *)
-      let gran = calc_delta_fair t.params.wakeup_granularity e.weight in
-      if e.vruntime + gran < curr_e.vruntime then t.ops.resched_cpu cpu
-    | None -> ())
-  | None -> ()
+  t.rq_cpu.(pid) <- cpu;
+  place_entity t rq pid ~newly_woken:true;
+  rq_insert t rq pid;
+  (* wakeup preemption: granularity scales with the woken entity's weight,
+     as in wakeup_gran() — heavy (high-priority) wakers preempt sooner *)
+  if rq.curr >= 0 && has_ent t rq.curr then begin
+    let gran = calc_delta_fair t.params.wakeup_granularity t.weight.(pid) in
+    if t.vruntime.(pid) + gran < t.vruntime.(rq.curr) then t.ops.resched_cpu cpu
+  end
 
 let dequeue_running t (task : Task.t) ~cpu =
   let rq = t.rqs.(cpu) in
   update_curr t rq task;
-  if rq.curr = Some task.pid then rq.curr <- None
-  else tree_remove rq (ent_of t task)
+  if rq.curr = task.pid then rq.curr <- -1 else rq_remove t rq task.pid
 
 let task_blocked t (task : Task.t) ~cpu = dequeue_running t task ~cpu
 
 let forget t pid =
-  t.ents.(pid) <- None;
+  t.present.(pid) <- false;
   t.tasks.(pid) <- None
 
 let task_dead t (task : Task.t) ~cpu =
@@ -346,20 +399,19 @@ let task_dead t (task : Task.t) ~cpu =
   forget t task.pid
 
 let task_departed t (task : Task.t) ~cpu =
-  match find_ent t task.pid with
-  | None -> ()
-  | Some _ ->
+  if has_ent t task.pid then begin
     (if Task.is_runnable task then dequeue_running t task ~cpu);
     forget t task.pid
+  end
 
 let requeue_preempted t (task : Task.t) ~cpu =
   let rq = t.rqs.(cpu) in
   update_curr t rq task;
-  let e = ent_of t task in
-  if rq.curr = Some task.pid then rq.curr <- None;
-  if not e.on_rq then begin
-    e.rq_cpu <- cpu;
-    tree_insert rq e
+  let pid = task.pid in
+  if rq.curr = pid then rq.curr <- -1;
+  if t.pos.(pid) < 0 then begin
+    t.rq_cpu.(pid) <- cpu;
+    rq_insert t rq pid
   end
 
 let task_preempt t (task : Task.t) ~cpu = requeue_preempted t task ~cpu
@@ -368,109 +420,135 @@ let task_yield t (task : Task.t) ~cpu = requeue_preempted t task ~cpu
 
 let pick_next_task t ~cpu =
   let rq = t.rqs.(cpu) in
-  match Rq_tree.min_binding_opt rq.tree with
-  | None -> None
-  | Some ((_, pid), ()) -> (
-    match find_ent t pid with
-    | None -> None
-    | Some e ->
-      tree_remove rq e;
-      rq.curr <- Some pid;
+  if rq.hlen = 0 then -1
+  else begin
+    let pid = rq.heap.(0) in
+    if not (has_ent t pid) then -1
+    else begin
+      rq_remove t rq pid;
+      rq.curr <- pid;
       (match find_ctask t pid with
       | Some task ->
-        e.last_sum_exec <- task.sum_exec;
-        e.slice_start_exec <- task.sum_exec
+        t.last_sum_exec.(pid) <- task.sum_exec;
+        t.slice_start_exec.(pid) <- task.sum_exec
       | None -> ());
-      Some pid)
+      pid
+    end
+  end
 
 let task_tick t ~cpu ~queued =
   ignore queued;
   let rq = t.rqs.(cpu) in
-  (match rq.curr with
-  | Some pid -> (
-    match (find_ctask t pid, find_ent t pid) with
-    | Some task, Some e ->
-      update_curr t rq task;
-      if nr_waiting rq > 0 then begin
-        let ran = task.sum_exec - e.slice_start_exec in
-        if ran >= sched_slice t rq e then t.ops.resched_cpu cpu
-      end
-    | _ -> ())
-  | None -> ());
+  (if rq.curr >= 0 then begin
+     let pid = rq.curr in
+     match find_ctask t pid with
+     | Some task when has_ent t pid ->
+       update_curr t rq task;
+       if nr_waiting rq > 0 then begin
+         let ran = task.sum_exec - t.slice_start_exec.(pid) in
+         if ran >= sched_slice t rq pid then t.ops.resched_cpu cpu
+       end
+     | Some _ | None -> ()
+   end);
   (* periodic balancing: a busy cpu observing a big enough imbalance asks
      itself to reschedule, which runs the balance hook *)
-  if rq.curr <> None then begin
+  if rq.curr >= 0 && t.nr_waiting_total - rq.hlen > 0 then begin
     let here = nr_running rq in
     let topo = t.ops.topology in
-    match busiest_cpu t ~among:(Topology.node_cpus topo cpu) ~excluding:cpu with
-    | Some (_, w) when w >= here + 2 -> t.ops.resched_cpu cpu
-    | Some _ | None -> ()
+    let b = busiest_cpu t ~among:(Topology.node_cpus topo cpu) ~excluding:cpu in
+    if b >= 0 && pullable t b >= here + 2 then t.ops.resched_cpu cpu
   end
 
 let migrate_task_rq t (task : Task.t) ~from_cpu ~to_cpu =
-  let e = ent_of t task in
+  ensure_ent t task;
+  let pid = task.pid in
   let from_rq = t.rqs.(from_cpu) and to_rq = t.rqs.(to_cpu) in
-  if from_rq.curr = Some task.pid then from_rq.curr <- None;
-  tree_remove from_rq e;
+  if from_rq.curr = pid then from_rq.curr <- -1;
+  rq_remove t from_rq pid;
   (* renormalize vruntime relative to the destination queue, carrying at
      most one latency period of credit or debt: min_vruntime diverges wildly
      between queues dominated by different weights, and letting the raw
      offset travel can exile a task behind a low-weight hog for seconds *)
   let cap = t.params.sched_latency in
-  let offset = max (-cap) (min cap (e.vruntime - from_rq.min_vruntime)) in
-  e.vruntime <- to_rq.min_vruntime + offset;
-  e.rq_cpu <- to_cpu;
-  if Task.is_runnable task && task.state <> Task.Running then tree_insert to_rq e
+  let offset = max (-cap) (min cap (t.vruntime.(pid) - from_rq.min_vruntime)) in
+  t.vruntime.(pid) <- to_rq.min_vruntime + offset;
+  t.rq_cpu.(pid) <- to_cpu;
+  if Task.is_runnable task && task.state <> Task.Running then rq_insert t to_rq pid
 
 let task_prio_changed t (task : Task.t) =
-  let e = ent_of t task in
-  let rq = t.rqs.(e.rq_cpu) in
-  if e.on_rq then begin
-    tree_remove rq e;
-    e.weight <- weight_of_nice task.nice;
-    tree_insert rq e
+  ensure_ent t task;
+  let pid = task.pid in
+  if t.pos.(pid) >= 0 then begin
+    let rq = t.rqs.(t.rq_cpu.(pid)) in
+    rq_remove t rq pid;
+    t.weight.(pid) <- weight_of_nice task.nice;
+    rq_insert t rq pid
   end
-  else e.weight <- weight_of_nice task.nice
+  else t.weight.(pid) <- weight_of_nice task.nice
 
 (* Internal consistency check used by tests and while debugging: every
-   runnable, non-running task must sit in exactly the tree of its run-queue
-   under its current key. *)
+   runnable, non-running task must sit in exactly the heap of its run-queue
+   at its recorded position, and each heap must satisfy the (vruntime, pid)
+   min-heap order. *)
 let check_consistency t ~hook =
+  let total = Array.fold_left (fun acc rq -> acc + rq.hlen) 0 t.rqs in
+  if total <> t.nr_waiting_total then
+    failwith
+      (Printf.sprintf "cfs[%s]: nr_waiting_total=%d but heaps hold %d" hook
+         t.nr_waiting_total total);
+  Array.iteri
+    (fun cpu rq ->
+      for i = 0 to rq.hlen - 1 do
+        let pid = rq.heap.(i) in
+        if t.pos.(pid) <> i then
+          failwith
+            (Printf.sprintf "cfs[%s]: cpu %d heap slot %d holds pid %d but pos=%d" hook cpu
+               i pid t.pos.(pid));
+        if i > 0 then begin
+          let parent = rq.heap.((i - 1) / 2) in
+          if ent_lt t pid parent then
+            failwith
+              (Printf.sprintf "cfs[%s]: cpu %d heap order violated at slot %d (pid %d)"
+                 hook cpu i pid)
+        end
+      done)
+    t.rqs;
   let iter_tasks f =
     Array.iteri (fun pid task -> match task with Some task -> f pid task | None -> ()) t.tasks
   in
   iter_tasks
     (fun pid (task : Task.t) ->
-      match find_ent t pid with
-      | None -> ()
-      | Some e ->
-        let in_tree rq = Rq_tree.find_opt (e.vruntime, e.pid) rq.tree <> None in
-        let is_curr = Array.exists (fun rq -> rq.curr = Some pid) t.rqs in
+      if has_ent t pid then begin
+        let in_heap rq =
+          let i = t.pos.(pid) in
+          i >= 0 && i < rq.hlen && rq.heap.(i) = pid
+        in
+        let is_curr = Array.exists (fun rq -> rq.curr = pid) t.rqs in
         if task.state = Task.Runnable && not is_curr then begin
-          if not e.on_rq then
+          if t.pos.(pid) < 0 then
             failwith
               (Printf.sprintf "cfs[%s]: runnable pid %d not on_rq (task.cpu=%d)" hook pid
                  task.cpu);
-          if e.rq_cpu <> task.cpu then
+          if t.rq_cpu.(pid) <> task.cpu then
             failwith
-              (Printf.sprintf "cfs[%s]: pid %d tree cpu %d but kernel cpu %d" hook pid
-                 e.rq_cpu task.cpu);
-          if not (in_tree t.rqs.(e.rq_cpu)) then
+              (Printf.sprintf "cfs[%s]: pid %d heap cpu %d but kernel cpu %d" hook pid
+                 t.rq_cpu.(pid) task.cpu);
+          if not (in_heap t.rqs.(t.rq_cpu.(pid))) then
             failwith
-              (Printf.sprintf "cfs[%s]: pid %d (v=%d) missing from tree on cpu %d" hook pid
-                 e.vruntime e.rq_cpu)
-        end);
+              (Printf.sprintf "cfs[%s]: pid %d (v=%d) missing from heap on cpu %d" hook pid
+                 t.vruntime.(pid) t.rq_cpu.(pid))
+        end
+      end);
   (* a task the kernel is running must be this class's curr on its cpu *)
   iter_tasks
     (fun pid (task : Task.t) ->
-      if task.state = Task.Running && find_ent t pid <> None then
-        match t.rqs.(task.cpu).curr with
-        | Some c when c = pid -> ()
-        | other ->
+      if task.state = Task.Running && has_ent t pid then
+        let c = t.rqs.(task.cpu).curr in
+        if c <> pid then
           failwith
             (Printf.sprintf "cfs[%s]: pid %d running on cpu %d but rq.curr=%s" hook pid
                task.cpu
-               (match other with Some c -> string_of_int c | None -> "none")))
+               (if c >= 0 then string_of_int c else "none")))
 
 let factory ?(params = default_params) ?(debug_checks = false) () : Sched_class.factory =
  fun ops ->
@@ -478,46 +556,80 @@ let factory ?(params = default_params) ?(debug_checks = false) () : Sched_class.
     {
       ops;
       params;
+      nr_waiting_total = 0;
       rqs =
         Array.init ops.nr_cpus (fun _ ->
-            { tree = Rq_tree.empty; min_vruntime = 0; load_waiting = 0; curr = None });
-      ents = Array.make 64 None;
+            {
+              heap = Array.make 8 (-1);
+              hlen = 0;
+              min_vruntime = 0;
+              load_waiting = 0;
+              curr = -1;
+            });
+      present = Array.make 64 false;
+      vruntime = Array.make 64 0;
+      weight = Array.make 64 0;
+      pos = Array.make 64 (-1);
+      rq_cpu = Array.make 64 0;
+      last_sum_exec = Array.make 64 0;
+      slice_start_exec = Array.make 64 0;
       tasks = Array.make 64 None;
-      last_periodic_check = 0;
     }
   in
-  let checked hook f =
-    if debug_checks then (
-      fun x ->
-        let r = f x in
-        check_consistency t ~hook;
-        r)
-    else f
-  in
+  (* Conditional post-check, not a closure-wrapping combinator: the hooks
+     are the event hot path and must not allocate a thunk per call just to
+     carry a disabled debug check. *)
+  let chk hook = if debug_checks then check_consistency t ~hook in
   {
     Sched_class.name = "cfs";
     select_task_rq = (fun task ~waker_cpu -> select_task_rq t task ~waker_cpu);
-    task_new = (fun task ~cpu -> checked "task_new" (fun () -> task_new t task ~cpu) ());
+    task_new =
+      (fun task ~cpu ->
+        task_new t task ~cpu;
+        chk "task_new");
     task_wakeup =
       (fun task ~cpu ~waker_cpu ->
-        checked "task_wakeup" (fun () -> task_wakeup t task ~cpu ~waker_cpu) ());
+        task_wakeup t task ~cpu ~waker_cpu;
+        chk "task_wakeup");
     task_blocked =
-      (fun task ~cpu -> checked "task_blocked" (fun () -> task_blocked t task ~cpu) ());
-    task_yield = (fun task ~cpu -> checked "task_yield" (fun () -> task_yield t task ~cpu) ());
+      (fun task ~cpu ->
+        task_blocked t task ~cpu;
+        chk "task_blocked");
+    task_yield =
+      (fun task ~cpu ->
+        task_yield t task ~cpu;
+        chk "task_yield");
     task_preempt =
-      (fun task ~cpu -> checked "task_preempt" (fun () -> task_preempt t task ~cpu) ());
-    task_dead = (fun task ~cpu -> checked "task_dead" (fun () -> task_dead t task ~cpu) ());
+      (fun task ~cpu ->
+        task_preempt t task ~cpu;
+        chk "task_preempt");
+    task_dead =
+      (fun task ~cpu ->
+        task_dead t task ~cpu;
+        chk "task_dead");
     task_departed =
-      (fun task ~cpu -> checked "task_departed" (fun () -> task_departed t task ~cpu) ());
-    task_tick = (fun ~cpu ~queued -> checked "tick" (fun () -> task_tick t ~cpu ~queued) ());
-    pick_next_task = (fun ~cpu -> checked "pick" (fun () -> pick_next_task t ~cpu) ());
+      (fun task ~cpu ->
+        task_departed t task ~cpu;
+        chk "task_departed");
+    task_tick =
+      (fun ~cpu ~queued ->
+        task_tick t ~cpu ~queued;
+        chk "tick");
+    pick_next_task =
+      (fun ~cpu ->
+        let pid = pick_next_task t ~cpu in
+        chk "pick";
+        pid);
     balance = (fun ~cpu -> balance t ~cpu);
     balance_err = (fun _ ~cpu:_ -> ());
     migrate_task_rq =
       (fun task ~from_cpu ~to_cpu ->
-        checked "migrate" (fun () -> migrate_task_rq t task ~from_cpu ~to_cpu) ());
+        migrate_task_rq t task ~from_cpu ~to_cpu;
+        chk "migrate");
     task_prio_changed =
-      (fun task -> checked "prio" (fun () -> task_prio_changed t task) ());
+      (fun task ->
+        task_prio_changed t task;
+        chk "prio");
     task_affinity_changed = (fun _ -> ());
     deliver_hint = (fun _ _ -> ());
   }

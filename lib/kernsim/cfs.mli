@@ -1,8 +1,10 @@
 (** Native CFS: the simulator's rendering of Linux's Completely Fair
     Scheduler, used as the baseline throughout the paper's evaluation.
 
-    Implements per-cpu weighted fair queuing over a red-black tree keyed by
-    virtual runtime (§4.2.1 of the paper describes the algorithm):
+    Implements per-cpu weighted fair queuing over a run-queue keyed by
+    virtual runtime — an inline binary heap of pids over struct-of-arrays
+    entity state, picking exactly the task a (vruntime, pid)-ordered tree
+    would (§4.2.1 of the paper describes the algorithm):
 
     - vruntime accrues as [delta_exec * NICE_0_LOAD / weight], with weights
       from the kernel's nice-to-weight table;

@@ -4,7 +4,8 @@ let nothing () = ()
 
 type core = {
   id : int;
-  mutable curr : int option; (* pid currently dispatched *)
+  mutable curr : int; (* pid currently dispatched; -1 = none.  Int-encoded
+                         so the dispatch loop never boxes an option. *)
   mutable last_pid : int; (* previously dispatched pid, for switch cost *)
   mutable seg_run_start : ns; (* when the current task's compute started *)
   mutable seg_busy_from : ns; (* busy-time accounting start (incl. overhead) *)
@@ -26,7 +27,7 @@ type core = {
   mutable resched_thunk : unit -> unit;
 }
 
-type chan = { mutable count : int; waiters : int Ds.Deque.t }
+type chan = { mutable count : int; waiters : Ds.Int_deque.t }
 
 (* Registry handles resolved once at construction so the hot paths pay one
    option match plus an array increment, never a by-name lookup. *)
@@ -57,9 +58,32 @@ type t = {
   mutable nr_chans : int;
   mutable ctx_cpu : int; (* cpu whose kernel context is executing *)
   (* last accounting group touched: segments overwhelmingly repeat one
-     group, so this memo makes per-segment accounting hash-free *)
-  mutable acct_memo : (string * Accounting.cells) option;
+     group, so this memo makes per-segment accounting hash-free.  Two flat
+     mutable fields, not an option of a pair: the miss path must not
+     allocate either (alternating groups would otherwise box a tuple per
+     segment).  [acct_memo_c] starts as a detached null handle. *)
+  mutable acct_memo_g : string;
+  mutable acct_memo_c : Accounting.cells;
+  (* One scratch behaviour context for the whole machine, refilled before
+     every behaviour step instead of allocating a record per step.  Safe
+     because behaviour calls never nest (wakeups and spawns triggered by a
+     step don't run other behaviours synchronously) and the ctx contract
+     forbids retention (see {!Task.ctx}). *)
+  scratch_ctx : Task.ctx;
+  (* Out-of-band payload for the int-encoded verdicts of [next_actions]:
+     the run/sleep duration, so the verdict itself is an immediate int
+     rather than a boxed polymorphic variant. *)
+  mutable verdict_ns : ns;
 }
+
+(* [next_actions] verdicts, int-encoded: a `Run/`Sleep polymorphic variant
+   would allocate two words per behaviour step.  Durations travel in
+   [t.verdict_ns]. *)
+let v_run = 0
+let v_blocked = 1
+let v_sleep = 2
+let v_yield = 3
+let v_exit = 4
 
 let topology t = t.topo
 
@@ -88,7 +112,7 @@ let class_of_policy t policy =
 
 let class_of_task t (task : Task.t) = class_of_policy t task.policy
 
-let cpu_idle t cpu = t.cores.(cpu).curr = None
+let cpu_idle t cpu = t.cores.(cpu).curr < 0
 
 (* Registry recording: one option match when no registry is attached, and
    the record calls never touch simulated time (zero-perturbation). *)
@@ -100,16 +124,27 @@ let obs_observe t ~cpu f v =
 
 (* Every call site is guarded by [if t.tr_on then ...] so that with no
    tracer attached the event payload is never even constructed — emits are
-   allocation-free, not merely cheap. *)
-let emit t ~cpu kind =
+   allocation-free, not merely cheap.  The hot kinds go through the
+   tracer's packed entry points: payloads travel as ints straight into the
+   ring columns, so a traced run allocates nothing per event either. *)
+let tr_exn t = match t.tracer with Some tr -> tr | None -> assert false
+
+let emit_wake t ~cpu ~waker_cpu (task : Task.t) =
   match t.tracer with
   | None -> ()
-  | Some tr -> Trace.Tracer.emit tr ~ts:(Sim.now t.sim) ~cpu kind
+  | Some tr -> (
+    match task.affinity with
+    | None -> Trace.Tracer.emit_wakeup tr ~ts:(Sim.now t.sim) ~cpu ~pid:task.pid ~waker_cpu
+    | Some _ ->
+      (* affinity masks are cold: keep the boxed path rather than teach the
+         ring columns to encode lists *)
+      Trace.Tracer.emit tr ~ts:(Sim.now t.sim) ~cpu
+        (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity }))
 
 (* ---------- channels ---------- *)
 
 let new_chan t =
-  let ch = { count = 0; waiters = Ds.Deque.create () } in
+  let ch = { count = 0; waiters = Ds.Int_deque.create () } in
   if t.nr_chans = Array.length t.chans then begin
     let bigger = Array.make (max 8 (2 * Array.length t.chans)) ch in
     Array.blit t.chans 0 bigger 0 t.nr_chans;
@@ -125,7 +160,7 @@ let chan t id =
 
 let chan_count t id = (chan t id).count
 
-let chan_waiters t id = Ds.Deque.length (chan t id).waiters
+let chan_waiters t id = Ds.Int_deque.length (chan t id).waiters
 
 (* ---------- charging & resched ---------- *)
 
@@ -147,22 +182,23 @@ let resched_cpu t cpu =
 (* ---------- accounting ---------- *)
 
 (* [==] on the group string: a hit is definitely the same group, a miss
-   merely re-resolves, so the memo can never record into the wrong cell. *)
+   merely re-resolves, so the memo can never record into the wrong cell.
+   The initial memo is a null handle whose group is a fresh (un-shared)
+   string, so the first real lookup always misses. *)
 let group_cells t (task : Task.t) =
-  match t.acct_memo with
-  | Some (g, c) when g == task.group -> c
-  | _ ->
+  if t.acct_memo_g == task.group then t.acct_memo_c
+  else begin
     let c = Accounting.cells t.metrics ~group:task.group in
-    t.acct_memo <- Some (task.group, c);
+    t.acct_memo_g <- task.group;
+    t.acct_memo_c <- c;
     c
+  end
 
 (* Checkpoint the running task's consumed cpu time without ending its
    segment, so classes observing [sum_exec] (e.g. at tick) see fresh data. *)
 let sync_curr t core =
-  match core.curr with
-  | None -> ()
-  | Some pid ->
-    let task = get_task t pid in
+  if core.curr >= 0 then begin
+    let task = get_task t core.curr in
     let now_ = Sim.now t.sim in
     if now_ > core.seg_run_start then begin
       let consumed = min (now_ - core.seg_run_start) task.remaining in
@@ -175,6 +211,7 @@ let sync_curr t core =
         (now_ - core.seg_busy_from);
       core.seg_busy_from <- now_
     end
+  end
 
 (* ---------- wakeups ---------- *)
 
@@ -189,8 +226,7 @@ let rec wake_task t (task : Task.t) ~waker_cpu =
     let cpu = cl.select_task_rq task ~waker_cpu in
     let cpu = if Task.allowed_cpu task cpu then cpu else first_allowed t task in
     task.cpu <- cpu;
-    if t.tr_on then
-      emit t ~cpu (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
+    if t.tr_on then emit_wake t ~cpu ~waker_cpu task;
     cl.task_wakeup task ~cpu ~waker_cpu;
     charge t ~cpu:waker_cpu t.costs.wakeup_path;
     if cpu_idle t cpu then resched_cpu t cpu
@@ -205,21 +241,34 @@ and first_allowed t (task : Task.t) =
 
 and do_wake_chan t ch_id ~waker_cpu =
   let ch = chan t ch_id in
-  match Ds.Deque.pop_front ch.waiters with
-  | Some pid -> wake_task t (get_task t pid) ~waker_cpu
-  | None -> ch.count <- ch.count + 1
+  let pid = Ds.Int_deque.pop_front ch.waiters in
+  if pid >= 0 then wake_task t (get_task t pid) ~waker_cpu
+  else ch.count <- ch.count + 1
 
 (* ---------- behaviour execution ---------- *)
 
-(* Run the task's behaviour through instantaneous actions until it yields a
-   verdict on what the kernel should do with the task. *)
+(* Run the task's behaviour through instantaneous actions until it yields
+   an int verdict (see [v_run] etc.) on what the kernel should do with the
+   task.  The behaviour context is the machine's reused scratch record:
+   refill, call, and never let it escape. *)
 and next_actions t core (task : Task.t) =
-  let now_ = Sim.now t.sim in
-  let inbox = List.rev task.inbox in
-  task.inbox <- [];
-  let ctx = { Task.now = now_; self = task.pid; cpu = core.id; inbox } in
+  let ctx = t.scratch_ctx in
+  ctx.Task.now <- Sim.now t.sim;
+  ctx.Task.self <- task.pid;
+  ctx.Task.cpu <- core.id;
+  (ctx.Task.inbox <-
+     (match task.inbox with
+     | [] -> []
+     | inbox ->
+       task.inbox <- [];
+       List.rev inbox));
   match task.behaviour ctx with
-  | Task.Compute d -> if d > 0 then `Run d else next_actions t core task
+  | Task.Compute d ->
+    if d > 0 then begin
+      t.verdict_ns <- d;
+      v_run
+    end
+    else next_actions t core task
   | Task.Block ch_id ->
     let ch = chan t ch_id in
     if ch.count > 0 then begin
@@ -227,14 +276,16 @@ and next_actions t core (task : Task.t) =
       next_actions t core task
     end
     else begin
-      Ds.Deque.push_back ch.waiters task.pid;
-      `Blocked
+      Ds.Int_deque.push_back ch.waiters task.pid;
+      v_blocked
     end
   | Task.Wake ch_id ->
     do_wake_chan t ch_id ~waker_cpu:core.id;
     next_actions t core task
-  | Task.Sleep d -> `Sleep d
-  | Task.Yield -> `Yield
+  | Task.Sleep d ->
+    t.verdict_ns <- d;
+    v_sleep
+  | Task.Yield -> v_yield
   | Task.Send_hint h ->
     (* hint queues are registered per scheduler; any task may write into
        them (the Arachne runtime runs under CFS but talks to the arbiter),
@@ -244,7 +295,7 @@ and next_actions t core (task : Task.t) =
   | Task.Spawn spec ->
     ignore (spawn t spec);
     next_actions t core task
-  | Task.Exit -> `Exit
+  | Task.Exit -> v_exit
 
 (* ---------- task creation ---------- *)
 
@@ -266,8 +317,7 @@ and spawn t (spec : Task.spec) =
   task.state <- Task.Runnable;
   task.last_wake <- Sim.now t.sim;
   task.wake_pending <- true;
-  if t.tr_on then
-    emit t ~cpu (Trace.Event.Wakeup { pid = task.pid; waker_cpu; affinity = task.affinity });
+  if t.tr_on then emit_wake t ~cpu ~waker_cpu task;
   cl.task_new task ~cpu;
   if cpu_idle t cpu then resched_cpu t cpu;
   pid
@@ -281,7 +331,7 @@ and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
     if
       task.state = Task.Runnable && task.cpu <> to_cpu && Task.allowed_cpu task to_cpu
       && (* the task must not be dispatched anywhere *)
-      t.cores.(task.cpu).curr <> Some pid
+      t.cores.(task.cpu).curr <> pid
     then begin
       let from_cpu = task.cpu in
       task.cpu <- to_cpu;
@@ -290,7 +340,8 @@ and try_migrate t pid ~to_cpu (cl : Sched_class.t) =
       obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
       charge t ~cpu:to_cpu t.costs.migration;
       if t.tr_on then
-        emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
+        Trace.Tracer.emit_migrate (tr_exn t) ~ts:(Sim.now t.sim) ~cpu:to_cpu ~pid:task.pid
+          ~from_cpu ~to_cpu;
       cl.migrate_task_rq task ~from_cpu ~to_cpu
     end
     else cl.balance_err task ~cpu:to_cpu
@@ -322,48 +373,49 @@ and do_schedule t cpu =
   let prev_pid = core.curr in
   (* deschedule the current task, if any; the pending run-end event is
      truly cancelled (O(1)), not invalidated-and-dead-dispatched *)
-  (match core.curr with
-  | Some pid ->
+  if core.curr >= 0 then begin
     sync_curr t core;
     Sim.cancel t.sim core.run_end;
-    let task = get_task t pid in
-    core.curr <- None;
+    let task = get_task t core.curr in
+    core.curr <- -1;
     if task.state = Task.Running then begin
       task.state <- Task.Runnable;
-      if t.tr_on then emit t ~cpu (Trace.Event.Preempt { pid });
+      if t.tr_on then Trace.Tracer.emit_preempt (tr_exn t) ~ts:(Sim.now t.sim) ~cpu ~pid:task.pid;
       (class_of_task t task).task_preempt task ~cpu;
       match task.pending_policy with
       | Some policy -> apply_policy_change t task ~policy
       | None -> ()
     end
-  | None -> ());
+  end;
   Accounting.count_schedule t.metrics ~cpu;
   obs_incr t ~cpu (fun o -> o.o_schedules);
-  (match pick_from t cpu 0 with
-  | None ->
-    if not core.in_idle then begin
-      core.in_idle <- true;
-      core.idle_since <- Sim.now t.sim;
-      if t.tr_on then begin
-        emit t ~cpu (Trace.Event.Sched_switch { prev = prev_pid; next = None });
-        emit t ~cpu Trace.Event.Idle
-      end
-    end
-  | Some task -> dispatch t core task ~prev:prev_pid);
+  let next = pick_from t cpu 0 in
+  (if next < 0 then begin
+     if not core.in_idle then begin
+       core.in_idle <- true;
+       core.idle_since <- Sim.now t.sim;
+       if t.tr_on then begin
+         let tr = tr_exn t and ts = Sim.now t.sim in
+         Trace.Tracer.emit_switch tr ~ts ~cpu ~prev:prev_pid ~next:(-1);
+         Trace.Tracer.emit_idle tr ~ts ~cpu
+       end
+     end
+   end
+   else dispatch t core (get_task t next) ~prev:prev_pid);
   t.ctx_cpu <- prev_ctx
 
-(* balance + pick, classes in priority order, until a task sticks *)
+(* balance + pick, classes in priority order, until a task sticks;
+   -1 = every class declined *)
 and pick_from t cpu i =
-  if i >= Array.length t.classes then None
+  if i >= Array.length t.classes then -1
   else begin
     let cl = t.classes.(i) in
-    (match cl.balance ~cpu with
-    | Some pid -> try_migrate t pid ~to_cpu:cpu cl
-    | None -> ());
-    match cl.pick_next_task ~cpu with
-    | Some pid ->
+    let bal = cl.balance ~cpu in
+    if bal >= 0 then try_migrate t bal ~to_cpu:cpu cl;
+    let pid = cl.pick_next_task ~cpu in
+    if pid >= 0 then begin
       let task = get_task t pid in
-      if task.state = Task.Runnable && task.cpu = cpu then Some task
+      if task.state = Task.Runnable && task.cpu = cpu then pid
       else begin
         (* a native class returning an unrunnable task is the kernel
            crash the paper describes; surface it loudly *)
@@ -374,7 +426,8 @@ and pick_from t cpu i =
              (Format.asprintf "%a" Task.pp_state task.state)
              task.cpu cpu)
       end
-    | None -> pick_from t cpu (i + 1)
+    end
+    else pick_from t cpu (i + 1)
   end
 
 and dispatch t core (task : Task.t) ~prev =
@@ -396,12 +449,13 @@ and dispatch t core (task : Task.t) ~prev =
   let overhead = core.pending_charge + switch_cost + wake_cost in
   core.pending_charge <- 0;
   core.seg_busy_from <- now_;
-  core.curr <- Some task.pid;
+  core.curr <- task.pid;
   core.last_pid <- task.pid;
   task.state <- Task.Running;
   if t.tr_on then begin
-    emit t ~cpu (Trace.Event.Sched_switch { prev; next = Some task.pid });
-    emit t ~cpu (Trace.Event.Dispatch { pid = task.pid })
+    let tr = tr_exn t in
+    Trace.Tracer.emit_switch tr ~ts:now_ ~cpu ~prev ~next:task.pid;
+    Trace.Tracer.emit_dispatch tr ~ts:now_ ~cpu ~pid:task.pid
   end;
   let run_start = now_ + overhead in
   if task.wake_pending then begin
@@ -417,22 +471,22 @@ and start_segment t core (task : Task.t) ~run_start =
   core.seg_run_start <- run_start;
   Sim.arm_at t.sim core.run_end ~time:(run_start + task.remaining)
 
-(* What to do when a task's behaviour stopped computing. *)
+(* What to do when a task's behaviour stopped computing ([verdict] is one
+   of the int codes; [v_run] never reaches here). *)
 and apply_verdict t core (task : Task.t) verdict =
   let cpu = core.id in
   let cl = class_of_task t task in
-  match verdict with
-  | `Run _ -> assert false
-  | `Blocked ->
+  if verdict = v_blocked then begin
     task.state <- Task.Blocked;
-    if t.tr_on then emit t ~cpu (Trace.Event.Block { pid = task.pid });
+    if t.tr_on then Trace.Tracer.emit_block (tr_exn t) ~ts:(Sim.now t.sim) ~cpu ~pid:task.pid;
     cl.task_blocked task ~cpu
-  | `Sleep d ->
+  end
+  else if verdict = v_sleep then begin
     task.state <- Task.Blocked;
-    if t.tr_on then emit t ~cpu (Trace.Event.Block { pid = task.pid });
+    if t.tr_on then Trace.Tracer.emit_block (tr_exn t) ~ts:(Sim.now t.sim) ~cpu ~pid:task.pid;
     cl.task_blocked task ~cpu;
     let pid = task.pid in
-    Sim.after t.sim ~delay:d (fun () ->
+    Sim.after t.sim ~delay:t.verdict_ns (fun () ->
         match find_task t pid with
         | Some task when task.state = Task.Blocked ->
           (* timer fires on the cpu the task last ran on *)
@@ -441,15 +495,19 @@ and apply_verdict t core (task : Task.t) verdict =
           wake_task t task ~waker_cpu:task.cpu;
           t.ctx_cpu <- prev
         | Some _ | None -> ())
-  | `Yield ->
+  end
+  else if verdict = v_yield then begin
     task.state <- Task.Runnable;
-    if t.tr_on then emit t ~cpu (Trace.Event.Yield { pid = task.pid });
+    if t.tr_on then Trace.Tracer.emit_yield (tr_exn t) ~ts:(Sim.now t.sim) ~cpu ~pid:task.pid;
     cl.task_yield task ~cpu
-  | `Exit ->
+  end
+  else begin
+    assert (verdict = v_exit);
     task.state <- Task.Dead;
     task.exited_at <- Some (Sim.now t.sim);
-    if t.tr_on then emit t ~cpu (Trace.Event.Exit { pid = task.pid });
+    if t.tr_on then Trace.Tracer.emit_exit (tr_exn t) ~ts:(Sim.now t.sim) ~cpu ~pid:task.pid;
     cl.task_dead task ~cpu
+  end
 
 (* The running task finished its compute quantum: advance its behaviour. *)
 and segment_end t cpu (task : Task.t) =
@@ -457,16 +515,19 @@ and segment_end t cpu (task : Task.t) =
   let prev_ctx = t.ctx_cpu in
   t.ctx_cpu <- cpu;
   sync_curr t core;
-  (match next_actions t core task with
-  | `Run d ->
-    task.remaining <- d;
-    (* continue on-cpu without a context switch: re-arm the same cell *)
-    core.seg_run_start <- Sim.now t.sim;
-    Sim.arm_at t.sim core.run_end ~time:(Sim.now t.sim + d)
-  | verdict ->
-    core.curr <- None;
-    apply_verdict t core task verdict;
-    do_schedule t cpu);
+  let verdict = next_actions t core task in
+  (if verdict = v_run then begin
+     let d = t.verdict_ns in
+     task.remaining <- d;
+     (* continue on-cpu without a context switch: re-arm the same cell *)
+     core.seg_run_start <- Sim.now t.sim;
+     Sim.arm_at t.sim core.run_end ~time:(Sim.now t.sim + d)
+   end
+   else begin
+     core.curr <- -1;
+     apply_verdict t core task verdict;
+     do_schedule t cpu
+   end);
   t.ctx_cpu <- prev_ctx
 
 (* ---------- ticks & timers ---------- *)
@@ -476,14 +537,14 @@ let tick t =
   (* refresh accounting so classes see up-to-date runtimes *)
   for cpu = 0 to nr - 1 do
     sync_curr t t.cores.(cpu);
-    if t.tr_on then emit t ~cpu Trace.Event.Tick
+    if t.tr_on then Trace.Tracer.emit_tick (tr_exn t) ~ts:(Sim.now t.sim) ~cpu
   done;
   Array.iter
     (fun (cl : Sched_class.t) ->
       for cpu = 0 to nr - 1 do
         let prev = t.ctx_cpu in
         t.ctx_cpu <- cpu;
-        cl.task_tick ~cpu ~queued:(t.cores.(cpu).curr <> None);
+        cl.task_tick ~cpu ~queued:(t.cores.(cpu).curr >= 0);
         t.ctx_cpu <- prev
       done)
     t.classes;
@@ -525,7 +586,7 @@ let create ?(costs = Costs.default) ?registry ?tracer ?sim_backend ~topology ~cl
     Array.init nr (fun id ->
         {
           id;
-          curr = None;
+          curr = -1;
           last_pid = -1;
           seg_run_start = 0;
           seg_busy_from = 0;
@@ -555,7 +616,12 @@ let create ?(costs = Costs.default) ?registry ?tracer ?sim_backend ~topology ~cl
       chans = [||];
       nr_chans = 0;
       ctx_cpu = 0;
-      acct_memo = None;
+      (* String.make, not a literal: literals are shared, and a real task
+         group equal to the sentinel must still miss on the first lookup *)
+      acct_memo_g = String.make 1 '\000';
+      acct_memo_c = Accounting.null_cells ();
+      scratch_ctx = { Task.now = 0; self = 0; cpu = 0; inbox = [] };
+      verdict_ns = 0;
     }
   in
   (* Bind each core's event cells and thunks exactly once: every schedule,
@@ -568,9 +634,7 @@ let create ?(costs = Costs.default) ?registry ?tracer ?sim_backend ~topology ~cl
         Sim.timer sim (fun () ->
             (* armed only while a task is dispatched; cancelled on
                deschedule, so firing means [curr] is the segment's task *)
-            match core.curr with
-            | Some pid -> segment_end t cpu (get_task t pid)
-            | None -> ());
+            if core.curr >= 0 then segment_end t cpu (get_task t core.curr));
       core.custom_timer <-
         Sim.timer sim (fun () ->
             match !(core.timer_slot) with
@@ -578,7 +642,7 @@ let create ?(costs = Costs.default) ?registry ?tracer ?sim_backend ~topology ~cl
               let prev = t.ctx_cpu in
               t.ctx_cpu <- cpu;
               sync_curr t core;
-              cl.task_tick ~cpu ~queued:(core.curr <> None);
+              cl.task_tick ~cpu ~queued:(core.curr >= 0);
               t.ctx_cpu <- prev
             | None -> ()))
     cores;
@@ -606,7 +670,9 @@ let create ?(costs = Costs.default) ?registry ?tracer ?sim_backend ~topology ~cl
           | Some task -> task.inbox <- hint :: task.inbox
           | None -> ());
       current =
-        (fun ~cpu -> match t.cores.(cpu).curr with Some pid -> find_task t pid | None -> None);
+        (fun ~cpu ->
+          let pid = t.cores.(cpu).curr in
+          if pid >= 0 then find_task t pid else None);
       cpu_is_idle = (fun cpu -> cpu_idle t cpu);
       find_task = (fun pid -> find_task t pid);
       live_tasks =
@@ -708,7 +774,8 @@ let rec enforce_affinity t pid =
         Accounting.count_migration t.metrics;
         obs_incr t ~cpu:to_cpu (fun o -> o.o_migrations);
         if t.tr_on then
-          emit t ~cpu:to_cpu (Trace.Event.Migrate { pid = task.pid; from_cpu; to_cpu });
+          Trace.Tracer.emit_migrate (tr_exn t) ~ts:(Sim.now t.sim) ~cpu:to_cpu ~pid:task.pid
+            ~from_cpu ~to_cpu;
         cl.migrate_task_rq task ~from_cpu ~to_cpu;
         if cpu_idle t to_cpu then resched_cpu t to_cpu
       | Task.Running ->

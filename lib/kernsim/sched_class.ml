@@ -28,8 +28,8 @@ type t = {
   task_dead : Task.t -> cpu:int -> unit;
   task_departed : Task.t -> cpu:int -> unit;
   task_tick : cpu:int -> queued:bool -> unit;
-  pick_next_task : cpu:int -> int option;
-  balance : cpu:int -> int option;
+  pick_next_task : cpu:int -> int;
+  balance : cpu:int -> int;
   balance_err : Task.t -> cpu:int -> unit;
   migrate_task_rq : Task.t -> from_cpu:int -> to_cpu:int -> unit;
   task_prio_changed : Task.t -> unit;
@@ -51,8 +51,8 @@ let noop name =
     task_dead = (fun _ ~cpu:_ -> ());
     task_departed = (fun _ ~cpu:_ -> ());
     task_tick = (fun ~cpu:_ ~queued:_ -> ());
-    pick_next_task = (fun ~cpu:_ -> None);
-    balance = (fun ~cpu:_ -> None);
+    pick_next_task = (fun ~cpu:_ -> -1);
+    balance = (fun ~cpu:_ -> -1);
     balance_err = (fun _ ~cpu:_ -> ());
     migrate_task_rq = (fun _ ~from_cpu:_ ~to_cpu:_ -> ());
     task_prio_changed = (fun _ -> ());

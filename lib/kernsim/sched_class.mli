@@ -59,12 +59,13 @@ type t = {
   task_tick : cpu:int -> queued:bool -> unit;
       (** periodic tick, or the class's one-shot timer ([queued] = a task is
           running on the cpu) *)
-  pick_next_task : cpu:int -> int option;
-      (** pid of the next task to run on [cpu]; it must be runnable and on
-          [cpu]'s run-queue *)
-  balance : cpu:int -> int option;
+  pick_next_task : cpu:int -> int;
+      (** pid of the next task to run on [cpu], or -1 for none; the pid
+          must be runnable and on [cpu]'s run-queue.  Int-encoded (not an
+          option) so the per-schedule hot path never boxes the reply *)
+  balance : cpu:int -> int;
       (** called before every pick and on ticks: pid of a task the class
-          wants migrated to [cpu], if any *)
+          wants migrated to [cpu], or -1 for none *)
   balance_err : Task.t -> cpu:int -> unit;
       (** the migration requested by [balance] could not be performed *)
   migrate_task_rq : Task.t -> from_cpu:int -> to_cpu:int -> unit;

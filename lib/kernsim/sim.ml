@@ -57,7 +57,12 @@ let at t ~time f =
   | W w -> Ds.Timer_wheel.add w ~time ~seq f
   | H h -> Ds.Heap.add h { time; seq; thunk = f; hpos = -1 }
 
-let after t ~delay f = at t ~time:(t.clock + max 0 delay) f
+(* A negative delay is always a caller bug (typically a broken cost
+   model); clamping it to 0 would silently reorder same-tick events and
+   mask the bug, so fail loudly instead.  Zero stays legal. *)
+let after t ~delay f =
+  if delay < 0 then invalid_arg "Sim.after: negative delay";
+  at t ~time:(t.clock + delay) f
 
 let timer t f =
   match t.impl with
@@ -85,7 +90,9 @@ let arm_at t tm ~time =
       Ds.Heap.add h th.th_ev
   | _ -> invalid_arg "Sim.arm_at: timer from another backend"
 
-let arm_after t tm ~delay = arm_at t tm ~time:(t.clock + max 0 delay)
+let arm_after t tm ~delay =
+  if delay < 0 then invalid_arg "Sim.arm_after: negative delay";
+  arm_at t tm ~time:(t.clock + delay)
 
 let cancel t tm =
   match t.impl, tm with
@@ -103,13 +110,22 @@ let timer_pending = function
 
 (* The dispatch loops are toplevel recursive functions, not local
    closures: locals capturing [t]/[until] would allocate per call. *)
+let run_thunk g = g ()
+
+(* Wheel backend: batched expiry.  [next_before] lands the minimum on a
+   ready level-0 slot whose events all share one exact time, and
+   [drain_ready] then dispatches the whole slot — including same-time
+   events armed by the callbacks themselves — with the slot scan and
+   cache bookkeeping paid once per slot instead of once per event.
+   Dispatch order is identical to a pop-per-event loop: anything a
+   callback schedules is at a time >= the clock, and equal-time inserts
+   carry later seqs, so they belong at the slot tail the drain is already
+   walking. *)
 let rec run_wheel t w until =
   let tn = Ds.Timer_wheel.next_before w ~until in
   if tn <> max_int then begin
     t.clock <- tn;
-    let f = Ds.Timer_wheel.pop_exn w in
-    t.dispatched <- t.dispatched + 1;
-    f ();
+    t.dispatched <- t.dispatched + Ds.Timer_wheel.drain_ready w run_thunk;
     run_wheel t w until
   end
   else if t.clock < until then t.clock <- until
@@ -132,9 +148,7 @@ let run_until t ~until =
 let rec run_wheel_all t w =
   if not (Ds.Timer_wheel.is_empty w) then begin
     t.clock <- Ds.Timer_wheel.next_time w;
-    let f = Ds.Timer_wheel.pop_exn w in
-    t.dispatched <- t.dispatched + 1;
-    f ();
+    t.dispatched <- t.dispatched + Ds.Timer_wheel.drain_ready w run_thunk;
     run_wheel_all t w
   end
 

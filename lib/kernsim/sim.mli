@@ -27,7 +27,10 @@ val now : t -> Time.ns
     (clamped to [now] if in the past). *)
 val at : t -> time:Time.ns -> (unit -> unit) -> unit
 
-(** [after t ~delay f] is [at t ~time:(now t + delay) f]. *)
+(** [after t ~delay f] is [at t ~time:(now t + delay) f].
+    @raise Invalid_argument if [delay] is negative (a negative delay is a
+    cost-model bug; clamping would silently reorder same-tick events).
+    Zero is legal. *)
 val after : t -> delay:Time.ns -> (unit -> unit) -> unit
 
 (** A reusable cancellable event cell.  One allocation at {!timer} time;
@@ -45,7 +48,8 @@ val timer : t -> (unit -> unit) -> timer
     exactly as a fresh {!at} would. *)
 val arm_at : t -> timer -> time:Time.ns -> unit
 
-(** [arm_after t tm ~delay] is [arm_at t tm ~time:(now t + delay)]. *)
+(** [arm_after t tm ~delay] is [arm_at t tm ~time:(now t + delay)].
+    @raise Invalid_argument if [delay] is negative, as {!after}. *)
 val arm_after : t -> timer -> delay:Time.ns -> unit
 
 (** Disarm; no-op when not armed. *)

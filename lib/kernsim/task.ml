@@ -12,7 +12,12 @@ type action =
   | Spawn of spec
   | Exit
 
-and ctx = { now : ns; self : int; cpu : int; inbox : hint list }
+and ctx = {
+  mutable now : ns;
+  mutable self : int;
+  mutable cpu : int;
+  mutable inbox : hint list;
+}
 
 and behaviour = ctx -> action
 

@@ -27,11 +27,16 @@ type action =
   | Exit  (** terminate *)
 
 and ctx = {
-  now : ns;
-  self : int;  (** own pid *)
-  cpu : int;  (** cpu the task is currently on *)
-  inbox : hint list;  (** kernel-to-user messages since the last action *)
+  mutable now : ns;
+  mutable self : int;  (** own pid *)
+  mutable cpu : int;  (** cpu the task is currently on *)
+  mutable inbox : hint list;  (** kernel-to-user messages since the last action *)
 }
+(** The fields are mutable because the machine reuses {e one} scratch
+    [ctx] record for every behaviour step (the record would otherwise be
+    a per-event allocation on the hottest path).  The value is only valid
+    for the duration of the behaviour call: behaviours must read what
+    they need immediately and never retain the record itself. *)
 
 and behaviour = ctx -> action
 

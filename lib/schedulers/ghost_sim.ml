@@ -130,8 +130,9 @@ let task_dead t (task : Kernsim.Task.t) ~cpu =
    until the agent answers.  The Shinjuku agent instead keeps a committed
    transaction ready per cpu (it runs hot on its dedicated core), so its
    picks pay a commit cost rather than a blocking round trip. *)
+(* -1 = no task (the int-encoded Sched_class convention) *)
 let pick_next_task t ~cpu =
-  if Some cpu = agent t then None
+  if Some cpu = agent t then -1
   else if t.policy = Gshinjuku || t.ready.(cpu) then begin
     if t.policy = Gshinjuku then begin
       (* commit the agent's transaction: cost on this core, plus the agent
@@ -152,19 +153,19 @@ let pick_next_task t ~cpu =
       (match t.policy with
       | Gshinjuku -> t.ops.set_timer ~cpu Shinjuku.default_slice
       | Fifo_per_cpu | Sol -> ());
-      Some pid
-    | None -> None
+      pid
+    | None -> -1
   end
   else begin
     if Ds.Deque.length (queue_for t cpu) > 0 then kick_agent t ~cpu;
-    None
+    -1
   end
 
 (* pull the global queue head onto this run-queue (the agent's placement
-   decision being applied by the kernel) *)
+   decision being applied by the kernel); -1 = nothing to pull *)
 let balance t ~cpu =
-  if Some cpu = agent t then None
-  else if t.policy <> Gshinjuku && not t.ready.(cpu) then None
+  if Some cpu = agent t then -1
+  else if t.policy <> Gshinjuku && not t.ready.(cpu) then -1
   else if is_global t then
     match Ds.Deque.peek_front t.queues.(0) with
     | Some pid -> (
@@ -173,10 +174,10 @@ let balance t ~cpu =
         when task.cpu <> cpu && task.state = Kernsim.Task.Runnable
              && Kernsim.Task.allowed_cpu task cpu
              && t.running.(task.cpu) <> None ->
-        Some pid
-      | Some _ | None -> None)
-    | None -> None
-  else None
+        pid
+      | Some _ | None -> -1)
+    | None -> -1
+  else -1
 
 let task_tick t ~cpu ~queued =
   ignore queued;

@@ -1,41 +1,207 @@
+(* Per-CPU rings in struct-of-arrays int encoding.  The hot event kinds —
+   everything the machine emits on its dispatch path — carry at most three
+   small ints, so each ring stores five parallel int columns (ts, tag, a,
+   b, c) and the packed [emit_*] entry points write straight into them:
+   no [Event.kind] variant, no option boxing, no record per event.  Cold
+   kinds (string-carrying diagnostics, affinity-masked wakeups) keep their
+   boxed representation in a lazily-allocated side column.  Events are
+   decoded back to [Event.t] only at drain time, or when an online
+   subscriber is attached (subscribers see complete [Event.t] values, so a
+   subscribed tracer pays the boxing — the sanitizer path accepts that).
+
+   Drop discipline is identical to [Ds.Ring_buffer]: a full ring drops the
+   {e newest} event and counts it, never blocking the emitter. *)
+
+type ring = {
+  r_ts : int array;
+  r_tag : int array;
+  r_a : int array;
+  r_b : int array;
+  r_c : int array;
+  (* boxed payloads for cold kinds, parallel to the int columns, only read
+     where [r_tag] = [tag_cold]; allocated on first cold emit because most
+     rings only ever see hot kinds *)
+  mutable r_cold : Event.kind array;
+  mutable r_head : int; (* next slot to pop *)
+  mutable r_len : int;
+  mutable r_dropped : int;
+}
+
 type t = {
-  rings : Event.t Ds.Ring_buffer.t array;
+  rings : ring array;
   mutable subscribers : (Event.t -> unit) list;
   mutable emitted : int;
 }
 
+let tag_switch = 0
+let tag_wakeup = 1 (* affinity-free; a wakeup with an affinity mask goes cold *)
+let tag_dispatch = 2
+let tag_preempt = 3
+let tag_yield = 4
+let tag_block = 5
+let tag_exit = 6
+let tag_migrate = 7
+let tag_tick = 8
+let tag_idle = 9
+let tag_cold = 10
+
+let make_ring capacity =
+  {
+    r_ts = Array.make capacity 0;
+    r_tag = Array.make capacity 0;
+    r_a = Array.make capacity 0;
+    r_b = Array.make capacity 0;
+    r_c = Array.make capacity 0;
+    r_cold = [||];
+    r_head = 0;
+    r_len = 0;
+    r_dropped = 0;
+  }
+
 let create ?(capacity = 65536) ~nr_cpus () =
   if nr_cpus <= 0 then invalid_arg "Tracer.create: nr_cpus must be positive";
-  {
-    rings = Array.init nr_cpus (fun _ -> Ds.Ring_buffer.create ~capacity);
-    subscribers = [];
-    emitted = 0;
-  }
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { rings = Array.init nr_cpus (fun _ -> make_ring capacity); subscribers = []; emitted = 0 }
 
 let nr_cpus t = Array.length t.rings
 
-let emit t ~ts ~cpu kind =
-  let cpu = if cpu >= 0 && cpu < Array.length t.rings then cpu else 0 in
+(* Claim the next write slot, or -1 when the ring is full — the newest
+   event is the one dropped, matching [Ring_buffer.push]. *)
+let claim r =
+  let cap = Array.length r.r_ts in
+  if r.r_len = cap then begin
+    r.r_dropped <- r.r_dropped + 1;
+    -1
+  end
+  else begin
+    let i = (r.r_head + r.r_len) mod cap in
+    r.r_len <- r.r_len + 1;
+    i
+  end
+
+(* Decode a hot tag's int payload back into the variant; never [tag_cold]. *)
+let decode_tag tag a b c =
+  match tag with
+  | 0 ->
+    Event.Sched_switch
+      { prev = (if a < 0 then None else Some a); next = (if b < 0 then None else Some b) }
+  | 1 -> Event.Wakeup { pid = a; waker_cpu = b; affinity = None }
+  | 2 -> Event.Dispatch { pid = a }
+  | 3 -> Event.Preempt { pid = a }
+  | 4 -> Event.Yield { pid = a }
+  | 5 -> Event.Block { pid = a }
+  | 6 -> Event.Exit { pid = a }
+  | 7 -> Event.Migrate { pid = a; from_cpu = b; to_cpu = c }
+  | 8 -> Event.Tick
+  | _ -> Event.Idle
+
+let deliver t ~ts ~cpu kind =
   let ev = { Event.ts; cpu; kind } in
+  List.iter (fun f -> f ev) t.subscribers
+
+let emit_packed t ~ts ~cpu ~tag ~a ~b ~c =
+  let cpu = if cpu >= 0 && cpu < Array.length t.rings then cpu else 0 in
   t.emitted <- t.emitted + 1;
-  ignore (Ds.Ring_buffer.push t.rings.(cpu) ev);
+  let r = t.rings.(cpu) in
+  let i = claim r in
+  if i >= 0 then begin
+    r.r_ts.(i) <- ts;
+    r.r_tag.(i) <- tag;
+    r.r_a.(i) <- a;
+    r.r_b.(i) <- b;
+    r.r_c.(i) <- c
+  end;
   match t.subscribers with
   | [] -> ()
-  | subs -> List.iter (fun f -> f ev) subs
+  | _ -> deliver t ~ts ~cpu (decode_tag tag a b c)
+
+(* pid columns encode "no task" as -1 (simulator pids are never negative) *)
+let emit_switch t ~ts ~cpu ~prev ~next = emit_packed t ~ts ~cpu ~tag:tag_switch ~a:prev ~b:next ~c:0
+let emit_wakeup t ~ts ~cpu ~pid ~waker_cpu =
+  emit_packed t ~ts ~cpu ~tag:tag_wakeup ~a:pid ~b:waker_cpu ~c:0
+let emit_dispatch t ~ts ~cpu ~pid = emit_packed t ~ts ~cpu ~tag:tag_dispatch ~a:pid ~b:0 ~c:0
+let emit_preempt t ~ts ~cpu ~pid = emit_packed t ~ts ~cpu ~tag:tag_preempt ~a:pid ~b:0 ~c:0
+let emit_yield t ~ts ~cpu ~pid = emit_packed t ~ts ~cpu ~tag:tag_yield ~a:pid ~b:0 ~c:0
+let emit_block t ~ts ~cpu ~pid = emit_packed t ~ts ~cpu ~tag:tag_block ~a:pid ~b:0 ~c:0
+let emit_exit t ~ts ~cpu ~pid = emit_packed t ~ts ~cpu ~tag:tag_exit ~a:pid ~b:0 ~c:0
+let emit_migrate t ~ts ~cpu ~pid ~from_cpu ~to_cpu =
+  emit_packed t ~ts ~cpu ~tag:tag_migrate ~a:pid ~b:from_cpu ~c:to_cpu
+let emit_tick t ~ts ~cpu = emit_packed t ~ts ~cpu ~tag:tag_tick ~a:0 ~b:0 ~c:0
+let emit_idle t ~ts ~cpu = emit_packed t ~ts ~cpu ~tag:tag_idle ~a:0 ~b:0 ~c:0
+
+let emit_cold t ~ts ~cpu kind =
+  let cpu = if cpu >= 0 && cpu < Array.length t.rings then cpu else 0 in
+  t.emitted <- t.emitted + 1;
+  let r = t.rings.(cpu) in
+  let i = claim r in
+  if i >= 0 then begin
+    if Array.length r.r_cold = 0 then r.r_cold <- Array.make (Array.length r.r_ts) Event.Tick;
+    r.r_ts.(i) <- ts;
+    r.r_tag.(i) <- tag_cold;
+    r.r_cold.(i) <- kind
+  end;
+  match t.subscribers with [] -> () | _ -> deliver t ~ts ~cpu kind
+
+let opt_pid = function None -> -1 | Some p -> p
+
+(* Boxed entry point, kept for the cold emitters (fleet orchestration,
+   faults, DSQ diagnostics): hot kinds are re-packed into the int columns
+   so storage is uniform regardless of which door an event came in by. *)
+let emit t ~ts ~cpu kind =
+  match kind with
+  | Event.Sched_switch { prev; next } ->
+    emit_switch t ~ts ~cpu ~prev:(opt_pid prev) ~next:(opt_pid next)
+  | Event.Wakeup { pid; waker_cpu; affinity = None } -> emit_wakeup t ~ts ~cpu ~pid ~waker_cpu
+  | Event.Dispatch { pid } -> emit_dispatch t ~ts ~cpu ~pid
+  | Event.Preempt { pid } -> emit_preempt t ~ts ~cpu ~pid
+  | Event.Yield { pid } -> emit_yield t ~ts ~cpu ~pid
+  | Event.Block { pid } -> emit_block t ~ts ~cpu ~pid
+  | Event.Exit { pid } -> emit_exit t ~ts ~cpu ~pid
+  | Event.Migrate { pid; from_cpu; to_cpu } -> emit_migrate t ~ts ~cpu ~pid ~from_cpu ~to_cpu
+  | Event.Tick -> emit_tick t ~ts ~cpu
+  | Event.Idle -> emit_idle t ~ts ~cpu
+  | Event.Wakeup _ | Event.Pnt_err _ | Event.Lock_acquire _ | Event.Lock_release _
+  | Event.Msg_call _ | Event.Panic _ | Event.Failover _ | Event.Overrun _
+  | Event.Watchdog_fire _ | Event.Metric_flush _ | Event.Dsq_insert _ | Event.Dsq_consume _
+  | Event.Fleet_op _ | Event.Req_enqueue _ | Event.Req_take _ | Event.Req_done _ ->
+    emit_cold t ~ts ~cpu kind
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
 let emitted t = t.emitted
 
-let dropped_of_cpu t cpu = Ds.Ring_buffer.dropped t.rings.(cpu)
+let dropped_of_cpu t cpu = t.rings.(cpu).r_dropped
 
-let dropped t = Array.fold_left (fun acc r -> acc + Ds.Ring_buffer.dropped r) 0 t.rings
+let dropped t = Array.fold_left (fun acc r -> acc + r.r_dropped) 0 t.rings
 
-let buffered t = Array.fold_left (fun acc r -> acc + Ds.Ring_buffer.length r) 0 t.rings
+let buffered t = Array.fold_left (fun acc r -> acc + r.r_len) 0 t.rings
+
+let drain_ring cpu r =
+  let cap = Array.length r.r_ts in
+  let rec go acc =
+    if r.r_len = 0 then List.rev acc
+    else begin
+      let i = r.r_head in
+      let tag = r.r_tag.(i) in
+      let kind =
+        if tag = tag_cold then begin
+          let k = r.r_cold.(i) in
+          r.r_cold.(i) <- Event.Tick;
+          k
+        end
+        else decode_tag tag r.r_a.(i) r.r_b.(i) r.r_c.(i)
+      in
+      let ev = { Event.ts = r.r_ts.(i); cpu; kind } in
+      r.r_head <- (i + 1) mod cap;
+      r.r_len <- r.r_len - 1;
+      go (ev :: acc)
+    end
+  in
+  go []
 
 let events t =
   (* each per-cpu ring is already time-ordered; a stable sort on the
      timestamp merges them without reordering same-time events of one cpu *)
-  Array.to_list t.rings
-  |> List.concat_map Ds.Ring_buffer.drain
+  Array.to_list (Array.mapi drain_ring t.rings)
+  |> List.concat
   |> List.stable_sort (fun (a : Event.t) (b : Event.t) -> Int.compare a.ts b.ts)

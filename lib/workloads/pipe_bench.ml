@@ -24,18 +24,24 @@ let run (b : Setup.built) ?(same_core = false) ?(messages = 50_000) ?(work = def
     (* round-trip stamp: taken when this peer signals, closed when the
        reply wakes it back up *)
     let t0 = ref (-1) in
+    (* the three actions of the message loop, built once per peer: action
+       constructors carry payloads, so building them per step would put
+       ~100 B/message of boxing on the simulator's zero-alloc fast path *)
+    let act_work = T.Compute work in
+    let act_send = T.Wake send in
+    let act_recv = T.Block recv in
     fun (ctx : T.ctx) ->
       match !st with
       | `Recv0 ->
         st := `Work;
-        T.Block recv
+        act_recv
       | `Work ->
         st := `Send;
-        T.Compute work
+        act_work
       | `Send ->
         st := `Recv;
         t0 := ctx.T.now;
-        T.Wake send
+        act_send
       | `Recv ->
         if !t0 >= 0 then observe (ctx.T.now - !t0);
         t0 := -1;
@@ -46,7 +52,7 @@ let run (b : Setup.built) ?(same_core = false) ?(messages = 50_000) ?(work = def
         end
         else begin
           st := `Work;
-          T.Block recv
+          act_recv
         end
   in
   let spec name beh =

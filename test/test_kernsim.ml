@@ -47,6 +47,66 @@ let test_sim_run_until () =
   check Alcotest.int "only first fired" 1 !fired;
   check Alcotest.int "clock advanced to until" 20 (Kernsim.Sim.now sim)
 
+(* A negative delay is a caller bug (broken cost model) and must fail
+   loudly on both backends instead of being clamped into a silent
+   same-tick reorder; zero stays legal. *)
+let test_sim_negative_delay () =
+  List.iter
+    (fun backend ->
+      let sim = Kernsim.Sim.create ~backend () in
+      let fired = ref 0 in
+      Alcotest.check_raises "after rejects negative"
+        (Invalid_argument "Sim.after: negative delay") (fun () ->
+          Kernsim.Sim.after sim ~delay:(-1) (fun () -> incr fired));
+      let tm = Kernsim.Sim.timer sim (fun () -> incr fired) in
+      Alcotest.check_raises "arm_after rejects negative"
+        (Invalid_argument "Sim.arm_after: negative delay") (fun () ->
+          Kernsim.Sim.arm_after sim tm ~delay:(-7));
+      (* zero-delay events are legal and run at the current clock *)
+      Kernsim.Sim.after sim ~delay:0 (fun () -> incr fired);
+      Kernsim.Sim.arm_after sim tm ~delay:0;
+      Kernsim.Sim.run sim;
+      check Alcotest.int "zero-delay events fired" 2 !fired;
+      check Alcotest.int "clock unmoved" 0 (Kernsim.Sim.now sim))
+    [ `Wheel; `Heap ]
+
+(* Both Sim backends must produce bit-identical dispatch orders under
+   arbitrary arm -> re-arm -> cancel interleavings, including operations
+   performed from inside event callbacks and across run_until segment
+   boundaries.  The script is generated once from the seed and replayed
+   against each backend. *)
+let prop_sim_backend_equiv seed =
+  let script =
+    let rng = Stats.Prng.create ~seed in
+    List.init 64 (fun _ ->
+        (Stats.Prng.int rng 400, Stats.Prng.int rng 8, Stats.Prng.int rng 3, Stats.Prng.int rng 600))
+  in
+  let run backend =
+    let sim = Kernsim.Sim.create ~backend () in
+    let log = ref [] in
+    let timers = Array.init 8 (fun i -> Kernsim.Sim.timer sim (fun () -> log := (1000 + i) :: !log)) in
+    List.iteri
+      (fun k (at, j, action, d) ->
+        Kernsim.Sim.at sim ~time:at (fun () ->
+            log := -(k + 1) :: !log;
+            match action with
+            | 0 -> Kernsim.Sim.arm_after sim timers.(j) ~delay:d
+            | 1 -> Kernsim.Sim.cancel sim timers.(j)
+            | _ -> Kernsim.Sim.after sim ~delay:d (fun () -> log := (2000 + k) :: !log)))
+      script;
+    (* chunked bounded runs exercise the until-gating, then drain *)
+    Kernsim.Sim.run_until sim ~until:300;
+    Kernsim.Sim.run_until sim ~until:700;
+    Kernsim.Sim.run sim;
+    (List.rev !log, Kernsim.Sim.now sim, Kernsim.Sim.dispatched sim)
+  in
+  let w = run `Wheel and h = run `Heap in
+  if w <> h then
+    QCheck.Test.fail_reportf "backends diverged on seed %d (wheel %d events, heap %d events)" seed
+      (match w with _, _, n -> n)
+      (match h with _, _, n -> n);
+  true
+
 let test_single_task_runs_and_exits () =
   let m = make_machine () in
   let pid = M.spawn m (T.default_spec ~name:"solo" (one_shot (Kernsim.Time.ms 5))) in
@@ -312,6 +372,11 @@ let () =
         [
           Alcotest.test_case "event order" `Quick test_sim_event_order;
           Alcotest.test_case "run_until" `Quick test_sim_run_until;
+          Alcotest.test_case "negative delay rejected" `Quick test_sim_negative_delay;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~count:100 ~name:"backend equivalence under arm/re-arm/cancel"
+               QCheck.(int_bound 1_000_000)
+               prop_sim_backend_equiv);
         ] );
       ( "machine",
         [

@@ -194,6 +194,26 @@ let test_fairness_placement_stdev () =
 
 (* ---------- setup ---------- *)
 
+(* Zero-alloc proof for the event hot path: with tracing and metrics off
+   (the default [Setup.build]), a pinned pipe-bench segment must allocate
+   (amortised) almost nothing per dispatched event.  The ceiling of 8
+   bytes/event leaves room for the fixed setup cost (task spawn, channels,
+   behaviour closures) spread over the run while still failing loudly if
+   any per-event boxing sneaks back in — a single 3-word record per event
+   would read as ~24 B/event here. *)
+let test_pipe_zero_alloc () =
+  let messages = 5_000 in
+  let b = build Workloads.Setup.Cfs in
+  let before = Gc.allocated_bytes () in
+  ignore (Workloads.Pipe_bench.run b ~messages ());
+  let after = Gc.allocated_bytes () in
+  let events = Kernsim.Machine.events_dispatched b.Workloads.Setup.machine in
+  let per_event = (after -. before) /. float_of_int events in
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "bytes/event %.2f below 8.0 (%d events)" per_event events)
+    true
+    (per_event < 8.0)
+
 let test_setup_labels () =
   check Alcotest.string "cfs" "cfs" (Workloads.Setup.label Workloads.Setup.Cfs);
   check Alcotest.string "ghost" "ghost-sol"
@@ -250,5 +270,6 @@ let () =
         [
           Alcotest.test_case "labels" `Quick test_setup_labels;
           Alcotest.test_case "agent core" `Quick test_setup_agent_core;
+          Alcotest.test_case "pipe hot path zero-alloc" `Quick test_pipe_zero_alloc;
         ] );
     ]
